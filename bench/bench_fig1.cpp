@@ -1,0 +1,85 @@
+// Reproduces Figure 1 of the paper: the four micro-architectural variants of
+// the branch loop, with cycle time (unit gates), throughput, effective cycle
+// time and area — plus the prediction-accuracy sweep that quantifies when
+// speculation matches Shannon decomposition at roughly half the F area.
+//
+// Expected shape (paper §2):
+//   (a) non-speculative : slow clock, full throughput;
+//   (b) bubble inserted : fast clock but throughput 1/2 -> "no real gain";
+//   (c) Shannon         : fast clock, full throughput, duplicated F;
+//   (d) speculation     : fast clock, throughput ~ prediction accuracy,
+//                         one shared F.
+#include <cstdio>
+
+#include "netlist/patterns.h"
+#include "perf/area.h"
+#include "perf/throughput.h"
+#include "perf/timing.h"
+#include "sim/simulator.h"
+
+using namespace esl;
+
+namespace {
+
+struct Row {
+  const char* label;
+  double cycle, tput, area, bound;
+};
+
+Row measure(const char* label, patterns::Fig1Variant variant,
+            const patterns::Fig1Config& cfg) {
+  auto sys = patterns::buildFig1(variant, cfg);
+  sim::Simulator s(sys.nl, {.checkProtocol = true, .throwOnViolation = true});
+  s.run(2000);
+  return {label, perf::analyzeTiming(sys.nl).cycleTime, s.throughput(sys.loopChannel),
+          perf::areaReport(sys.nl).total, perf::throughputBound(sys.nl).bound};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1: speculation in a branch loop ===\n\n");
+  patterns::Fig1Config cfg;
+  cfg.takenPermille = 100;  // 10%-taken branch; scheduler predicts not-taken
+  cfg.scheduler = patterns::Fig1Scheduler::kStatic0;
+
+  std::printf("%-20s %8s %8s %8s %10s %8s\n", "variant", "cycle", "tput", "bound",
+              "eff.cyc", "area");
+  const Row rows[] = {
+      measure("(a) non-speculative", patterns::Fig1Variant::kNonSpeculative, cfg),
+      measure("(b) bubble inserted", patterns::Fig1Variant::kBubble, cfg),
+      measure("(c) Shannon", patterns::Fig1Variant::kShannon, cfg),
+      measure("(d) speculation", patterns::Fig1Variant::kSpeculative, cfg),
+  };
+  for (const Row& r : rows)
+    std::printf("%-20s %8.1f %8.3f %8.3f %10.2f %8.1f\n", r.label, r.cycle, r.tput,
+                r.bound, perf::effectiveCycleTime(r.cycle, r.tput), r.area);
+
+  std::printf(
+      "\nshape checks: (b) gains nothing (eff.cycle %.1f vs (a) %.1f);\n"
+      "(d) is within %.0f%% of (c)'s performance with %.0f fewer area units\n",
+      perf::effectiveCycleTime(rows[1].cycle, rows[1].tput),
+      perf::effectiveCycleTime(rows[0].cycle, rows[0].tput),
+      100.0 * (perf::effectiveCycleTime(rows[3].cycle, rows[3].tput) /
+                   perf::effectiveCycleTime(rows[2].cycle, rows[2].tput) -
+               1.0),
+      rows[2].area - rows[3].area);
+
+  // Prediction-accuracy sweep for variant (d).
+  std::printf("\n--- (d) throughput vs prediction accuracy (static0 scheduler) ---\n");
+  std::printf("%-14s %12s %12s %14s\n", "taken-rate", "accuracy", "tput",
+              "eff.cycle(d)");
+  for (const unsigned taken : {0u, 50u, 100u, 200u, 300u, 500u}) {
+    patterns::Fig1Config c = cfg;
+    c.takenPermille = taken;
+    auto sys = patterns::buildFig1(patterns::Fig1Variant::kSpeculative, c);
+    sim::Simulator s(sys.nl);
+    s.run(2000);
+    const double tput = s.throughput(sys.loopChannel);
+    const double cyc = perf::analyzeTiming(sys.nl).cycleTime;
+    std::printf("%11.1f%% %11.1f%% %12.3f %14.2f\n", taken / 10.0,
+                100.0 - taken / 10.0, tput, perf::effectiveCycleTime(cyc, tput));
+  }
+  std::printf("\nwith accurate prediction, (d) approaches (c) at half the F area\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Google-benchmark microbenchmarks of the toolkit itself: cycle-accurate
+// simulation rate on the paper systems, transformation cost ("all
+// transformations are local they are very fast to compute"), timing analysis
+// and explicit-state exploration.
+#include <benchmark/benchmark.h>
+
+#include "elastic/endpoints.h"
+#include "netlist/patterns.h"
+#include "perf/timing.h"
+#include "sim/simulator.h"
+#include "transform/transform.h"
+#include "verify/checker.h"
+
+using namespace esl;
+
+namespace {
+
+void BM_SimulateFig1Speculative(benchmark::State& state) {
+  auto sys = patterns::buildFig1(patterns::Fig1Variant::kSpeculative);
+  sim::Simulator s(sys.nl, {.checkProtocol = false});
+  for (auto _ : state) s.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateFig1Speculative);
+
+void BM_SimulateFig1WithProtocolMonitor(benchmark::State& state) {
+  auto sys = patterns::buildFig1(patterns::Fig1Variant::kSpeculative);
+  sim::Simulator s(sys.nl, {.checkProtocol = true, .throwOnViolation = false});
+  for (auto _ : state) s.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateFig1WithProtocolMonitor);
+
+void BM_SimulateSecdedSpeculative(benchmark::State& state) {
+  auto sys = patterns::buildSecdedSpeculative();
+  sim::Simulator s(sys.nl, {.checkProtocol = false});
+  for (auto _ : state) s.step();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateSecdedSpeculative);
+
+void BM_SpeculationRecipe(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sys = patterns::buildFig1(patterns::Fig1Variant::kNonSpeculative);
+    const auto cands = transform::findSpeculationCandidates(sys.nl);
+    state.ResumeTiming();
+    transform::speculate(sys.nl, cands[0].mux, cands[0].func,
+                         std::make_unique<sched::LastServedScheduler>(2));
+    benchmark::DoNotOptimize(sys.nl.nodeIds());
+  }
+}
+BENCHMARK(BM_SpeculationRecipe);
+
+void BM_TimingAnalysis(benchmark::State& state) {
+  auto sys = patterns::buildSecdedSpeculative();
+  for (auto _ : state) {
+    auto report = perf::analyzeTiming(sys.nl);
+    benchmark::DoNotOptimize(report.cycleTime);
+  }
+}
+BENCHMARK(BM_TimingAnalysis);
+
+void BM_ExplicitStateExploration(benchmark::State& state) {
+  for (auto _ : state) {
+    Netlist nl;
+    auto& src = nl.make<NondetSource>("env.src", 1);
+    auto& buf = nl.make<ElasticBuffer>("buf", 1);
+    auto& sink = nl.make<NondetSink>("env.sink", 1, 2, true);
+    nl.connect(src, 0, buf, 0, "up");
+    nl.connect(buf, 0, sink, 0, "down");
+    verify::ModelChecker mc(nl);
+    auto result = mc.explore();
+    benchmark::DoNotOptimize(result.states);
+  }
+}
+BENCHMARK(BM_ExplicitStateExploration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

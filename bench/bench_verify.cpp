@@ -1,0 +1,143 @@
+// Reproduces the §4.2 verification campaign: "all elastic controllers have
+// been verified ... the absence of deadlocks has been verified for any
+// scheduler that complies with the leads-to property. In addition, it has
+// been verified that all controllers comply with the SELF protocol."
+//
+// The paper used NuSMV/SMV; this harness runs the built-in explicit-state
+// checker over the same controller compositions with nondeterministic
+// (bounded-fair) environments and prints the property table. A negative
+// control (starving scheduler) shows the checker actually bites.
+#include <cstdio>
+
+#include "elastic/buffer.h"
+#include "elastic/eemux.h"
+#include "elastic/endpoints.h"
+#include "elastic/fork.h"
+#include "elastic/func.h"
+#include "elastic/shared.h"
+#include "verify/checker.h"
+
+using namespace esl;
+
+namespace {
+
+Netlist ebHarness(bool zeroLb, bool anti) {
+  Netlist nl;
+  auto& src = nl.make<NondetSource>("env.src", 1);
+  Node* buf = zeroLb ? static_cast<Node*>(&nl.make<ElasticBuffer0>("buf", 1))
+                     : static_cast<Node*>(&nl.make<ElasticBuffer>("buf", 1));
+  auto& sink = nl.make<NondetSink>("env.sink", 1, 2, anti);
+  nl.connect(src, 0, *buf, 0, "up");
+  nl.connect(*buf, 0, sink, 0, "down");
+  return nl;
+}
+
+Netlist forkHarness() {
+  Netlist nl;
+  auto& src = nl.make<NondetSource>("env.src", 1);
+  auto& eb = nl.make<ElasticBuffer>("eb", 1);
+  auto& fork = nl.make<ForkNode>("fork", 1, 2);
+  auto& s0 = nl.make<NondetSink>("env.s0", 1, 2);
+  auto& s1 = nl.make<NondetSink>("env.s1", 1, 2);
+  nl.connect(src, 0, eb, 0, "up");
+  nl.connect(eb, 0, fork, 0, "stem");
+  nl.connect(fork, 0, s0, 0, "br0");
+  nl.connect(fork, 1, s1, 0, "br1");
+  return nl;
+}
+
+Netlist joinHarness() {
+  Netlist nl;
+  auto& a = nl.make<NondetSource>("env.a", 1);
+  auto& b = nl.make<NondetSource>("env.b", 1);
+  auto& join = nl.make<FuncNode>("join", std::vector<unsigned>{1, 1}, 1,
+                                 [](const std::vector<BitVec>& in) {
+                                   return in[0] & in[1];
+                                 });
+  auto& sink = nl.make<NondetSink>("env.sink", 1, 2);
+  nl.connect(a, 0, join, 0, "ina");
+  nl.connect(b, 0, join, 1, "inb");
+  nl.connect(join, 0, sink, 0, "out");
+  return nl;
+}
+
+Netlist sharedHarness(std::unique_ptr<sched::Scheduler> sched) {
+  Netlist nl;
+  auto& src = nl.make<NondetSource>("env.src", 1, 2, /*dataBits=*/1);
+  auto& fork = nl.make<ForkNode>("fork", 1, 3);
+  auto& shared = nl.make<SharedModule>(
+      "shared", 2, 1, 1, [](const BitVec& x) { return x; }, std::move(sched));
+  auto& mux = nl.make<EarlyEvalMux>("mux", 2, 1, 1);
+  auto& sink = nl.make<NondetSink>("env.sink", 1, 2);
+  nl.connect(src, 0, fork, 0, "stem");
+  nl.connect(fork, 0, shared, 0, "in0");
+  nl.connect(fork, 1, shared, 1, "in1");
+  nl.connect(fork, 2, mux, 0, "sel");
+  nl.connect(shared, 0, mux, 1, "out0");
+  nl.connect(shared, 1, mux, 2, "out1");
+  nl.connect(mux, 0, sink, 0, "muxout");
+  return nl;
+}
+
+void runSuite(const char* label, Netlist nl, NodeId sharedId = kNoNode) {
+  auto report = verify::checkSelfProtocol(nl);
+  std::size_t props = report.propertiesChecked;
+  std::size_t violations = report.violations.size();
+  std::size_t states = report.explore.states;
+
+  if (sharedId != kNoNode) {
+    auto leadsTo = verify::checkSchedulerLeadsTo(nl, sharedId);
+    props += leadsTo.propertiesChecked;
+    violations += leadsTo.violations.size();
+  }
+  std::printf("%-34s %8zu %8zu %6zu   %s\n", label, states, props, violations,
+              violations == 0 ? "PASS" : "FAIL");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 4.2: controller verification (explicit-state) ===\n\n");
+  std::printf("%-34s %8s %8s %6s   %s\n", "composition (with nondet envs)", "states",
+              "props", "viol", "verdict");
+
+  runSuite("EB (Lf=1,Lb=1,C=2)", ebHarness(false, false));
+  runSuite("EB + anti-token environment", ebHarness(false, true));
+  runSuite("EB0 (Lf=1,Lb=0,C=1, Fig.5)", ebHarness(true, true));
+  runSuite("eager fork (2-way)", forkHarness());
+  runSuite("lazy join (2-way)", joinHarness());
+  {
+    Netlist nl = sharedHarness(std::make_unique<sched::BoundedFairScheduler>(2, 1));
+    const NodeId id = nl.findNode("shared")->id();
+    runSuite("shared+EEmux, fair nondet sched", std::move(nl), id);
+  }
+  {
+    Netlist nl = sharedHarness(std::make_unique<sched::StaticScheduler>(2, 0));
+    const NodeId id = nl.findNode("shared")->id();
+    runSuite("shared+EEmux, static+correction", std::move(nl), id);
+  }
+  {
+    Netlist nl = sharedHarness(std::make_unique<sched::RoundRobinScheduler>(2));
+    const NodeId id = nl.findNode("shared")->id();
+    runSuite("shared+EEmux, round-robin", std::move(nl), id);
+  }
+
+  std::printf("\nnegative control (must FAIL leads-to / liveness):\n");
+  {
+    Netlist nl = sharedHarness(std::make_unique<sched::StarvingScheduler>(2));
+    const NodeId id = nl.findNode("shared")->id();
+    auto leadsTo = verify::checkSchedulerLeadsTo(nl, id);
+    std::printf("%-34s %8zu %8zu %6zu   %s\n", "shared+EEmux, starving sched",
+                leadsTo.explore.states, leadsTo.propertiesChecked,
+                leadsTo.violations.size(),
+                leadsTo.violations.empty() ? "PASS (BAD!)" : "FAIL (expected)");
+    if (!leadsTo.violations.empty())
+      std::printf("  first violation: %s\n", leadsTo.violations.front().c_str());
+  }
+
+  std::printf("\nproperties per channel: Invariant (kill/stop exclusion), Retry+\n"
+              "(persistent channels only, §4.2 exemption downstream of shared\n"
+              "modules), Retry-, global liveness GF(progress), deadlock freedom,\n"
+              "and eq. (1) leads-to per shared-module input.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The interactive exploration shell (paper §5).
+//
+// With no arguments, runs a demonstration script that walks the full §4
+// speculation flow on the Fig. 1(a) loop. With `-` reads commands from stdin
+// (interactive); with a filename runs that script.
+//
+//   $ ./explore_shell
+//   $ echo "build fig1a\nspeculate mux F last\ntiming" | ./explore_shell -
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "shell/session.h"
+
+namespace {
+
+const char* kDemoScript = R"(
+# --- Speculation in elastic systems: guided tour -------------------------
+help
+build fig1a
+nodes
+candidates
+# step 1+2: the critical cycle runs EB -> G -> mux -> F -> EB; move F back
+timing
+tput 200 pc.out
+# the naive fix (bubble insertion) halves throughput:
+bubble mux.out
+tput 200 pc.out
+undo
+# the paper's recipe: Shannon + early evaluation + sharing
+speculate mux F 2bit
+nodes
+timing
+tput 200 pc.out
+bound
+area
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  esl::shell::Session session;
+
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    std::string line;
+    std::cout << "esl> " << std::flush;
+    while (std::getline(std::cin, line)) {
+      std::cout << session.execute(line) << "esl> " << std::flush;
+    }
+    std::cout << "\n";
+    return 0;
+  }
+
+  std::string script = kDemoScript;
+  if (argc > 1) {
+    std::ifstream f(argv[1]);
+    if (!f) {
+      std::cerr << "cannot open script " << argv[1] << "\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    script = buf.str();
+  }
+  std::cout << session.runScript(script);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Amortization of speculation overhead in a multi-stage pipeline.
+//
+// Paper §5.2 closes: "Notice that this overhead is paid on a single pipeline
+// stage, and hence, it would be amortized across the whole system when
+// implemented on a real pipeline." This example builds that real pipeline:
+// the speculative SECDED adder stage followed by two further elastic stages
+// (a shift/mix "execute" and a mask "writeback"), then compares whole-system
+// area overhead against the non-speculative version of the same pipeline.
+//
+//   $ ./resilient_pipeline
+#include <cstdio>
+
+#include "logic/secded.h"
+#include "netlist/patterns.h"
+#include "perf/area.h"
+#include "perf/timing.h"
+#include "sim/simulator.h"
+
+using namespace esl;
+
+namespace {
+
+/// Appends two more pipeline stages after `sys.outChannel`'s producer EB and
+/// returns the new sink. Works on both SECDED variants (their outputs are a
+/// 64-bit sum in an EB feeding the sink).
+TokenSink& extendPipeline(patterns::SecdedSystem& sys) {
+  Netlist& nl = sys.nl;
+  // Disconnect the old sink and splice the extra stages in.
+  const Channel out = nl.channel(sys.outChannel);
+  Node& outEb = nl.node(out.producer);
+  const NodeId oldSink = out.consumer;
+  nl.disconnect(sys.outChannel);
+  nl.removeNode(oldSink);
+  sys.sink = nullptr;  // replaced below
+
+  auto& ex = makeUnary(
+      nl, "execute", 64, 64,
+      [](const BitVec& x) { return (x << 1) ^ (x >> 3); },
+      logic::Cost{10.0, 700.0});
+  auto& ebEx = nl.make<ElasticBuffer>("ebEx", 64);
+  auto& wb = makeUnary(
+      nl, "writeback", 64, 64,
+      [](const BitVec& x) { return x & BitVec::ones(64); },
+      logic::Cost{4.0, 350.0});
+  auto& ebWb = nl.make<ElasticBuffer>("ebWb", 64);
+  auto& sink = nl.make<TokenSink>("endSink", 64);
+
+  nl.connect(outEb, 0, ex, 0, "toExecute");
+  nl.connect(ex, 0, ebEx, 0, "exOut");
+  nl.connect(ebEx, 0, wb, 0, "toWb");
+  nl.connect(wb, 0, ebWb, 0, "wbOut");
+  nl.connect(ebWb, 0, sink, 0, "retire");
+  return sink;
+}
+
+double pipelineArea(Netlist& nl) {
+  double total = 0.0;
+  for (const NodeId id : nl.nodeIds()) total += nl.node(id).cost().area;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Amortizing speculation overhead across a 3-stage pipeline\n");
+  std::printf("----------------------------------------------------------\n\n");
+  patterns::SecdedConfig cfg;
+  cfg.flipPermille = 40;
+
+  // Isolated stage comparison (what bench_secded reports).
+  auto stagePlain = patterns::buildSecdedPipeline(cfg);
+  auto stageSpec = patterns::buildSecdedSpeculative(cfg);
+  const double aStagePlain = pipelineArea(stagePlain.nl);
+  const double aStageSpec = pipelineArea(stageSpec.nl);
+
+  // Whole-pipeline comparison.
+  auto pipePlain = patterns::buildSecdedPipeline(cfg);
+  auto pipeSpec = patterns::buildSecdedSpeculative(cfg);
+  TokenSink& sinkPlain = extendPipeline(pipePlain);
+  TokenSink& sinkSpec = extendPipeline(pipeSpec);
+  pipePlain.nl.validate();
+  pipeSpec.nl.validate();
+
+  sim::Simulator sp(pipePlain.nl, {.checkProtocol = true, .throwOnViolation = true});
+  sim::Simulator ss(pipeSpec.nl, {.checkProtocol = true, .throwOnViolation = true});
+  sp.run(800);
+  ss.run(800);
+
+  const double aPipePlain = pipelineArea(pipePlain.nl);
+  const double aPipeSpec = pipelineArea(pipeSpec.nl);
+
+  std::printf("%-32s %12s %12s %10s\n", "", "baseline", "speculative", "overhead");
+  std::printf("%-32s %12.0f %12.0f %+9.1f%%\n", "adder stage alone", aStagePlain,
+              aStageSpec, 100.0 * (aStageSpec - aStagePlain) / aStagePlain);
+  std::printf("%-32s %12.0f %12.0f %+9.1f%%\n", "full 3-stage pipeline", aPipePlain,
+              aPipeSpec, 100.0 * (aPipeSpec - aPipePlain) / aPipePlain);
+
+  std::printf("\nend-to-end latency (first retired result): %llu vs %llu cycles\n",
+              static_cast<unsigned long long>(sinkPlain.transfers().front().cycle),
+              static_cast<unsigned long long>(sinkSpec.transfers().front().cycle));
+
+  // Both pipelines retire identical results.
+  const std::size_t n = std::min(sinkPlain.received(), sinkSpec.received());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sinkPlain.transfers()[i].data != sinkSpec.transfers()[i].data) {
+      std::printf("MISMATCH at %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("both pipelines retire identical streams (%zu results checked)\n", n);
+  std::printf("\nthe paper's point: the stage-level overhead shrinks when the rest\n"
+              "of the machine is counted — speculation buys a shallower pipeline\n"
+              "at a cost that amortizes.\n");
+  return 0;
+}

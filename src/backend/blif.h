@@ -1,0 +1,28 @@
+// BLIF netlist generation (paper §5: "a blif model for logic synthesis with
+// SIS").
+//
+// Emits the elastic *control* network in Berkeley Logic Interchange Format:
+// every channel's four handshake bits as nets, every controller as .names
+// covers (sum-of-products) and .latch state bits, environments as model
+// ports. Like the SIS flow the authors targeted, the model is control-only:
+// payload datapaths are excluded, and data-derived control values (the
+// early-evaluation mux select, the shared-module scheduler) become primary
+// inputs of the model.
+//
+// Counters (EB occupancy, EB anti-tokens, mux pending anti-tokens) are
+// emitted as binary-encoded state with exhaustively enumerated transition
+// minterms, so the BLIF is exact with respect to the behavioural models.
+#pragma once
+
+#include <string>
+
+#include "elastic/netlist.h"
+
+namespace esl::backend {
+
+/// Complete .model for the netlist's control skeleton.
+/// Throws EslError for nodes without a BLIF template (e.g. StallingVLU) or
+/// early-evaluation muxes with more than a 1-bit select.
+std::string emitBlif(const Netlist& nl, const std::string& modelName = "elastic_ctrl");
+
+}  // namespace esl::backend

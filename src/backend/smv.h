@@ -1,0 +1,27 @@
+// NuSMV model generation (paper §4.2 / §5: "generate ... a NuSMV model for
+// verification").
+//
+// Emits a control-level abstraction of the netlist: payload data is omitted
+// (protocol properties are data-independent), every channel's four handshake
+// bits become DEFINEs over node state, every stateful controller contributes
+// VAR/ASSIGN blocks, environments and schedulers are unconstrained
+// nondeterministic inputs, and the §3.1 properties are emitted as LTLSPEC:
+//   Retry+   G((vf & sf & !vb) -> X vf)
+//   Retry-   G((vb & sb & !vf) -> X vb)
+//   Invariant G!(vf & sf & vb) and G!(vb & sb & vf)
+//   Liveness  G F (transfer | kill)  (under environment fairness)
+//
+// The built-in explicit-state checker (src/verify) proves the same properties
+// natively; this emitter exists so the models can be replayed under NuSMV,
+// as the authors did.
+#pragma once
+
+#include <string>
+
+#include "elastic/netlist.h"
+
+namespace esl::backend {
+
+std::string emitSmv(const Netlist& nl);
+
+}  // namespace esl::backend

@@ -1,0 +1,413 @@
+#include "backend/verilog.h"
+
+#include <sstream>
+
+#include "elastic/buffer.h"
+#include "elastic/eemux.h"
+#include "elastic/endpoints.h"
+#include "elastic/fork.h"
+#include "elastic/func.h"
+#include "elastic/shared.h"
+
+namespace esl::backend {
+
+namespace {
+
+/// Fixed library of behavioral controller modules (SELF protocol with
+/// token counterflow). Widths are parameters; multi-way blocks are emitted
+/// per arity by instLibrary().
+const char* kLibraryHeader = R"(// ---------------------------------------------------------------------
+// SELF elastic controller library (tokens + anti-token counterflow)
+// Channel bundle: vf (V+), sf (S+), vb (V-), sb (S-), data.
+// ---------------------------------------------------------------------
+
+// Elastic buffer, Lf=1, Lb=1, C=2 (two latch ranks, Fig. 2a equivalent).
+module esl_eb #(parameter WIDTH = 8, parameter INIT_TOKENS = 0) (
+  input  wire             clk, rst_n,
+  input  wire             in_vf,  output wire in_sf,
+  output wire             in_vb,  input  wire in_sb,
+  input  wire [WIDTH-1:0] in_data,
+  output wire             out_vf, input  wire out_sf,
+  input  wire             out_vb, output wire out_sb,
+  output wire [WIDTH-1:0] out_data
+);
+  reg [WIDTH-1:0] slot0, slot1;
+  reg [1:0]       count;     // tokens stored
+  reg [1:0]       anti;      // anti-tokens stored
+  assign out_vf   = count != 0;
+  assign out_data = slot0;
+  assign out_sb   = (count == 0) && (anti == 2);
+  assign in_sf    = (count == 2);        // state-only: backward latency 1
+  assign in_vb    = (anti != 0);
+  wire out_take = out_vf && (!out_sf || out_vb);
+  wire in_put   = in_vf && !in_sf && !in_vb;
+  wire in_kill  = in_vf && in_vb;
+  wire anti_in  = out_vb && !out_sb && !out_vf;
+  wire anti_out = in_vb && !in_sb && !in_vf;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin
+      count <= INIT_TOKENS[1:0]; anti <= 2'd0;
+      slot0 <= {WIDTH{1'b0}};    slot1 <= {WIDTH{1'b0}};
+    end else begin
+      case ({out_take, in_put})
+        2'b10: begin slot0 <= slot1; count <= count - 2'd1; end
+        2'b01: begin
+          if (count == 0) slot0 <= in_data; else slot1 <= in_data;
+          count <= count + 2'd1;
+        end
+        2'b11: begin slot0 <= (count == 1) ? in_data : slot1;
+                     if (count != 1) slot1 <= in_data; end
+        default: ;
+      endcase
+      anti <= anti + (anti_in ? 2'd1 : 2'd0)
+                   - ((in_kill || anti_out) ? 2'd1 : 2'd0);
+    end
+  end
+endmodule
+
+// Elastic buffer with zero backward latency, Lf=1, Lb=0, C=1 (Fig. 5).
+module esl_eb0 #(parameter WIDTH = 8) (
+  input  wire             clk, rst_n,
+  input  wire             in_vf,  output wire in_sf,
+  output wire             in_vb,  input  wire in_sb,
+  input  wire [WIDTH-1:0] in_data,
+  output wire             out_vf, input  wire out_sf,
+  input  wire             out_vb, output wire out_sb,
+  output wire [WIDTH-1:0] out_data
+);
+  reg             full;
+  reg [WIDTH-1:0] slot;
+  wire leave = full && (!out_sf || out_vb);
+  assign out_vf   = full;
+  assign out_data = slot;
+  assign in_sf    = full && !leave;          // combinational stop (Lb=0)
+  assign in_vb    = !full && out_vb;         // anti-token rushes through
+  assign out_sb   = !full && !in_vf && in_sb;
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) begin full <= 1'b0; slot <= {WIDTH{1'b0}}; end
+    else begin
+      if (leave) full <= 1'b0;
+      if (in_vf && !in_sf && !in_vb) begin full <= 1'b1; slot <= in_data; end
+    end
+  end
+endmodule
+)";
+
+std::string channelBundle(const Netlist& nl, ChannelId id) {
+  std::ostringstream os;
+  const Channel& ch = nl.channel(id);
+  const std::string n = "ch" + std::to_string(id);
+  os << "  wire " << n << "_vf, " << n << "_sf, " << n << "_vb, " << n << "_sb;\n";
+  os << "  wire [" << (ch.width == 0 ? 0 : ch.width - 1) << ":0] " << n
+     << "_data;  // " << ch.name << "\n";
+  return os.str();
+}
+
+std::string bundle(ChannelId id) { return "ch" + std::to_string(id); }
+
+/// Eager fork controller, emitted per arity.
+std::string forkModule(unsigned ways) {
+  std::ostringstream os;
+  os << "module esl_fork" << ways << " #(parameter WIDTH = 8) (\n"
+     << "  input  wire clk, rst_n,\n"
+     << "  input  wire in_vf, output wire in_sf, input wire [WIDTH-1:0] in_data";
+  for (unsigned i = 0; i < ways; ++i)
+    os << ",\n  output wire o" << i << "_vf, input wire o" << i
+       << "_sf, input wire o" << i << "_vb, output wire o" << i
+       << "_sb, output wire [WIDTH-1:0] o" << i << "_data";
+  os << "\n);\n";
+  for (unsigned i = 0; i < ways; ++i) {
+    os << "  reg done" << i << ";\n"
+       << "  wire pend" << i << " = in_vf && !done" << i << ";\n"
+       << "  assign o" << i << "_vf = pend" << i << ";\n"
+       << "  assign o" << i << "_data = in_data;\n"
+       << "  assign o" << i << "_sb = !pend" << i << ";\n"
+       << "  wire fin" << i << " = done" << i << " || (o" << i << "_vf && (!o" << i
+       << "_sf || o" << i << "_vb));\n";
+  }
+  os << "  wire all_done = in_vf";
+  for (unsigned i = 0; i < ways; ++i) os << " && fin" << i;
+  os << ";\n  assign in_sf = !all_done;\n"
+     << "  always @(posedge clk or negedge rst_n)\n"
+     << "    if (!rst_n) begin ";
+  for (unsigned i = 0; i < ways; ++i) os << "done" << i << " <= 1'b0; ";
+  os << "end\n    else if (in_vf) begin\n";
+  for (unsigned i = 0; i < ways; ++i)
+    os << "      done" << i << " <= all_done ? 1'b0 : fin" << i << ";\n";
+  os << "    end\nendmodule\n\n";
+  return os.str();
+}
+
+/// Join / function-shell controller, emitted per arity. The datapath hook is
+/// an identity stub on input 0 (marker comment for the synthesized function).
+std::string joinModule(unsigned arity) {
+  std::ostringstream os;
+  os << "module esl_join" << arity
+     << " #(parameter WIDTH = 8, parameter OWIDTH = 8) (\n  input wire clk, rst_n";
+  for (unsigned i = 0; i < arity; ++i)
+    os << ",\n  input wire i" << i << "_vf, output wire i" << i << "_sf, output wire i"
+       << i << "_vb, input wire i" << i << "_sb, input wire [WIDTH-1:0] i" << i
+       << "_data";
+  os << ",\n  output wire out_vf, input wire out_sf, input wire out_vb,"
+     << " output wire out_sb, output wire [OWIDTH-1:0] out_data\n);\n";
+  os << "  wire all_in = 1'b1";
+  for (unsigned i = 0; i < arity; ++i) os << " && i" << i << "_vf";
+  os << ";\n  assign out_vf = all_in;\n"
+     << "  // DATAPATH STUB: splice the synthesized function here.\n"
+     << "  assign out_data = i0_data[OWIDTH-1:0];\n"
+     << "  wire fire = all_in && (!out_sf || out_vb);\n"
+     << "  wire all_can = 1'b1";
+  for (unsigned i = 0; i < arity; ++i)
+    os << " && (i" << i << "_vf || !i" << i << "_sb)";
+  os << ";\n  wire back = out_vb && !all_in && all_can;\n";
+  for (unsigned i = 0; i < arity; ++i)
+    os << "  assign i" << i << "_vb = back;\n"
+       << "  assign i" << i << "_sf = !fire && !i" << i << "_vb;\n";
+  os << "  assign out_sb = !all_in && !all_can;\nendmodule\n\n";
+  return os.str();
+}
+
+/// Early-evaluation mux controller, emitted per data-arity.
+std::string eeMuxModule(unsigned dataInputs) {
+  std::ostringstream os;
+  os << "module esl_eemux" << dataInputs
+     << " #(parameter WIDTH = 8, parameter SELW = 1) (\n  input wire clk, rst_n,\n"
+     << "  input wire sel_vf, output wire sel_sf, input wire [SELW-1:0] sel_data";
+  for (unsigned i = 0; i < dataInputs; ++i)
+    os << ",\n  input wire d" << i << "_vf, output wire d" << i << "_sf, output wire d"
+       << i << "_vb, input wire d" << i << "_sb, input wire [WIDTH-1:0] d" << i
+       << "_data";
+  os << ",\n  output wire out_vf, input wire out_sf, input wire out_vb,"
+     << " output wire out_sb, output wire [WIDTH-1:0] out_data\n);\n";
+  for (unsigned i = 0; i < dataInputs; ++i) os << "  reg [1:0] pend" << i << ";\n";
+  os << "  wire [SELW-1:0] idx = sel_data;\n";
+  os << "  wire sel_ok = sel_vf;\n  wire usable = sel_ok";
+  os << " && (";
+  for (unsigned i = 0; i < dataInputs; ++i) {
+    if (i != 0) os << " || ";
+    os << "(idx == " << i << " && d" << i << "_vf && pend" << i << " == 0)";
+  }
+  os << ");\n  assign out_vf = usable;\n  assign out_sb = !usable;\n";
+  os << "  assign out_data = ";
+  for (unsigned i = 0; i + 1 < dataInputs; ++i)
+    os << "(idx == " << i << ") ? d" << i << "_data : ";
+  os << "d" << (dataInputs - 1) << "_data;\n";
+  os << "  wire fire = usable && (!out_sf || out_vb);\n"
+     << "  assign sel_sf = !fire;\n";
+  for (unsigned i = 0; i < dataInputs; ++i) {
+    os << "  wire [1:0] avail" << i << " = pend" << i
+       << " + ((fire && idx != " << i << ") ? 2'd1 : 2'd0);\n"
+       << "  assign d" << i << "_vb = avail" << i << " != 0;\n"
+       << "  assign d" << i << "_sf = d" << i << "_vb ? 1'b0 :\n"
+       << "    (sel_ok && idx == " << i << ") ? !fire : d" << i << "_vf;\n";
+  }
+  os << "  always @(posedge clk or negedge rst_n)\n    if (!rst_n) begin ";
+  for (unsigned i = 0; i < dataInputs; ++i) os << "pend" << i << " <= 2'd0; ";
+  os << "end\n    else begin\n";
+  for (unsigned i = 0; i < dataInputs; ++i)
+    os << "      pend" << i << " <= avail" << i << " - ((d" << i << "_vb && (d" << i
+       << "_vf || !d" << i << "_sb)) ? 2'd1 : 2'd0);\n";
+  os << "    end\nendmodule\n\n";
+  return os.str();
+}
+
+/// Shared-module controller (Fig. 4b), emitted per arity. The scheduler is a
+/// port (sched) so any prediction logic can be attached.
+std::string sharedModule(unsigned channels) {
+  std::ostringstream os;
+  const unsigned selW = channels <= 2 ? 1 : logic::clog2(channels);
+  os << "module esl_shared" << channels
+     << " #(parameter WIDTH = 8, parameter OWIDTH = 8) (\n"
+     << "  input wire clk, rst_n,\n  input wire [" << (selW - 1) << ":0] sched";
+  for (unsigned i = 0; i < channels; ++i)
+    os << ",\n  input wire i" << i << "_vf, output wire i" << i << "_sf, output wire i"
+       << i << "_vb, input wire i" << i << "_sb, input wire [WIDTH-1:0] i" << i
+       << "_data,\n  output wire o" << i << "_vf, input wire o" << i
+       << "_sf, input wire o" << i << "_vb, output wire o" << i
+       << "_sb, output wire [OWIDTH-1:0] o" << i << "_data";
+  os << "\n);\n";
+  for (unsigned i = 0; i < channels; ++i) {
+    os << "  assign o" << i << "_vf = (sched == " << i << ") && i" << i << "_vf;\n"
+       << "  // DATAPATH STUB: input mux + shared function F.\n"
+       << "  assign o" << i << "_data = i" << i << "_data[OWIDTH-1:0];\n"
+       << "  assign i" << i << "_vb = o" << i << "_vb;\n"
+       << "  assign o" << i << "_sb = !i" << i << "_vf && i" << i << "_sb;\n"
+       << "  assign i" << i << "_sf = !i" << i << "_vb && ((sched == " << i
+       << ") ? o" << i << "_sf : 1'b1);\n";
+  }
+  os << "endmodule\n\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string emitVerilog(const Netlist& nl, const std::string& topName) {
+  std::ostringstream os;
+  os << "// Generated by the elastic-speculation toolkit (DAC'09 reproduction).\n"
+     << kLibraryHeader << "\n";
+
+  // Emit arity-specific modules once each.
+  std::vector<bool> forkEmitted(16, false), joinEmitted(16, false),
+      eeEmitted(16, false), sharedEmitted(16, false);
+  for (const NodeId id : nl.nodeIds()) {
+    const Node& n = nl.node(id);
+    if (const auto* f = dynamic_cast<const ForkNode*>(&n)) {
+      if (!forkEmitted.at(f->branches())) {
+        os << forkModule(f->branches());
+        forkEmitted[f->branches()] = true;
+      }
+    } else if (const auto* fn = dynamic_cast<const FuncNode*>(&n)) {
+      if (!joinEmitted.at(fn->numInputs())) {
+        os << joinModule(fn->numInputs());
+        joinEmitted[fn->numInputs()] = true;
+      }
+    } else if (const auto* ee = dynamic_cast<const EarlyEvalMux*>(&n)) {
+      if (!eeEmitted.at(ee->dataInputs())) {
+        os << eeMuxModule(ee->dataInputs());
+        eeEmitted[ee->dataInputs()] = true;
+      }
+    } else if (const auto* sh = dynamic_cast<const SharedModule*>(&n)) {
+      if (!sharedEmitted.at(sh->channels())) {
+        os << sharedModule(sh->channels());
+        sharedEmitted[sh->channels()] = true;
+      }
+    }
+  }
+
+  os << "module " << topName << " (\n  input wire clk,\n  input wire rst_n";
+  // Environment nodes become top-level ports.
+  for (const NodeId id : nl.nodeIds()) {
+    const Node& n = nl.node(id);
+    const bool isSource = dynamic_cast<const TokenSource*>(&n) != nullptr ||
+                          dynamic_cast<const NondetSource*>(&n) != nullptr;
+    const bool isSink = dynamic_cast<const TokenSink*>(&n) != nullptr ||
+                        dynamic_cast<const NondetSink*>(&n) != nullptr;
+    if (isSource) {
+      const ChannelId ch = n.output(0);
+      const unsigned w = nl.channel(ch).width;
+      os << ",\n  input wire " << n.name() << "_vf, output wire " << n.name()
+         << "_sf, input wire [" << (w == 0 ? 0 : w - 1) << ":0] " << n.name()
+         << "_data";
+    } else if (isSink) {
+      const ChannelId ch = n.input(0);
+      const unsigned w = nl.channel(ch).width;
+      os << ",\n  output wire " << n.name() << "_vf, input wire " << n.name()
+         << "_sf, output wire [" << (w == 0 ? 0 : w - 1) << ":0] " << n.name()
+         << "_data";
+    }
+  }
+  os << "\n);\n\n";
+
+  for (const ChannelId id : nl.channelIds()) os << channelBundle(nl, id);
+  os << "\n";
+
+  for (const NodeId id : nl.nodeIds()) {
+    const Node& n = nl.node(id);
+    const std::string inst = "u_" + std::to_string(id);
+    if (const auto* eb = dynamic_cast<const ElasticBuffer*>(&n)) {
+      const std::string i = bundle(n.input(0)), o = bundle(n.output(0));
+      os << "  esl_eb #(.WIDTH(" << eb->width() << "), .INIT_TOKENS("
+         << eb->initTokens().size() << ")) " << inst << " (.clk(clk), .rst_n(rst_n),\n"
+         << "    .in_vf(" << i << "_vf), .in_sf(" << i << "_sf), .in_vb(" << i
+         << "_vb), .in_sb(" << i << "_sb), .in_data(" << i << "_data),\n"
+         << "    .out_vf(" << o << "_vf), .out_sf(" << o << "_sf), .out_vb(" << o
+         << "_vb), .out_sb(" << o << "_sb), .out_data(" << o << "_data));  // "
+         << n.name() << "\n";
+    } else if (const auto* eb0 = dynamic_cast<const ElasticBuffer0*>(&n)) {
+      const std::string i = bundle(n.input(0)), o = bundle(n.output(0));
+      os << "  esl_eb0 #(.WIDTH(" << eb0->width() << ")) " << inst
+         << " (.clk(clk), .rst_n(rst_n),\n"
+         << "    .in_vf(" << i << "_vf), .in_sf(" << i << "_sf), .in_vb(" << i
+         << "_vb), .in_sb(" << i << "_sb), .in_data(" << i << "_data),\n"
+         << "    .out_vf(" << o << "_vf), .out_sf(" << o << "_sf), .out_vb(" << o
+         << "_vb), .out_sb(" << o << "_sb), .out_data(" << o << "_data));  // "
+         << n.name() << "\n";
+    } else if (const auto* fk = dynamic_cast<const ForkNode*>(&n)) {
+      const std::string i = bundle(n.input(0));
+      os << "  esl_fork" << fk->branches() << " #(.WIDTH("
+         << nl.channel(n.input(0)).width << ")) " << inst
+         << " (.clk(clk), .rst_n(rst_n),\n    .in_vf(" << i << "_vf), .in_sf(" << i
+         << "_sf), .in_data(" << i << "_data)";
+      for (unsigned b = 0; b < fk->branches(); ++b) {
+        const std::string o = bundle(n.output(b));
+        os << ",\n    .o" << b << "_vf(" << o << "_vf), .o" << b << "_sf(" << o
+           << "_sf), .o" << b << "_vb(" << o << "_vb), .o" << b << "_sb(" << o
+           << "_sb), .o" << b << "_data(" << o << "_data)";
+      }
+      os << ");  // " << n.name() << "\n";
+    } else if (const auto* fn = dynamic_cast<const FuncNode*>(&n)) {
+      os << "  esl_join" << fn->numInputs() << " #(.WIDTH("
+         << nl.channel(n.input(0)).width << "), .OWIDTH("
+         << nl.channel(n.output(0)).width << ")) " << inst
+         << " (.clk(clk), .rst_n(rst_n)";
+      for (unsigned p = 0; p < fn->numInputs(); ++p) {
+        const std::string i = bundle(n.input(p));
+        os << ",\n    .i" << p << "_vf(" << i << "_vf), .i" << p << "_sf(" << i
+           << "_sf), .i" << p << "_vb(" << i << "_vb), .i" << p << "_sb(" << i
+           << "_sb), .i" << p << "_data(" << i << "_data)";
+      }
+      const std::string o = bundle(n.output(0));
+      os << ",\n    .out_vf(" << o << "_vf), .out_sf(" << o << "_sf), .out_vb(" << o
+         << "_vb), .out_sb(" << o << "_sb), .out_data(" << o << "_data));  // "
+         << n.name() << "\n";
+    } else if (const auto* ee = dynamic_cast<const EarlyEvalMux*>(&n)) {
+      const std::string s = bundle(ee->selectChannel());
+      os << "  esl_eemux" << ee->dataInputs() << " #(.WIDTH("
+         << nl.channel(n.output(0)).width << "), .SELW("
+         << nl.channel(ee->selectChannel()).width << ")) " << inst
+         << " (.clk(clk), .rst_n(rst_n),\n    .sel_vf(" << s << "_vf), .sel_sf(" << s
+         << "_sf), .sel_data(" << s << "_data)";
+      for (unsigned d = 0; d < ee->dataInputs(); ++d) {
+        const std::string i = bundle(ee->dataChannel(d));
+        os << ",\n    .d" << d << "_vf(" << i << "_vf), .d" << d << "_sf(" << i
+           << "_sf), .d" << d << "_vb(" << i << "_vb), .d" << d << "_sb(" << i
+           << "_sb), .d" << d << "_data(" << i << "_data)";
+      }
+      const std::string o = bundle(n.output(0));
+      os << ",\n    .out_vf(" << o << "_vf), .out_sf(" << o << "_sf), .out_vb(" << o
+         << "_vb), .out_sb(" << o << "_sb), .out_data(" << o << "_data));  // "
+         << n.name() << "\n";
+    } else if (const auto* sh = dynamic_cast<const SharedModule*>(&n)) {
+      os << "  // scheduler '" << sh->name()
+         << "': attach prediction logic to the sched port\n";
+      os << "  esl_shared" << sh->channels() << " #(.WIDTH("
+         << nl.channel(n.input(0)).width << "), .OWIDTH("
+         << nl.channel(n.output(0)).width << ")) " << inst
+         << " (.clk(clk), .rst_n(rst_n), .sched(1'b0 /* scheduler */)";
+      for (unsigned c = 0; c < sh->channels(); ++c) {
+        const std::string i = bundle(n.input(c));
+        const std::string o = bundle(n.output(c));
+        os << ",\n    .i" << c << "_vf(" << i << "_vf), .i" << c << "_sf(" << i
+           << "_sf), .i" << c << "_vb(" << i << "_vb), .i" << c << "_sb(" << i
+           << "_sb), .i" << c << "_data(" << i << "_data),\n    .o" << c << "_vf("
+           << o << "_vf), .o" << c << "_sf(" << o << "_sf), .o" << c << "_vb(" << o
+           << "_vb), .o" << c << "_sb(" << o << "_sb), .o" << c << "_data(" << o
+           << "_data)";
+      }
+      os << ");  // " << n.name() << "\n";
+    } else if (dynamic_cast<const TokenSource*>(&n) != nullptr ||
+               dynamic_cast<const NondetSource*>(&n) != nullptr) {
+      const std::string o = bundle(n.output(0));
+      os << "  // environment source " << n.name() << "\n"
+         << "  assign " << o << "_vf = " << n.name() << "_vf;\n"
+         << "  assign " << o << "_data = " << n.name() << "_data;\n"
+         << "  assign " << n.name() << "_sf = " << o << "_sf;\n"
+         << "  assign " << o << "_sb = 1'b0;\n";
+    } else if (dynamic_cast<const TokenSink*>(&n) != nullptr ||
+               dynamic_cast<const NondetSink*>(&n) != nullptr) {
+      const std::string i = bundle(n.input(0));
+      os << "  // environment sink " << n.name() << "\n"
+         << "  assign " << n.name() << "_vf = " << i << "_vf;\n"
+         << "  assign " << n.name() << "_data = " << i << "_data;\n"
+         << "  assign " << i << "_sf = " << n.name() << "_sf;\n"
+         << "  assign " << i << "_vb = 1'b0;\n";
+    } else {
+      os << "  // node " << n.name() << " (" << n.kindName()
+         << "): no Verilog template\n";
+    }
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace esl::backend

@@ -1,0 +1,26 @@
+// Verilog netlist generation.
+//
+// The paper's framework "can generate a Verilog netlist of the elastic
+// controller ... assembling a set of predefined parameterized control circuit
+// primitives". This emitter reproduces that artifact: a library of behavioral
+// controller modules (elastic buffer, zero-backward-latency buffer, eager
+// fork, join/function shell, early-evaluation mux, shared-module controller)
+// plus one top module instantiating them per the netlist, with every channel
+// as a (valid+, stop+, valid-, stop-, data) wire bundle.
+//
+// Datapath functions are C++ lambdas and cannot be translated; they are
+// emitted as identity stubs with a marker comment, exactly where a real flow
+// would splice the synthesized function (the paper connects hand-written
+// datapath Verilog the same way).
+#pragma once
+
+#include <string>
+
+#include "elastic/netlist.h"
+
+namespace esl::backend {
+
+/// Complete self-contained Verilog source for the netlist's control skeleton.
+std::string emitVerilog(const Netlist& nl, const std::string& topName = "elastic_top");
+
+}  // namespace esl::backend

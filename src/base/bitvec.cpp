@@ -1,0 +1,209 @@
+#include "base/bitvec.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace esl {
+
+BitVec::BitVec(unsigned width, std::uint64_t value) : width_(width) {
+  words_.assign(wordCount(), 0);
+  if (!words_.empty()) {
+    words_[0] = value;
+    maskTop();
+  } else {
+    ESL_CHECK(value == 0, "zero-width BitVec cannot hold a nonzero value");
+  }
+}
+
+BitVec BitVec::fromBinary(const std::string& bits) {
+  BitVec v(static_cast<unsigned>(bits.size()));
+  for (unsigned i = 0; i < bits.size(); ++i) {
+    const char c = bits[bits.size() - 1 - i];
+    ESL_CHECK(c == '0' || c == '1', "BitVec::fromBinary: invalid character");
+    if (c == '1') v.setBit(i, true);
+  }
+  return v;
+}
+
+BitVec BitVec::ones(unsigned width) {
+  BitVec v(width);
+  for (auto& w : v.words_) w = ~0ULL;
+  v.maskTop();
+  return v;
+}
+
+BitVec BitVec::oneHot(unsigned width, unsigned pos) {
+  BitVec v(width);
+  v.setBit(pos, true);
+  return v;
+}
+
+bool BitVec::bit(unsigned pos) const {
+  ESL_CHECK(pos < width_, "BitVec::bit out of range");
+  return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1ULL;
+}
+
+void BitVec::setBit(unsigned pos, bool value) {
+  ESL_CHECK(pos < width_, "BitVec::setBit out of range");
+  const std::uint64_t mask = 1ULL << (pos % kWordBits);
+  if (value)
+    words_[pos / kWordBits] |= mask;
+  else
+    words_[pos / kWordBits] &= ~mask;
+}
+
+std::uint64_t BitVec::toUint64() const { return words_.empty() ? 0 : words_[0]; }
+
+bool BitVec::isZero() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+unsigned BitVec::popcount() const {
+  unsigned n = 0;
+  for (auto w : words_) n += static_cast<unsigned>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::parity() const { return (popcount() & 1u) != 0; }
+
+BitVec BitVec::slice(unsigned lo, unsigned len) const {
+  ESL_CHECK(lo + len <= width_, "BitVec::slice out of range");
+  BitVec out(len);
+  for (unsigned i = 0; i < len; ++i) out.setBit(i, bit(lo + i));
+  return out;
+}
+
+BitVec BitVec::concat(const BitVec& high) const {
+  BitVec out(width_ + high.width_);
+  for (unsigned i = 0; i < width_; ++i) out.setBit(i, bit(i));
+  for (unsigned i = 0; i < high.width_; ++i) out.setBit(width_ + i, high.bit(i));
+  return out;
+}
+
+BitVec BitVec::resized(unsigned width) const {
+  BitVec out(width);
+  const unsigned n = std::min(width, width_);
+  for (unsigned i = 0; i < n; ++i) out.setBit(i, bit(i));
+  return out;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec out(*this);
+  for (auto& w : out.words_) w = ~w;
+  out.maskTop();
+  return out;
+}
+
+BitVec BitVec::operator&(const BitVec& rhs) const {
+  checkSameWidth(rhs);
+  BitVec out(*this);
+  for (unsigned i = 0; i < out.words_.size(); ++i) out.words_[i] &= rhs.words_[i];
+  return out;
+}
+
+BitVec BitVec::operator|(const BitVec& rhs) const {
+  checkSameWidth(rhs);
+  BitVec out(*this);
+  for (unsigned i = 0; i < out.words_.size(); ++i) out.words_[i] |= rhs.words_[i];
+  return out;
+}
+
+BitVec BitVec::operator^(const BitVec& rhs) const {
+  checkSameWidth(rhs);
+  BitVec out(*this);
+  for (unsigned i = 0; i < out.words_.size(); ++i) out.words_[i] ^= rhs.words_[i];
+  return out;
+}
+
+BitVec BitVec::operator+(const BitVec& rhs) const {
+  checkSameWidth(rhs);
+  BitVec out(width_);
+  unsigned __int128 carry = 0;
+  for (unsigned i = 0; i < out.words_.size(); ++i) {
+    const unsigned __int128 s =
+        static_cast<unsigned __int128>(words_[i]) + rhs.words_[i] + carry;
+    out.words_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  out.maskTop();
+  return out;
+}
+
+BitVec BitVec::operator-(const BitVec& rhs) const {
+  // a - b = a + ~b + 1 (mod 2^width)
+  BitVec notb = ~rhs;
+  BitVec one(width_, width_ == 0 ? 0 : 1);
+  return *this + notb + one;
+}
+
+BitVec BitVec::operator<<(unsigned amount) const {
+  BitVec out(width_);
+  for (unsigned i = amount; i < width_; ++i) out.setBit(i, bit(i - amount));
+  return out;
+}
+
+BitVec BitVec::operator>>(unsigned amount) const {
+  BitVec out(width_);
+  for (unsigned i = 0; i + amount < width_; ++i) out.setBit(i, bit(i + amount));
+  return out;
+}
+
+bool BitVec::operator==(const BitVec& rhs) const {
+  return width_ == rhs.width_ && words_ == rhs.words_;
+}
+
+std::strong_ordering BitVec::operator<=>(const BitVec& rhs) const {
+  checkSameWidth(rhs);
+  for (unsigned i = static_cast<unsigned>(words_.size()); i-- > 0;) {
+    if (words_[i] != rhs.words_[i])
+      return words_[i] < rhs.words_[i] ? std::strong_ordering::less
+                                       : std::strong_ordering::greater;
+  }
+  return std::strong_ordering::equal;
+}
+
+std::string BitVec::toBinary() const {
+  std::string s;
+  s.reserve(width_);
+  for (unsigned i = width_; i-- > 0;) s.push_back(bit(i) ? '1' : '0');
+  return s;
+}
+
+std::string BitVec::toHex() const {
+  static const char* digits = "0123456789abcdef";
+  if (width_ == 0) return "0x0";
+  std::string s;
+  const unsigned nibbles = (width_ + 3) / 4;
+  for (unsigned n = nibbles; n-- > 0;) {
+    unsigned v = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      const unsigned pos = n * 4 + b;
+      if (pos < width_ && bit(pos)) v |= 1u << b;
+    }
+    s.push_back(digits[v]);
+  }
+  return "0x" + s;
+}
+
+std::size_t BitVec::hash() const {
+  std::size_t h = 1469598103934665603ULL ^ width_;
+  for (auto w : words_) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void BitVec::maskTop() {
+  const unsigned rem = width_ % kWordBits;
+  if (rem != 0 && !words_.empty()) words_.back() &= (~0ULL >> (kWordBits - rem));
+}
+
+void BitVec::checkSameWidth(const BitVec& rhs) const {
+  ESL_CHECK(width_ == rhs.width_, "BitVec width mismatch: " +
+                                      std::to_string(width_) + " vs " +
+                                      std::to_string(rhs.width_));
+}
+
+}  // namespace esl

@@ -1,0 +1,100 @@
+// BitVec: fixed-width bit vector value type (width chosen at construction).
+//
+// Channel payloads in the elastic simulator, datapath operands (including the
+// 72-bit SECDED code words) and injected error masks are all BitVec values.
+// Semantics are those of an unsigned integer of exactly `width` bits: all
+// arithmetic wraps modulo 2^width and every operation keeps the result masked
+// to the width.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+
+namespace esl {
+
+class BitVec {
+ public:
+  /// Zero-width empty value (used for pure control tokens).
+  BitVec() = default;
+
+  /// `width` bits initialized from the low bits of `value`.
+  explicit BitVec(unsigned width, std::uint64_t value = 0);
+
+  /// Parses a binary string, MSB first ("1011" -> width 4, value 11).
+  static BitVec fromBinary(const std::string& bits);
+
+  /// All-ones value of the given width.
+  static BitVec ones(unsigned width);
+
+  /// Single bit set at `pos` in a vector of `width` bits.
+  static BitVec oneHot(unsigned width, unsigned pos);
+
+  unsigned width() const { return width_; }
+  bool empty() const { return width_ == 0; }
+
+  bool bit(unsigned pos) const;
+  void setBit(unsigned pos, bool value);
+
+  /// Low 64 bits (exact value if width() <= 64).
+  std::uint64_t toUint64() const;
+
+  /// True iff every bit is zero (zero-width vectors are zero).
+  bool isZero() const;
+
+  unsigned popcount() const;
+  bool parity() const;  ///< XOR of all bits.
+
+  /// Bits [lo, lo+len) as a new BitVec of width len.
+  BitVec slice(unsigned lo, unsigned len) const;
+
+  /// Concatenation: `this` occupies the low bits, `high` the high bits.
+  BitVec concat(const BitVec& high) const;
+
+  /// Zero-extends or truncates to `width` bits.
+  BitVec resized(unsigned width) const;
+
+  // Bitwise operators require equal widths.
+  BitVec operator~() const;
+  BitVec operator&(const BitVec& rhs) const;
+  BitVec operator|(const BitVec& rhs) const;
+  BitVec operator^(const BitVec& rhs) const;
+
+  // Modular arithmetic, equal widths.
+  BitVec operator+(const BitVec& rhs) const;
+  BitVec operator-(const BitVec& rhs) const;
+
+  BitVec operator<<(unsigned amount) const;
+  BitVec operator>>(unsigned amount) const;
+
+  bool operator==(const BitVec& rhs) const;
+  bool operator!=(const BitVec& rhs) const { return !(*this == rhs); }
+  /// Unsigned comparison; widths must match.
+  std::strong_ordering operator<=>(const BitVec& rhs) const;
+
+  /// MSB-first binary string, e.g. "01011".
+  std::string toBinary() const;
+  /// Hex string with 0x prefix, e.g. "0x2b".
+  std::string toHex() const;
+
+  /// FNV-style hash for use in unordered containers / state hashing.
+  std::size_t hash() const;
+
+ private:
+  static constexpr unsigned kWordBits = 64;
+  unsigned wordCount() const { return (width_ + kWordBits - 1) / kWordBits; }
+  void maskTop();
+  void checkSameWidth(const BitVec& rhs) const;
+
+  unsigned width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct BitVecHash {
+  std::size_t operator()(const BitVec& v) const { return v.hash(); }
+};
+
+}  // namespace esl

@@ -1,0 +1,72 @@
+// Deterministic xorshift64* RNG.
+//
+// All stochastic machinery in the library (random environments, error
+// injection, branch-pattern generation, fuzz tests) draws from this generator
+// so every experiment is reproducible from a printed seed.
+#pragma once
+
+#include <cstdint>
+
+#include "base/bitvec.h"
+
+namespace esl {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed ? seed : 1) {}
+
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, bound); bound > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Bernoulli with probability `permille`/1000.
+  bool chancePermille(unsigned permille) { return below(1000) < permille; }
+
+  /// Uniform random BitVec of the given width.
+  BitVec bits(unsigned width) {
+    BitVec v(width);
+    for (unsigned i = 0; i < width; i += 64) {
+      const unsigned len = width - i < 64 ? width - i : 64;
+      const std::uint64_t w = next();
+      for (unsigned b = 0; b < len; ++b) v.setBit(i + b, (w >> b) & 1);
+    }
+    return v;
+  }
+
+  std::uint64_t state() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// splitmix64 finalizer: stateless pseudo-random 64-bit value from (x, salt).
+/// Pure, so TokenSource generators built on it can be re-evaluated safely.
+inline std::uint64_t mix64(std::uint64_t x, std::uint64_t salt = 0) {
+  std::uint64_t z = x + salt + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix hash: deterministic pseudo-random bit from a value.
+/// Used for reproducible branch outcome streams (taken with probability
+/// `permille`/1000 as a pure function of `x`).
+inline bool hashChancePermille(std::uint64_t x, unsigned permille,
+                               std::uint64_t salt = 0) {
+  std::uint64_t z = x + salt + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return (z % 1000) < permille;
+}
+
+}  // namespace esl

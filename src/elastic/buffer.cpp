@@ -1,0 +1,245 @@
+#include "elastic/buffer.h"
+
+namespace esl {
+
+// ---------------------------------------------------------------------------
+// ElasticBuffer (Lf=1, Lb=1, C=capacity)
+// ---------------------------------------------------------------------------
+
+ElasticBuffer::ElasticBuffer(std::string name, unsigned width, unsigned capacity,
+                             std::vector<BitVec> initTokens, unsigned antiCapacity,
+                             int initAntiTokens)
+    : Node(std::move(name)),
+      width_(width),
+      capacity_(capacity),
+      antiCapacity_(antiCapacity),
+      init_(std::move(initTokens)),
+      initAnti_(initAntiTokens) {
+  ESL_CHECK(capacity_ >= 2, "ElasticBuffer: capacity must be >= Lf+Lb = 2 "
+                            "(use BrokenBuffer to study the violation)");
+  ESL_CHECK(init_.size() <= capacity_, "ElasticBuffer: too many initial tokens");
+  ESL_CHECK(initAnti_ >= 0 && static_cast<unsigned>(initAnti_) <= antiCapacity_,
+            "ElasticBuffer: bad initial anti-token count");
+  ESL_CHECK(init_.empty() || initAnti_ == 0,
+            "ElasticBuffer: cannot initialize both tokens and anti-tokens");
+  for (const BitVec& v : init_)
+    ESL_CHECK(v.width() == width_, "ElasticBuffer: init token width mismatch");
+  declareInput(width_);
+  declareOutput(width_);
+}
+
+void ElasticBuffer::reset() {
+  tokens_.assign(init_.begin(), init_.end());
+  antiTokens_ = initAnti_;
+}
+
+void ElasticBuffer::evalComb(SimContext& ctx) {
+  ChannelSignals& in = ctx.sig(input(0));
+  ChannelSignals& out = ctx.sig(output(0));
+
+  const bool hasTok = !tokens_.empty();
+  // Producer side of the output channel.
+  out.vf = hasTok;
+  if (hasTok) out.data = tokens_.front();
+  // Anti-tokens from downstream are consumed by killing the head token when
+  // one exists; otherwise they are stored, subject to the anti capacity.
+  out.sb = !hasTok && antiTokens_ >= static_cast<int>(antiCapacity_);
+
+  // Consumer side of the input channel. The stop is a function of state only,
+  // which realizes Lb=1 (the sender learns about congestion a cycle late; the
+  // spare capacity slot absorbs the in-flight token, hence C >= Lf+Lb).
+  in.sf = occupancy() >= static_cast<int>(capacity_);
+  // Stored anti-tokens travel upstream (active anti-tokens).
+  in.vb = antiTokens_ > 0;
+}
+
+void ElasticBuffer::clockEdge(SimContext& ctx) {
+  const ChannelSignals in = ctx.sig(input(0));
+  const ChannelSignals out = ctx.sig(output(0));
+
+  // Output-side events first (free the head slot before accepting).
+  if (killEvent(out) || fwdTransfer(out)) {
+    ESL_ASSERT(!tokens_.empty());
+    tokens_.pop_front();
+  } else if (bwdTransfer(out)) {
+    ESL_ASSERT(tokens_.empty());
+    ++antiTokens_;
+  }
+
+  // Input-side events.
+  if (killEvent(in)) {
+    ESL_ASSERT(antiTokens_ > 0);  // we asserted in.vb
+    --antiTokens_;
+  } else if (fwdTransfer(in)) {
+    tokens_.push_back(in.data);
+    ESL_ASSERT(tokens_.size() <= capacity_);
+  } else if (bwdTransfer(in)) {
+    ESL_ASSERT(antiTokens_ > 0);
+    --antiTokens_;
+  }
+
+  // Tokens and anti-tokens cancel inside the buffer (Fig. 3: "which cancel
+  // each other at the boundaries of the EB"). This arises when a token enters
+  // through the input in the same cycle an anti-token enters via the output.
+  while (!tokens_.empty() && antiTokens_ > 0) {
+    tokens_.pop_front();
+    --antiTokens_;
+  }
+  ESL_ASSERT(tokens_.empty() || antiTokens_ == 0);
+}
+
+void ElasticBuffer::packState(StateWriter& w) const {
+  w.writeU32(static_cast<std::uint32_t>(tokens_.size()));
+  for (const BitVec& t : tokens_) w.writeBitVec(t);
+  w.writeU32(static_cast<std::uint32_t>(antiTokens_));
+}
+
+void ElasticBuffer::unpackState(StateReader& r) {
+  const unsigned n = r.readU32();
+  tokens_.clear();
+  for (unsigned i = 0; i < n; ++i) tokens_.push_back(r.readBitVec());
+  antiTokens_ = static_cast<int>(r.readU32());
+}
+
+logic::Cost ElasticBuffer::cost() const {
+  logic::Cost c = logic::ebCost(width_);
+  // Extra latch ranks beyond the C=2 baseline.
+  if (capacity_ > 2) c.area += (capacity_ - 2) * logic::latchCost(width_).area;
+  return c;
+}
+
+void ElasticBuffer::timing(TimingModel& m) const {
+  // Fully registered in both directions: launch both nets, no through-arcs.
+  m.launch({output(0), NetKind::kFwd}, 1.0);
+  m.launch({input(0), NetKind::kBwd}, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// ElasticBuffer0 (Lf=1, Lb=0, C=1) — Fig. 5
+// ---------------------------------------------------------------------------
+
+ElasticBuffer0::ElasticBuffer0(std::string name, unsigned width,
+                               std::optional<BitVec> initToken)
+    : Node(std::move(name)), width_(width), init_(std::move(initToken)) {
+  if (init_) ESL_CHECK(init_->width() == width_, "ElasticBuffer0: init width mismatch");
+  declareInput(width_);
+  declareOutput(width_);
+}
+
+void ElasticBuffer0::reset() { slot_ = init_; }
+
+void ElasticBuffer0::evalComb(SimContext& ctx) {
+  ChannelSignals& in = ctx.sig(input(0));
+  ChannelSignals& out = ctx.sig(output(0));
+
+  const bool full = slot_.has_value();
+  out.vf = full;
+  if (full) out.data = *slot_;
+
+  // Head leaves this cycle if transferred or killed — computed from the
+  // downstream signals, so the stop to the sender is combinational (Lb=0).
+  const bool leave = full && (!out.sf || out.vb);
+  in.sf = full && !leave;
+
+  // Anti-tokens rush through combinationally when the buffer is empty.
+  in.vb = !full && out.vb;
+  // The anti-token is consumed by killing our token, by killing the incoming
+  // token at the input boundary, or by moving further upstream.
+  out.sb = !full && !in.vf && in.sb;
+}
+
+void ElasticBuffer0::clockEdge(SimContext& ctx) {
+  const ChannelSignals in = ctx.sig(input(0));
+  const ChannelSignals out = ctx.sig(output(0));
+
+  if (killEvent(out) || fwdTransfer(out)) slot_.reset();
+  if (fwdTransfer(in)) {
+    ESL_ASSERT(!slot_.has_value());
+    slot_ = in.data;
+  }
+}
+
+void ElasticBuffer0::packState(StateWriter& w) const {
+  w.writeBool(slot_.has_value());
+  if (slot_) w.writeBitVec(*slot_);
+}
+
+void ElasticBuffer0::unpackState(StateReader& r) {
+  if (r.readBool())
+    slot_ = r.readBitVec();
+  else
+    slot_.reset();
+}
+
+logic::Cost ElasticBuffer0::cost() const { return logic::eb0Cost(width_); }
+
+void ElasticBuffer0::timing(TimingModel& m) const {
+  m.launch({output(0), NetKind::kFwd}, 1.0);
+  // Combinational backward paths (§4.3: chaining these accumulates delay).
+  m.arc({output(0), NetKind::kBwd}, {input(0), NetKind::kBwd}, 1.0);
+  m.arc({input(0), NetKind::kFwd}, {input(0), NetKind::kBwd}, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// BrokenBuffer — violates C >= Lf + Lb
+// ---------------------------------------------------------------------------
+
+BrokenBuffer::BrokenBuffer(std::string name, unsigned width)
+    : Node(std::move(name)), width_(width) {
+  declareInput(width_);
+  declareOutput(width_);
+}
+
+void BrokenBuffer::reset() {
+  slot_.reset();
+  stopReg_ = false;
+}
+
+void BrokenBuffer::evalComb(SimContext& ctx) {
+  ChannelSignals& in = ctx.sig(input(0));
+  ChannelSignals& out = ctx.sig(output(0));
+  out.vf = slot_.has_value();
+  if (slot_) out.data = *slot_;
+  out.sb = true;  // no anti-token support
+  in.sf = stopReg_;  // BUG: one cycle stale — the sender overruns the slot
+  in.vb = false;
+}
+
+void BrokenBuffer::clockEdge(SimContext& ctx) {
+  const ChannelSignals in = ctx.sig(input(0));
+  const ChannelSignals out = ctx.sig(output(0));
+  // The Lb=1 stop reflects the occupancy *before* this edge, so the sender
+  // learns about a fill one cycle late — with C=1 there is no slack slot to
+  // absorb the in-flight token (paper §3.2: the C >= Lf+Lb scenario).
+  stopReg_ = slot_.has_value();
+  if (fwdTransfer(out)) slot_.reset();
+  if (fwdTransfer(in)) slot_ = in.data;  // may overwrite a live token
+}
+
+void BrokenBuffer::packState(StateWriter& w) const {
+  w.writeBool(slot_.has_value());
+  if (slot_) w.writeBitVec(*slot_);
+  w.writeBool(stopReg_);
+}
+
+void BrokenBuffer::unpackState(StateReader& r) {
+  if (r.readBool())
+    slot_ = r.readBitVec();
+  else
+    slot_.reset();
+  stopReg_ = r.readBool();
+}
+
+}  // namespace esl
+
+namespace esl {
+
+void ElasticBuffer::flowEdges(std::vector<FlowEdge>& out) const {
+  out.push_back({input(0), output(0), 1.0, static_cast<double>(init_.size())});
+}
+
+void ElasticBuffer0::flowEdges(std::vector<FlowEdge>& out) const {
+  out.push_back({input(0), output(0), 1.0, init_ ? 1.0 : 0.0});
+}
+
+}  // namespace esl

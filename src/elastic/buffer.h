@@ -1,0 +1,111 @@
+// Elastic buffers (paper §3.2, Figs. 2/3/5).
+//
+// Behavioural model of the abstract elastic FIFO of Fig. 3: a buffer holds a
+// signed occupancy k — tokens when k>0 (with their data, in order), stored
+// anti-tokens when k<0 — and tokens/anti-tokens cancel at its boundaries.
+//
+// * ElasticBuffer: forward latency Lf=1, backward latency Lb=1, capacity C
+//   (default 2 = Lf+Lb, the latch implementation of Fig. 2a). The stop to the
+//   sender is a function of state only, which is exactly what gives it one
+//   cycle of backward latency.
+// * ElasticBuffer0: the Fig. 5 variant with Lb=0, C=1 — stop and kill travel
+//   combinationally through the controller, so anti-tokens "rush" backwards
+//   within the cycle (§4.3).
+// * BrokenBuffer: capacity 1 with the *registered* stop of an Lb=1 design,
+//   violating C >= Lf+Lb; it loses tokens under back-pressure. Used by the
+//   verification tests to show the checker catches the §3.2 capacity theorem.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "elastic/context.h"
+#include "elastic/node.h"
+
+namespace esl {
+
+class ElasticBuffer : public Node {
+ public:
+  /// `initTokens.size()` tokens initially stored (<= capacity); an EB with one
+  /// token behaves like a conventional flip-flop stage, an empty EB is a bubble.
+  ElasticBuffer(std::string name, unsigned width, unsigned capacity = 2,
+                std::vector<BitVec> initTokens = {}, unsigned antiCapacity = 2,
+                int initAntiTokens = 0);
+
+  void reset() override;
+  void evalComb(SimContext& ctx) override;
+  void clockEdge(SimContext& ctx) override;
+  void packState(StateWriter& w) const override;
+  void unpackState(StateReader& r) override;
+  logic::Cost cost() const override;
+  void timing(TimingModel& m) const override;
+  void flowEdges(std::vector<FlowEdge>& out) const override;
+  Persistence outputPersistence(unsigned) const override {
+    return Persistence::kPersistent;
+  }
+  std::string kindName() const override { return "eb"; }
+
+  unsigned width() const { return width_; }
+  unsigned capacity() const { return capacity_; }
+  const std::vector<BitVec>& initTokens() const { return init_; }
+  /// Current token count (negative = stored anti-tokens).
+  int occupancy() const { return static_cast<int>(tokens_.size()) - antiTokens_; }
+
+ private:
+  unsigned width_;
+  unsigned capacity_;
+  unsigned antiCapacity_;
+  std::vector<BitVec> init_;
+  int initAnti_;
+
+  std::deque<BitVec> tokens_;
+  int antiTokens_ = 0;
+};
+
+class ElasticBuffer0 : public Node {
+ public:
+  ElasticBuffer0(std::string name, unsigned width,
+                 std::optional<BitVec> initToken = std::nullopt);
+
+  void reset() override;
+  void evalComb(SimContext& ctx) override;
+  void clockEdge(SimContext& ctx) override;
+  void packState(StateWriter& w) const override;
+  void unpackState(StateReader& r) override;
+  logic::Cost cost() const override;
+  void timing(TimingModel& m) const override;
+  void flowEdges(std::vector<FlowEdge>& out) const override;
+  Persistence outputPersistence(unsigned) const override {
+    return Persistence::kPersistent;
+  }
+  std::string kindName() const override { return "eb0"; }
+
+  unsigned width() const { return width_; }
+
+ private:
+  unsigned width_;
+  std::optional<BitVec> init_;
+  std::optional<BitVec> slot_;
+};
+
+class BrokenBuffer : public Node {
+ public:
+  BrokenBuffer(std::string name, unsigned width);
+
+  void reset() override;
+  void evalComb(SimContext& ctx) override;
+  void clockEdge(SimContext& ctx) override;
+  void packState(StateWriter& w) const override;
+  void unpackState(StateReader& r) override;
+  Persistence outputPersistence(unsigned) const override {
+    return Persistence::kPersistent;
+  }
+  std::string kindName() const override { return "broken-eb"; }
+
+ private:
+  unsigned width_;
+  std::optional<BitVec> slot_;
+  bool stopReg_ = false;  // the bug: S+ to the sender lags the state by a cycle
+};
+
+}  // namespace esl

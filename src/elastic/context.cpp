@@ -1,0 +1,142 @@
+#include "elastic/context.h"
+
+#include <algorithm>
+
+namespace esl {
+
+SimContext::SimContext(Netlist& netlist) : netlist_(netlist) {
+  netlist_.validate();
+  reset();
+}
+
+void SimContext::reset() {
+  resizeSignals();
+  for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).reset();
+  cycle_ = 0;
+  havePrev_ = false;
+  violations_.clear();
+  ensureChoiceMap();
+  hasFixedChoices_ = false;
+  cachedChoices_.assign(totalChoices_, -1);
+}
+
+void SimContext::resizeSignals() {
+  signals_.assign(netlist_.channelCapacity(), ChannelSignals{});
+  for (const ChannelId id : netlist_.channelIds())
+    signals_[id].data = BitVec(netlist_.channel(id).width);
+  prevSignals_ = signals_;
+}
+
+void SimContext::ensureChoiceMap() {
+  choiceOffset_.clear();
+  totalChoices_ = 0;
+  const auto ids = netlist_.nodeIds();
+  const NodeId maxId = ids.empty() ? 0 : ids.back();
+  choiceOffset_.assign(maxId + 1, 0);
+  for (const NodeId id : ids) {
+    choiceOffset_[id] = totalChoices_;
+    totalChoices_ += netlist_.node(id).choiceCount();
+  }
+}
+
+void SimContext::setChoices(std::vector<bool> bits) {
+  ESL_CHECK(bits.size() == totalChoices_, "setChoices: wrong bit count");
+  fixedChoices_ = std::move(bits);
+  hasFixedChoices_ = true;
+  cachedChoices_.assign(totalChoices_, -1);
+}
+
+void SimContext::setChoiceProvider(std::function<bool(NodeId, unsigned)> fn) {
+  choiceProvider_ = std::move(fn);
+}
+
+bool SimContext::choice(const Node& node, unsigned idx) {
+  ESL_CHECK(idx < node.choiceCount(), "choice index out of range on " + node.name());
+  const unsigned slot = choiceOffset_.at(node.id()) + idx;
+  if (cachedChoices_[slot] >= 0) return cachedChoices_[slot] != 0;
+  bool value = false;
+  if (hasFixedChoices_)
+    value = fixedChoices_[slot];
+  else if (choiceProvider_)
+    value = choiceProvider_(node.id(), idx);
+  cachedChoices_[slot] = value ? 1 : 0;
+  return value;
+}
+
+void SimContext::settle() {
+  const auto ids = netlist_.nodeIds();
+  const unsigned maxIters = static_cast<unsigned>(2 * ids.size() + 8);
+  for (unsigned iter = 0; iter < maxIters; ++iter) {
+    const std::vector<ChannelSignals> before = signals_;
+    for (const NodeId id : ids) netlist_.node(id).evalComb(*this);
+    if (signals_ == before && iter > 0) return;
+    if (signals_ == before && ids.empty()) return;
+  }
+  throw CombinationalCycleError(
+      "combinational network did not stabilize after " + std::to_string(maxIters) +
+      " sweeps (combinational cycle in data or control)");
+}
+
+void SimContext::checkProtocol() {
+  auto report = [&](const Channel& ch, const std::string& what) {
+    const std::string msg = "cycle " + std::to_string(cycle_) + ", channel '" +
+                            ch.name + "': " + what;
+    violations_.push_back(msg);
+    if (throwOnViolation_) throw ProtocolError(msg);
+  };
+
+  for (const ChannelId id : netlist_.channelIds()) {
+    const Channel& ch = netlist_.channel(id);
+    const ChannelSignals& cur = signals_[id];
+
+    // Invariant (paper §3.1): kill and stop are mutually exclusive, in both
+    // polarities.
+    if (cur.vf && cur.vb && cur.sf) report(ch, "token killed and stopped (V+ S+ V-)");
+    if (cur.vf && cur.vb && cur.sb) report(ch, "anti-token killed and stopped (V- S- V+)");
+
+    if (!havePrev_) continue;
+    const ChannelSignals& prev = prevSignals_[id];
+    const bool relaxed = !netlist_.channelIsPersistent(id);
+
+    // Retry+: a stopped token must persist (with its data) next cycle.
+    if (prev.vf && prev.sf && !prev.vb && !relaxed) {
+      if (!cur.vf)
+        report(ch, "Retry+ violated: stopped token vanished");
+      else if (cur.data != prev.data)
+        report(ch, "Retry+ persistence violated: data changed during retry");
+    }
+    // Retry-: a stopped anti-token must persist next cycle.
+    if (prev.vb && prev.sb && !prev.vf && !cur.vb)
+      report(ch, "Retry- violated: stopped anti-token vanished");
+  }
+}
+
+void SimContext::edge() {
+  for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).clockEdge(*this);
+  prevSignals_ = signals_;
+  havePrev_ = true;
+  hasFixedChoices_ = false;
+  cachedChoices_.assign(totalChoices_, -1);
+  ++cycle_;
+}
+
+void SimContext::step() {
+  settle();
+  if (protocolChecking_) checkProtocol();
+  edge();
+}
+
+std::vector<std::uint8_t> SimContext::packState() const {
+  StateWriter w;
+  for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).packState(w);
+  return w.take();
+}
+
+void SimContext::unpackState(const std::vector<std::uint8_t>& bytes) {
+  StateReader r(bytes);
+  for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).unpackState(r);
+  ESL_CHECK(r.done(), "unpackState: trailing bytes (netlist/state mismatch)");
+  havePrev_ = false;
+}
+
+}  // namespace esl

@@ -1,0 +1,99 @@
+// SimContext: the cycle-accurate evaluation kernel.
+//
+// Owns the channel signal arrays and drives the two-phase cycle:
+//   1. settle(): combinational fixed-point — sweep evalComb() over all nodes
+//      until no signal changes (throws CombinationalCycleError if the network
+//      oscillates, i.e. there is a combinational cycle in data or control);
+//   2. edge(): clockEdge() on every node, advancing sequential state.
+//
+// The context also resolves per-cycle nondeterministic choice bits for
+// environment nodes (random under simulation, enumerated under verification)
+// and optionally monitors the SELF protocol properties of paper §3.1 on every
+// channel (Retry+/Retry-, kill/stop exclusion, persistence).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "elastic/netlist.h"
+
+namespace esl {
+
+class SimContext {
+ public:
+  /// The netlist must outlive the context and is validated on construction.
+  explicit SimContext(Netlist& netlist);
+
+  Netlist& netlist() { return netlist_; }
+  const Netlist& netlist() const { return netlist_; }
+
+  /// Resets all node state and signals; cycle counter back to 0.
+  void reset();
+
+  /// Runs one full cycle: choices -> settle -> protocol check -> edge.
+  void step();
+
+  /// Phase pieces (the model checker drives them separately).
+  void settle();
+  void checkProtocol();
+  void edge();
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  ChannelSignals& sig(ChannelId ch) { return signals_.at(ch); }
+  const ChannelSignals& sig(ChannelId ch) const { return signals_.at(ch); }
+  /// Settled signals of the previous cycle (protocol monitors).
+  const ChannelSignals& prev(ChannelId ch) const { return prevSignals_.at(ch); }
+
+  // --- Nondeterministic choices ---------------------------------------------
+
+  /// Total choice bits consumed per cycle by all nodes.
+  unsigned totalChoices() const { return totalChoices_; }
+
+  /// Fixes this cycle's choice assignment (verification). Cleared after edge().
+  void setChoices(std::vector<bool> bits);
+
+  /// Fallback provider used when no explicit assignment is set (simulation).
+  void setChoiceProvider(std::function<bool(NodeId, unsigned)> fn);
+
+  /// Read by nodes inside evalComb/clockEdge; stable within a cycle.
+  bool choice(const Node& node, unsigned idx);
+
+  // --- Protocol monitoring ---------------------------------------------------
+
+  void setProtocolChecking(bool enabled) { protocolChecking_ = enabled; }
+  void setThrowOnViolation(bool enabled) { throwOnViolation_ = enabled; }
+  const std::vector<std::string>& protocolViolations() const { return violations_; }
+  void clearProtocolViolations() { violations_.clear(); }
+
+  // --- State snapshots (model checker) ---------------------------------------
+
+  std::vector<std::uint8_t> packState() const;
+  void unpackState(const std::vector<std::uint8_t>& bytes);
+
+ private:
+  void resizeSignals();
+  void ensureChoiceMap();
+
+  Netlist& netlist_;
+  std::vector<ChannelSignals> signals_;
+  std::vector<ChannelSignals> prevSignals_;
+  std::uint64_t cycle_ = 0;
+  bool havePrev_ = false;
+
+  // Choice bookkeeping: per-node offset into the per-cycle assignment.
+  std::vector<unsigned> choiceOffset_;  // indexed by NodeId
+  unsigned totalChoices_ = 0;
+  std::vector<bool> fixedChoices_;
+  bool hasFixedChoices_ = false;
+  std::vector<signed char> cachedChoices_;  // -1 unset, else 0/1
+  std::function<bool(NodeId, unsigned)> choiceProvider_;
+
+  bool protocolChecking_ = false;
+  bool throwOnViolation_ = false;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace esl

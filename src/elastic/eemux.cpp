@@ -1,0 +1,115 @@
+#include "elastic/eemux.h"
+
+namespace esl {
+
+EarlyEvalMux::EarlyEvalMux(std::string name, unsigned dataInputs, unsigned selWidth,
+                           unsigned width)
+    : Node(std::move(name)), dataInputs_(dataInputs), width_(width) {
+  ESL_CHECK(dataInputs >= 2, "EarlyEvalMux: need at least two data inputs");
+  declareInput(selWidth);  // input 0: select
+  for (unsigned i = 0; i < dataInputs; ++i) declareInput(width);
+  declareOutput(width);
+  pendingAnti_.assign(dataInputs, 0);
+}
+
+void EarlyEvalMux::reset() {
+  pendingAnti_.assign(dataInputs_, 0);
+}
+
+EarlyEvalMux::CombView EarlyEvalMux::view(SimContext& ctx) const {
+  CombView v;
+  const ChannelSignals& sel = ctx.sig(selectChannel());
+  v.selValid = sel.vf;
+  if (v.selValid) {
+    const std::uint64_t idx = sel.data.toUint64();
+    ESL_CHECK(idx < dataInputs_,
+              "EarlyEvalMux '" + name() + "': select value out of range");
+    v.selIdx = static_cast<unsigned>(idx);
+  }
+
+  // The selected token is usable only if it is not owed to a pending
+  // anti-token from an earlier firing.
+  const bool usable = v.selValid && pendingAnti_[v.selIdx] == 0 &&
+                      ctx.sig(dataChannel(v.selIdx)).vf;
+  const ChannelSignals& out = ctx.sig(output(0));
+  v.fire = usable && (!out.sf || out.vb);
+
+  v.antiAvail.resize(dataInputs_);
+  for (unsigned i = 0; i < dataInputs_; ++i)
+    v.antiAvail[i] = pendingAnti_[i] + ((v.fire && i != v.selIdx) ? 1u : 0u);
+  return v;
+}
+
+void EarlyEvalMux::evalComb(SimContext& ctx) {
+  const CombView v = view(ctx);
+  ChannelSignals& out = ctx.sig(output(0));
+  ChannelSignals& sel = ctx.sig(selectChannel());
+
+  const bool usable = v.selValid && pendingAnti_[v.selIdx] == 0 &&
+                      ctx.sig(dataChannel(v.selIdx)).vf;
+  out.vf = usable;
+  if (usable) out.data = ctx.sig(dataChannel(v.selIdx)).data;
+  // An anti-token at the output is consumed only by annihilating a firing.
+  out.sb = !usable;
+
+  sel.sf = !v.fire;
+  sel.vb = false;
+
+  for (unsigned i = 0; i < dataInputs_; ++i) {
+    ChannelSignals& in = ctx.sig(dataChannel(i));
+    in.vb = v.antiAvail[i] > 0;
+    if (in.vb) {
+      in.sf = false;  // kill and stop are mutually exclusive
+    } else if (v.selValid && i == v.selIdx) {
+      // Selected: released on firing; stopped while waiting — when the channel
+      // is empty this stop is the misprediction demand.
+      in.sf = !v.fire;
+    } else {
+      // Non-selected: hold an arriving token (it will be killed by a future
+      // firing's anti-token); keep the channel free otherwise so that an
+      // empty non-selected channel never looks like a demand.
+      in.sf = in.vf;
+    }
+  }
+}
+
+void EarlyEvalMux::clockEdge(SimContext& ctx) {
+  const CombView v = view(ctx);
+  for (unsigned i = 0; i < dataInputs_; ++i) {
+    const ChannelSignals& in = ctx.sig(dataChannel(i));
+    unsigned avail = v.antiAvail[i];
+    if (in.vb && (in.vf || !in.sb)) {
+      ESL_ASSERT(avail > 0);
+      --avail;  // delivered: killed a token or moved upstream
+    }
+    if (v.fire && i != v.selIdx) ++antiEmitted_;
+    pendingAnti_[i] = avail;
+  }
+  if (fwdTransfer(ctx.sig(output(0)))) ++firings_;
+}
+
+void EarlyEvalMux::packState(StateWriter& w) const {
+  for (unsigned p : pendingAnti_) w.writeU32(p);
+}
+
+void EarlyEvalMux::unpackState(StateReader& r) {
+  for (unsigned& p : pendingAnti_) p = r.readU32();
+}
+
+logic::Cost EarlyEvalMux::cost() const {
+  return logic::earlyEvalMuxCost(dataInputs_) + logic::muxCost(dataInputs_, width_);
+}
+
+void EarlyEvalMux::timing(TimingModel& m) const {
+  const double muxDelay = logic::muxCost(dataInputs_, width_).delay;
+  for (unsigned i = 0; i < dataInputs_; ++i) {
+    m.arc({dataChannel(i), NetKind::kFwd}, {output(0), NetKind::kFwd}, muxDelay);
+    m.arc({selectChannel(), NetKind::kFwd}, {dataChannel(i), NetKind::kBwd}, 1.0);
+    m.arc({output(0), NetKind::kBwd}, {dataChannel(i), NetKind::kBwd}, 1.0);
+    m.arc({dataChannel(i), NetKind::kFwd}, {selectChannel(), NetKind::kBwd}, 1.0);
+  }
+  m.arc({selectChannel(), NetKind::kFwd}, {output(0), NetKind::kFwd}, muxDelay);
+  m.arc({output(0), NetKind::kBwd}, {selectChannel(), NetKind::kBwd}, 1.0);
+}
+
+}  // namespace esl

@@ -1,0 +1,285 @@
+#include "elastic/endpoints.h"
+
+namespace esl {
+
+// ---------------------------------------------------------------------------
+// TokenSource
+// ---------------------------------------------------------------------------
+
+TokenSource::TokenSource(std::string name, unsigned width, Generator gen, Gate gate)
+    : Node(std::move(name)), width_(width), gen_(std::move(gen)), gate_(std::move(gate)) {
+  ESL_CHECK(static_cast<bool>(gen_), "TokenSource: generator required");
+  declareOutput(width);
+}
+
+TokenSource::Generator TokenSource::listOf(std::vector<std::uint64_t> values,
+                                           unsigned width) {
+  return [values = std::move(values), width](std::uint64_t i) -> std::optional<BitVec> {
+    if (i >= values.size()) return std::nullopt;
+    return BitVec(width, values[i]);
+  };
+}
+
+TokenSource::Generator TokenSource::counting(unsigned width, std::uint64_t start) {
+  return [width, start](std::uint64_t i) -> std::optional<BitVec> {
+    return BitVec(width, start + i);
+  };
+}
+
+std::optional<BitVec> TokenSource::tokenAt(std::uint64_t index) const {
+  std::optional<BitVec> v = gen_(index);
+  if (v) ESL_CHECK(v->width() == width_, "TokenSource: generated width mismatch");
+  return v;
+}
+
+void TokenSource::reset() {
+  index_ = 0;
+  killCredit_ = 0;
+  emitted_ = 0;
+  killedCount_ = 0;
+  offering_ = (!gate_ || gate_(0)) && tokenAt(0).has_value();
+}
+
+void TokenSource::evalComb(SimContext& ctx) {
+  ChannelSignals& out = ctx.sig(output(0));
+  const std::optional<BitVec> tok = offering_ ? tokenAt(index_) : std::nullopt;
+  // A token owed to an absorbed anti-token is never shown.
+  out.vf = tok.has_value() && killCredit_ == 0;
+  if (out.vf) out.data = *tok;
+  out.sb = false;  // sources always absorb anti-tokens
+}
+
+void TokenSource::clockEdge(SimContext& ctx) {
+  const ChannelSignals out = ctx.sig(output(0));
+
+  if (killEvent(out)) {
+    ++index_;
+    ++killedCount_;
+    offering_ = false;
+  } else if (fwdTransfer(out)) {
+    ++index_;
+    ++emitted_;
+    offering_ = false;
+  } else if (bwdTransfer(out)) {
+    ++killCredit_;
+  }
+
+  // An owed kill silently consumes the next available token (one per cycle).
+  if (killCredit_ > 0 && tokenAt(index_).has_value() && !out.vf) {
+    ++index_;
+    --killCredit_;
+    ++killedCount_;
+    offering_ = false;
+  }
+
+  // Offer the next token when the gate opens for the upcoming cycle.
+  if (!offering_ && (!gate_ || gate_(ctx.cycle() + 1)) && tokenAt(index_).has_value() &&
+      killCredit_ == 0)
+    offering_ = true;
+}
+
+void TokenSource::packState(StateWriter& w) const {
+  w.writeU64(index_);
+  w.writeBool(offering_);
+  w.writeU32(killCredit_);
+}
+
+void TokenSource::unpackState(StateReader& r) {
+  index_ = r.readU64();
+  offering_ = r.readBool();
+  killCredit_ = r.readU32();
+}
+
+void TokenSource::timing(TimingModel& m) const {
+  m.launch({output(0), NetKind::kFwd}, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// TokenSink
+// ---------------------------------------------------------------------------
+
+TokenSink::TokenSink(std::string name, unsigned width, Gate ready,
+                     unsigned antiBudget, Gate antiGate)
+    : Node(std::move(name)),
+      width_(width),
+      ready_(std::move(ready)),
+      antiGate_(std::move(antiGate)),
+      antiBudget_(antiBudget) {
+  declareInput(width);
+}
+
+void TokenSink::reset() {
+  antiRemaining_ = antiBudget_;
+  antiActive_ = false;
+  transfers_.clear();
+}
+
+void TokenSink::evalComb(SimContext& ctx) {
+  ChannelSignals& in = ctx.sig(input(0));
+  const bool wantAnti =
+      antiActive_ || (antiRemaining_ > 0 && antiGate_ && antiGate_(ctx.cycle()));
+  in.vb = wantAnti;
+  // Kill and stop are mutually exclusive; anti-token emission wins.
+  in.sf = !wantAnti && ready_ && !ready_(ctx.cycle());
+}
+
+void TokenSink::clockEdge(SimContext& ctx) {
+  const ChannelSignals in = ctx.sig(input(0));
+  if (fwdTransfer(in)) transfers_.push_back({ctx.cycle(), in.data});
+
+  if (in.vb) {
+    const bool delivered = in.vf || !in.sb;  // killed a token or moved upstream
+    if (delivered) {
+      ESL_ASSERT(antiRemaining_ > 0);
+      --antiRemaining_;
+      antiActive_ = false;
+    } else {
+      antiActive_ = true;  // Retry-: persist until delivered
+    }
+  }
+}
+
+void TokenSink::packState(StateWriter& w) const {
+  w.writeU32(antiRemaining_);
+  w.writeBool(antiActive_);
+}
+
+void TokenSink::unpackState(StateReader& r) {
+  antiRemaining_ = r.readU32();
+  antiActive_ = r.readBool();
+}
+
+void TokenSink::timing(TimingModel& m) const {
+  m.launch({input(0), NetKind::kBwd}, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// NondetSource
+// ---------------------------------------------------------------------------
+
+NondetSource::NondetSource(std::string name, unsigned width, unsigned killCreditCap,
+                           unsigned dataBits, unsigned maxIdle)
+    : Node(std::move(name)),
+      width_(width),
+      cap_(killCreditCap),
+      dataBits_(dataBits),
+      maxIdle_(maxIdle),
+      value_(width) {
+  ESL_CHECK(dataBits_ <= width_, "NondetSource: dataBits exceed width");
+  declareOutput(width);
+}
+
+void NondetSource::reset() {
+  offering_ = false;
+  value_ = BitVec(width_);
+  killCredit_ = 0;
+  idleStreak_ = 0;
+}
+
+bool NondetSource::offeringNow(SimContext& ctx) const {
+  return offering_ || ctx.choice(*this, 0) || idleStreak_ >= maxIdle_;
+}
+
+BitVec NondetSource::valueNow(SimContext& ctx) const {
+  if (offering_) return value_;  // Retry+ persistence: value fixed while held
+  BitVec v(width_);
+  for (unsigned b = 0; b < dataBits_; ++b) v.setBit(b, ctx.choice(*this, 1 + b));
+  return v;
+}
+
+void NondetSource::evalComb(SimContext& ctx) {
+  ChannelSignals& out = ctx.sig(output(0));
+  out.vf = offeringNow(ctx) && killCredit_ == 0;
+  if (out.vf) out.data = valueNow(ctx);
+  out.sb = !out.vf && killCredit_ >= cap_;
+}
+
+void NondetSource::clockEdge(SimContext& ctx) {
+  const ChannelSignals out = ctx.sig(output(0));
+  bool offered = offeringNow(ctx);
+  const BitVec v = valueNow(ctx);
+  if (killEvent(out) || fwdTransfer(out)) offered = false;
+  if (bwdTransfer(out)) ++killCredit_;
+  // An owed kill annihilates the (hidden) offered token.
+  if (offered && killCredit_ > 0) {
+    offered = false;
+    --killCredit_;
+  }
+  offering_ = offered;
+  value_ = offered ? v : BitVec(width_);
+  // Bounded fairness: count consecutive cycles without an offer.
+  if (offeringNow(ctx))
+    idleStreak_ = 0;
+  else if (idleStreak_ < maxIdle_)
+    ++idleStreak_;
+}
+
+void NondetSource::packState(StateWriter& w) const {
+  w.writeBool(offering_);
+  w.writeBitVec(value_);
+  w.writeU32(killCredit_);
+  w.writeU32(idleStreak_);
+}
+
+void NondetSource::unpackState(StateReader& r) {
+  offering_ = r.readBool();
+  value_ = r.readBitVec();
+  killCredit_ = r.readU32();
+  idleStreak_ = r.readU32();
+}
+
+// ---------------------------------------------------------------------------
+// NondetSink
+// ---------------------------------------------------------------------------
+
+NondetSink::NondetSink(std::string name, unsigned width, unsigned maxConsecutiveStops,
+                       bool emitsAntiTokens)
+    : Node(std::move(name)),
+      width_(width),
+      maxStops_(maxConsecutiveStops),
+      emitsAnti_(emitsAntiTokens) {
+  declareInput(width);
+}
+
+void NondetSink::reset() {
+  consecutiveStops_ = 0;
+  antiActive_ = false;
+}
+
+bool NondetSink::antiNow(SimContext& ctx) const {
+  return antiActive_ || (emitsAnti_ && ctx.choice(*this, 1));
+}
+
+bool NondetSink::stopNow(SimContext& ctx) const {
+  if (consecutiveStops_ >= maxStops_) return false;  // bounded fairness
+  return ctx.choice(*this, 0);
+}
+
+void NondetSink::evalComb(SimContext& ctx) {
+  ChannelSignals& in = ctx.sig(input(0));
+  const bool anti = antiNow(ctx);
+  in.vb = anti;
+  in.sf = !anti && stopNow(ctx);
+}
+
+void NondetSink::clockEdge(SimContext& ctx) {
+  const ChannelSignals in = ctx.sig(input(0));
+  consecutiveStops_ = in.sf ? consecutiveStops_ + 1 : 0;
+  if (consecutiveStops_ > maxStops_) consecutiveStops_ = maxStops_;
+  if (in.vb) {
+    const bool delivered = in.vf || !in.sb;
+    antiActive_ = !delivered;
+  }
+}
+
+void NondetSink::packState(StateWriter& w) const {
+  w.writeU32(consecutiveStops_);
+  w.writeBool(antiActive_);
+}
+
+void NondetSink::unpackState(StateReader& r) {
+  consecutiveStops_ = r.readU32();
+  antiActive_ = r.readBool();
+}
+
+}  // namespace esl

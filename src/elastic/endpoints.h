@@ -1,0 +1,165 @@
+// Environment nodes: token sources and sinks.
+//
+// Sources/sinks close a netlist for simulation and verification. They follow
+// the SELF protocol faithfully: offered tokens persist until consumed
+// (Retry+), emitted anti-tokens persist until delivered (Retry-), and sources
+// absorb anti-tokens by cancelling the corresponding upcoming token — which is
+// exactly what the open-system trace of Table 1 requires.
+//
+// Nondet* variants consume per-cycle choice bits so the model checker can
+// quantify over all environments; their "fair" parameters bound consecutive
+// refusals to keep liveness checkable (bounded fairness, DESIGN.md §5).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "elastic/context.h"
+#include "elastic/node.h"
+
+namespace esl {
+
+/// Produces the token stream `gen(0), gen(1), ...` (ended by nullopt).
+/// `gate(cycle)` controls when the *next* token may first be offered.
+class TokenSource : public Node {
+ public:
+  using Generator = std::function<std::optional<BitVec>(std::uint64_t index)>;
+  using Gate = std::function<bool(std::uint64_t cycle)>;
+
+  TokenSource(std::string name, unsigned width, Generator gen, Gate gate = {});
+
+  /// Convenience: a fixed list of values offered back-to-back.
+  static Generator listOf(std::vector<std::uint64_t> values, unsigned width);
+  /// Convenience: endless stream counting up from `start`.
+  static Generator counting(unsigned width, std::uint64_t start = 0);
+
+  void reset() override;
+  void evalComb(SimContext& ctx) override;
+  void clockEdge(SimContext& ctx) override;
+  void packState(StateWriter& w) const override;
+  void unpackState(StateReader& r) override;
+  void timing(TimingModel& m) const override;
+  Persistence outputPersistence(unsigned) const override {
+    return Persistence::kPersistent;
+  }
+  std::string kindName() const override { return "source"; }
+
+  std::uint64_t emitted() const { return emitted_; }
+  std::uint64_t killed() const { return killedCount_; }
+
+ private:
+  std::optional<BitVec> tokenAt(std::uint64_t index) const;
+
+  unsigned width_;
+  Generator gen_;
+  Gate gate_;
+
+  std::uint64_t index_ = 0;
+  bool offering_ = false;
+  unsigned killCredit_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t killedCount_ = 0;
+};
+
+/// Consumes tokens; readiness controlled by `ready(cycle)`; can inject a
+/// budget of anti-tokens upstream (`antiBudget` released by `antiGate`).
+/// Records the transfer stream — the observable behaviour for transfer
+/// equivalence (paper §3.1).
+class TokenSink : public Node {
+ public:
+  using Gate = std::function<bool(std::uint64_t cycle)>;
+
+  TokenSink(std::string name, unsigned width, Gate ready = {},
+            unsigned antiBudget = 0, Gate antiGate = {});
+
+  void reset() override;
+  void evalComb(SimContext& ctx) override;
+  void clockEdge(SimContext& ctx) override;
+  void packState(StateWriter& w) const override;
+  void unpackState(StateReader& r) override;
+  void timing(TimingModel& m) const override;
+  std::string kindName() const override { return "sink"; }
+
+  struct Transfer {
+    std::uint64_t cycle;
+    BitVec data;
+  };
+  const std::vector<Transfer>& transfers() const { return transfers_; }
+  std::uint64_t received() const { return transfers_.size(); }
+
+ private:
+  unsigned width_;
+  Gate ready_;
+  Gate antiGate_;
+  unsigned antiBudget_;
+
+  unsigned antiRemaining_ = 0;
+  bool antiActive_ = false;
+  std::vector<Transfer> transfers_;
+};
+
+/// Verification source: nondeterministically offers tokens (1 choice bit) and
+/// optionally picks the low `dataBits` of the payload nondeterministically
+/// (one extra choice bit each; the value persists while the token retries).
+/// Bounded anti-token absorption (killCredit capped, back-pressured via S-).
+/// Bounded-fair: after `maxIdle` consecutive refusals an offer is forced, so
+/// liveness properties are checkable (DESIGN.md §5).
+class NondetSource : public Node {
+ public:
+  NondetSource(std::string name, unsigned width, unsigned killCreditCap = 2,
+               unsigned dataBits = 0, unsigned maxIdle = 2);
+
+  void reset() override;
+  void evalComb(SimContext& ctx) override;
+  void clockEdge(SimContext& ctx) override;
+  void packState(StateWriter& w) const override;
+  void unpackState(StateReader& r) override;
+  unsigned choiceCount() const override { return 1 + dataBits_; }
+  Persistence outputPersistence(unsigned) const override {
+    return Persistence::kPersistent;
+  }
+  std::string kindName() const override { return "nondet-source"; }
+
+ private:
+  bool offeringNow(SimContext& ctx) const;
+  BitVec valueNow(SimContext& ctx) const;
+
+  unsigned width_;
+  unsigned cap_;
+  unsigned dataBits_;
+  unsigned maxIdle_;
+  bool offering_ = false;
+  BitVec value_;
+  unsigned killCredit_ = 0;
+  unsigned idleStreak_ = 0;
+};
+
+/// Verification sink: nondeterministically stops (1 choice bit), but at most
+/// `maxConsecutiveStops` cycles in a row (bounded fairness). Optionally also
+/// nondeterministically emits anti-tokens (second choice bit).
+class NondetSink : public Node {
+ public:
+  NondetSink(std::string name, unsigned width, unsigned maxConsecutiveStops = 2,
+             bool emitsAntiTokens = false);
+
+  void reset() override;
+  void evalComb(SimContext& ctx) override;
+  void clockEdge(SimContext& ctx) override;
+  void packState(StateWriter& w) const override;
+  void unpackState(StateReader& r) override;
+  unsigned choiceCount() const override { return emitsAnti_ ? 2u : 1u; }
+  std::string kindName() const override { return "nondet-sink"; }
+
+ private:
+  bool stopNow(SimContext& ctx) const;
+  bool antiNow(SimContext& ctx) const;
+
+  unsigned width_;
+  unsigned maxStops_;
+  bool emitsAnti_;
+  unsigned consecutiveStops_ = 0;
+  bool antiActive_ = false;
+};
+
+}  // namespace esl

@@ -1,0 +1,70 @@
+#include "elastic/fork.h"
+
+namespace esl {
+
+ForkNode::ForkNode(std::string name, unsigned width, unsigned branches)
+    : Node(std::move(name)), width_(width) {
+  ESL_CHECK(branches >= 2, "ForkNode: need at least two branches");
+  declareInput(width);
+  for (unsigned i = 0; i < branches; ++i) declareOutput(width);
+  done_.assign(branches, false);
+}
+
+void ForkNode::reset() { done_.assign(branches(), false); }
+
+bool ForkNode::branchDoneNow(SimContext& ctx, unsigned i) const {
+  if (done_[i]) return true;
+  const ChannelSignals& br = ctx.sig(output(i));
+  return killEvent(br) || fwdTransfer(br);
+}
+
+void ForkNode::evalComb(SimContext& ctx) {
+  ChannelSignals& in = ctx.sig(input(0));
+
+  for (unsigned i = 0; i < branches(); ++i) {
+    ChannelSignals& br = ctx.sig(output(i));
+    const bool pending = in.vf && !done_[i];
+    br.vf = pending;
+    if (pending) br.data = in.data;
+    // An anti-token on the branch is only consumable against a pending copy;
+    // otherwise it waits downstream for the copy to materialize.
+    br.sb = !pending;
+  }
+
+  bool allDone = in.vf;
+  for (unsigned i = 0; i < branches() && allDone; ++i)
+    allDone = branchDoneNow(ctx, i);
+  in.sf = !allDone;
+  in.vb = false;
+}
+
+void ForkNode::clockEdge(SimContext& ctx) {
+  const ChannelSignals in = ctx.sig(input(0));
+  if (!in.vf) return;
+  bool all = true;
+  std::vector<bool> next(branches());
+  for (unsigned i = 0; i < branches(); ++i) {
+    next[i] = branchDoneNow(ctx, i);
+    all = all && next[i];
+  }
+  done_ = all ? std::vector<bool>(branches(), false) : next;
+}
+
+void ForkNode::packState(StateWriter& w) const {
+  for (bool b : done_) w.writeBool(b);
+}
+
+void ForkNode::unpackState(StateReader& r) {
+  for (unsigned i = 0; i < done_.size(); ++i) done_[i] = r.readBool();
+}
+
+logic::Cost ForkNode::cost() const { return logic::forkJoinCost(branches()); }
+
+void ForkNode::timing(TimingModel& m) const {
+  for (unsigned i = 0; i < branches(); ++i) {
+    m.arc({input(0), NetKind::kFwd}, {output(i), NetKind::kFwd}, 1.0);
+    m.arc({output(i), NetKind::kBwd}, {input(0), NetKind::kBwd}, 1.0);
+  }
+}
+
+}  // namespace esl

@@ -1,0 +1,41 @@
+// Eager fork: replicates each input token to every output branch.
+//
+// Each branch may consume its copy independently (eager semantics, tracked by
+// per-branch done bits); the stem token is consumed once all branches have
+// taken or killed their copy. Anti-tokens arriving on a branch annihilate the
+// pending copy for that branch — they never cross into the stem, because the
+// stem token also feeds the other branches (paper §4.1: the anti-token must
+// cancel exactly the non-selected copy).
+#pragma once
+
+#include <vector>
+
+#include "elastic/context.h"
+#include "elastic/node.h"
+
+namespace esl {
+
+class ForkNode : public Node {
+ public:
+  ForkNode(std::string name, unsigned width, unsigned branches);
+
+  void reset() override;
+  void evalComb(SimContext& ctx) override;
+  void clockEdge(SimContext& ctx) override;
+  void packState(StateWriter& w) const override;
+  void unpackState(StateReader& r) override;
+  logic::Cost cost() const override;
+  void timing(TimingModel& m) const override;
+  std::string kindName() const override { return "fork"; }
+
+  unsigned branches() const { return numOutputs(); }
+
+ private:
+  /// Branch copy consumed this cycle (settled signals).
+  bool branchDoneNow(SimContext& ctx, unsigned i) const;
+
+  unsigned width_;
+  std::vector<bool> done_;
+};
+
+}  // namespace esl

@@ -1,0 +1,114 @@
+#include "elastic/func.h"
+
+#include "elastic/netlist.h"
+
+namespace esl {
+
+FuncNode::FuncNode(std::string name, std::vector<unsigned> inputWidths,
+                   unsigned outputWidth, CombFn fn, logic::Cost datapathCost)
+    : Node(std::move(name)), fn_(std::move(fn)), datapathCost_(datapathCost) {
+  ESL_CHECK(!inputWidths.empty(), "FuncNode: needs at least one input");
+  ESL_CHECK(static_cast<bool>(fn_), "FuncNode: function required");
+  for (unsigned w : inputWidths) declareInput(w);
+  declareOutput(outputWidth);
+}
+
+void FuncNode::evalComb(SimContext& ctx) {
+  ChannelSignals& out = ctx.sig(output(0));
+
+  bool allIn = true;
+  std::vector<BitVec> args;
+  args.reserve(numInputs());
+  for (unsigned i = 0; i < numInputs(); ++i) {
+    const ChannelSignals& in = ctx.sig(input(i));
+    allIn = allIn && in.vf;
+    args.push_back(in.data);
+  }
+
+  out.vf = allIn;
+  if (allIn) {
+    out.data = fn_(args);
+    ESL_CHECK(out.data.width() == outputWidth(0),
+              "FuncNode '" + name() + "': function returned wrong width");
+  }
+
+  // Output consumed this cycle: normal transfer or annihilated by an
+  // anti-token at the output channel.
+  const bool fire = allIn && (!out.sf || out.vb);
+
+  // Counterflow: an anti-token at the output propagates to all inputs
+  // atomically when each input channel can absorb it this cycle (by killing
+  // its token or moving the anti-token further upstream).
+  bool allCan = true;
+  for (unsigned i = 0; i < numInputs(); ++i) {
+    const ChannelSignals& in = ctx.sig(input(i));
+    allCan = allCan && (in.vf || !in.sb);
+  }
+  const bool back = out.vb && !allIn && allCan;
+
+  for (unsigned i = 0; i < numInputs(); ++i) {
+    ChannelSignals& in = ctx.sig(input(i));
+    in.vb = back;
+    in.sf = !fire && !in.vb;
+  }
+  out.sb = !allIn && !allCan;
+}
+
+void FuncNode::clockEdge(SimContext& ctx) {
+  if (fwdTransfer(ctx.sig(output(0)))) ++firings_;
+}
+
+logic::Cost FuncNode::cost() const { return datapathCost_; }
+
+void FuncNode::timing(TimingModel& m) const {
+  for (unsigned i = 0; i < numInputs(); ++i) {
+    m.arc({input(i), NetKind::kFwd}, {output(0), NetKind::kFwd}, datapathCost_.delay);
+    m.arc({output(0), NetKind::kBwd}, {input(i), NetKind::kBwd}, 1.0);
+    // The join stop of input i also depends on the other inputs' valids.
+    for (unsigned j = 0; j < numInputs(); ++j)
+      if (j != i)
+        m.arc({input(j), NetKind::kFwd}, {input(i), NetKind::kBwd}, 1.0);
+  }
+}
+
+FuncNode& makeWire(Netlist& nl, std::string name, unsigned width, logic::Cost cost) {
+  return nl.make<FuncNode>(
+      std::move(name), std::vector<unsigned>{width}, width,
+      [](const std::vector<BitVec>& in) { return in[0]; }, cost);
+}
+
+FuncNode& makeUnary(Netlist& nl, std::string name, unsigned inWidth, unsigned outWidth,
+                    std::function<BitVec(const BitVec&)> fn, logic::Cost cost) {
+  return nl.make<FuncNode>(
+      std::move(name), std::vector<unsigned>{inWidth}, outWidth,
+      [f = std::move(fn)](const std::vector<BitVec>& in) { return f(in[0]); }, cost);
+}
+
+FuncNode& makeBinary(Netlist& nl, std::string name, unsigned aWidth, unsigned bWidth,
+                     unsigned outWidth,
+                     std::function<BitVec(const BitVec&, const BitVec&)> fn,
+                     logic::Cost cost) {
+  return nl.make<FuncNode>(
+      std::move(name), std::vector<unsigned>{aWidth, bWidth}, outWidth,
+      [f = std::move(fn)](const std::vector<BitVec>& in) { return f(in[0], in[1]); },
+      cost);
+}
+
+FuncNode& makeJoinMux(Netlist& nl, std::string name, unsigned dataInputs,
+                      unsigned selWidth, unsigned width) {
+  ESL_CHECK(dataInputs >= 2, "makeJoinMux: need at least two data inputs");
+  std::vector<unsigned> widths{selWidth};
+  for (unsigned i = 0; i < dataInputs; ++i) widths.push_back(width);
+  auto& mux = nl.make<FuncNode>(
+      std::move(name), std::move(widths), width,
+      [dataInputs](const std::vector<BitVec>& in) {
+        const std::uint64_t sel = in[0].toUint64();
+        ESL_CHECK(sel < dataInputs, "join mux: select out of range");
+        return in[1 + sel];
+      },
+      logic::muxCost(dataInputs, width));
+  mux.setRole("mux");
+  return mux;
+}
+
+}  // namespace esl

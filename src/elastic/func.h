@@ -1,0 +1,75 @@
+// FuncNode: combinational function block with lazy-join elastic semantics.
+//
+// A conventional elastic block waits for *all* inputs before computing
+// (paper §1); the node fires when every input carries a token and the output
+// is consumed (transferred or killed). Anti-tokens arriving at the output
+// back-propagate atomically into all inputs — the dual-network counterflow of
+// [Cortadella & Kishinevsky, DAC'07] — cancelling one whole would-be firing.
+//
+// FuncNode is stateless (forward latency 0); pipelining comes from explicit
+// elastic buffers around it.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "elastic/context.h"
+#include "elastic/node.h"
+
+namespace esl {
+
+/// Pure combinational function over the settled input payloads.
+using CombFn = std::function<BitVec(const std::vector<BitVec>&)>;
+
+class FuncNode : public Node {
+ public:
+  FuncNode(std::string name, std::vector<unsigned> inputWidths, unsigned outputWidth,
+           CombFn fn, logic::Cost datapathCost = {1.0, 1.0});
+
+  void evalComb(SimContext& ctx) override;
+  void clockEdge(SimContext& ctx) override;
+  logic::Cost cost() const override;
+  void timing(TimingModel& m) const override;
+  std::string kindName() const override { return "func"; }
+
+  const CombFn& fn() const { return fn_; }
+  logic::Cost datapathCost() const { return datapathCost_; }
+
+  /// Structural role tag used by the transformation kit: makeJoinMux tags its
+  /// nodes "mux" so Shannon decomposition / early-eval conversion can check
+  /// preconditions without introspecting the lambda.
+  const std::string& role() const { return role_; }
+  void setRole(std::string role) { role_ = std::move(role); }
+
+  /// Forward transfers completed at the output (simulation statistic).
+  std::uint64_t firings() const { return firings_; }
+
+ private:
+  CombFn fn_;
+  logic::Cost datapathCost_;
+  std::string role_;
+  std::uint64_t firings_ = 0;
+};
+
+/// Identity function block (a named wire with join semantics).
+FuncNode& makeWire(class Netlist& nl, std::string name, unsigned width,
+                   logic::Cost cost = {0.0, 0.0});
+
+/// Unary function block from a BitVec->BitVec lambda.
+FuncNode& makeUnary(class Netlist& nl, std::string name, unsigned inWidth,
+                    unsigned outWidth, std::function<BitVec(const BitVec&)> fn,
+                    logic::Cost cost = {1.0, 1.0});
+
+/// Binary function block.
+FuncNode& makeBinary(class Netlist& nl, std::string name, unsigned aWidth,
+                     unsigned bWidth, unsigned outWidth,
+                     std::function<BitVec(const BitVec&, const BitVec&)> fn,
+                     logic::Cost cost = {1.0, 1.0});
+
+/// Conventional (non-early) multiplexer: a FuncNode that joins the select
+/// channel (input 0) with all data channels and picks the selected payload.
+/// This is the mux of Fig. 1(a)-(c) before early-evaluation conversion.
+FuncNode& makeJoinMux(class Netlist& nl, std::string name, unsigned dataInputs,
+                      unsigned selWidth, unsigned width);
+
+}  // namespace esl

@@ -1,0 +1,233 @@
+#include "elastic/netlist.h"
+
+#include <algorithm>
+
+namespace esl {
+
+NodeId Netlist::addNode(std::unique_ptr<Node> node) {
+  ESL_CHECK(node != nullptr, "Netlist::addNode: null node");
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node->setId(id);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void Netlist::removeNode(NodeId id) {
+  ESL_CHECK(hasNode(id), "Netlist::removeNode: unknown node");
+  Node& n = *nodes_[id];
+  for (unsigned p = 0; p < n.numInputs(); ++p)
+    ESL_CHECK(!n.inputBound(p), "Netlist::removeNode: input still connected on " + n.name());
+  for (unsigned p = 0; p < n.numOutputs(); ++p)
+    ESL_CHECK(!n.outputBound(p), "Netlist::removeNode: output still connected on " + n.name());
+  nodes_[id].reset();
+}
+
+ChannelId Netlist::connect(Node& producer, unsigned producerPort, Node& consumer,
+                           unsigned consumerPort, std::string name) {
+  ESL_CHECK(producerPort < producer.numOutputs(),
+            "connect: bad producer port on " + producer.name());
+  ESL_CHECK(consumerPort < consumer.numInputs(),
+            "connect: bad consumer port on " + consumer.name());
+  ESL_CHECK(!producer.outputBound(producerPort),
+            "connect: producer port already bound on " + producer.name());
+  ESL_CHECK(!consumer.inputBound(consumerPort),
+            "connect: consumer port already bound on " + consumer.name());
+  const unsigned width = producer.outputWidth(producerPort);
+  ESL_CHECK(width == consumer.inputWidth(consumerPort),
+            "connect: width mismatch " + producer.name() + " -> " + consumer.name());
+
+  Channel ch;
+  ch.id = static_cast<ChannelId>(channels_.size());
+  ch.name = name.empty() ? freshChannelName(producer, producerPort) : std::move(name);
+  ch.width = width;
+  ch.producer = producer.id();
+  ch.producerPort = producerPort;
+  ch.consumer = consumer.id();
+  ch.consumerPort = consumerPort;
+  channels_.push_back(ch);
+  channelLive_.push_back(true);
+
+  producer.bindOutput(producerPort, ch.id);
+  consumer.bindInput(consumerPort, ch.id);
+  return ch.id;
+}
+
+void Netlist::disconnect(ChannelId chId) {
+  ESL_CHECK(hasChannel(chId), "disconnect: unknown channel");
+  Channel& ch = channels_[chId];
+  node(ch.producer).bindOutput(ch.producerPort, kNoChannel);
+  node(ch.consumer).bindInput(ch.consumerPort, kNoChannel);
+  channelLive_[chId] = false;
+}
+
+void Netlist::rebindConsumer(ChannelId chId, Node& consumer, unsigned consumerPort) {
+  ESL_CHECK(hasChannel(chId), "rebindConsumer: unknown channel");
+  Channel& ch = channels_[chId];
+  ESL_CHECK(consumerPort < consumer.numInputs(), "rebindConsumer: bad port");
+  ESL_CHECK(!consumer.inputBound(consumerPort), "rebindConsumer: port already bound");
+  ESL_CHECK(ch.width == consumer.inputWidth(consumerPort), "rebindConsumer: width mismatch");
+  node(ch.consumer).bindInput(ch.consumerPort, kNoChannel);
+  ch.consumer = consumer.id();
+  ch.consumerPort = consumerPort;
+  consumer.bindInput(consumerPort, chId);
+}
+
+void Netlist::rebindProducer(ChannelId chId, Node& producer, unsigned producerPort) {
+  ESL_CHECK(hasChannel(chId), "rebindProducer: unknown channel");
+  Channel& ch = channels_[chId];
+  ESL_CHECK(producerPort < producer.numOutputs(), "rebindProducer: bad port");
+  ESL_CHECK(!producer.outputBound(producerPort), "rebindProducer: port already bound");
+  ESL_CHECK(ch.width == producer.outputWidth(producerPort), "rebindProducer: width mismatch");
+  node(ch.producer).bindOutput(ch.producerPort, kNoChannel);
+  ch.producer = producer.id();
+  ch.producerPort = producerPort;
+  producer.bindOutput(producerPort, chId);
+}
+
+ChannelId Netlist::insertOnChannel(ChannelId chId, Node& mid) {
+  ESL_CHECK(hasChannel(chId), "insertOnChannel: unknown channel");
+  ESL_CHECK(mid.numInputs() == 1 && mid.numOutputs() == 1,
+            "insertOnChannel: node must be 1-in/1-out");
+  Channel& ch = channels_[chId];
+  Node& consumer = node(ch.consumer);
+  const unsigned consumerPort = ch.consumerPort;
+  // Detach the old consumer, attach the new node, then connect downstream.
+  consumer.bindInput(consumerPort, kNoChannel);
+  ch.consumer = mid.id();
+  ch.consumerPort = 0;
+  mid.bindInput(0, chId);
+  return connect(mid, 0, consumer, consumerPort);
+}
+
+ChannelId Netlist::bypassNode(NodeId id) {
+  ESL_CHECK(hasNode(id), "bypassNode: unknown node");
+  Node& n = *nodes_[id];
+  ESL_CHECK(n.numInputs() == 1 && n.numOutputs() == 1, "bypassNode: node must be 1-in/1-out");
+  ESL_CHECK(n.inputBound(0) && n.outputBound(0), "bypassNode: node not fully connected");
+  const ChannelId up = n.input(0);
+  const ChannelId down = n.output(0);
+  Channel& downCh = channels_[down];
+  Node& consumer = node(downCh.consumer);
+  const unsigned consumerPort = downCh.consumerPort;
+  disconnect(down);
+  Channel& upCh = channels_[up];
+  node(upCh.consumer).bindInput(upCh.consumerPort, kNoChannel);
+  upCh.consumer = consumer.id();
+  upCh.consumerPort = consumerPort;
+  consumer.bindInput(consumerPort, up);
+  return up;
+}
+
+bool Netlist::hasNode(NodeId id) const {
+  return id < nodes_.size() && nodes_[id] != nullptr;
+}
+
+Node& Netlist::node(NodeId id) {
+  ESL_CHECK(hasNode(id), "Netlist::node: unknown node id " + std::to_string(id));
+  return *nodes_[id];
+}
+
+const Node& Netlist::node(NodeId id) const {
+  ESL_CHECK(hasNode(id), "Netlist::node: unknown node id " + std::to_string(id));
+  return *nodes_[id];
+}
+
+Node* Netlist::findNode(const std::string& name) {
+  for (auto& n : nodes_)
+    if (n && n->name() == name) return n.get();
+  return nullptr;
+}
+
+bool Netlist::hasChannel(ChannelId ch) const {
+  return ch < channels_.size() && channelLive_[ch];
+}
+
+const Channel& Netlist::channel(ChannelId ch) const {
+  ESL_CHECK(hasChannel(ch), "Netlist::channel: unknown channel id " + std::to_string(ch));
+  return channels_[ch];
+}
+
+Channel& Netlist::channelMutable(ChannelId ch) {
+  ESL_CHECK(hasChannel(ch), "Netlist::channel: unknown channel id " + std::to_string(ch));
+  return channels_[ch];
+}
+
+const Channel* Netlist::findChannel(const std::string& name) const {
+  for (std::size_t i = 0; i < channels_.size(); ++i)
+    if (channelLive_[i] && channels_[i].name == name) return &channels_[i];
+  return nullptr;
+}
+
+std::vector<NodeId> Netlist::nodeIds() const {
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i]) ids.push_back(static_cast<NodeId>(i));
+  return ids;
+}
+
+std::vector<ChannelId> Netlist::channelIds() const {
+  std::vector<ChannelId> ids;
+  for (std::size_t i = 0; i < channels_.size(); ++i)
+    if (channelLive_[i]) ids.push_back(static_cast<ChannelId>(i));
+  return ids;
+}
+
+void Netlist::validate() const {
+  for (const NodeId id : nodeIds()) {
+    const Node& n = node(id);
+    for (unsigned p = 0; p < n.numInputs(); ++p)
+      ESL_CHECK(n.inputBound(p), "validate: unbound input port " + std::to_string(p) +
+                                     " on node " + n.name());
+    for (unsigned p = 0; p < n.numOutputs(); ++p)
+      ESL_CHECK(n.outputBound(p), "validate: unbound output port " + std::to_string(p) +
+                                      " on node " + n.name());
+  }
+  for (const ChannelId id : channelIds()) {
+    const Channel& ch = channel(id);
+    ESL_CHECK(hasNode(ch.producer) && hasNode(ch.consumer),
+              "validate: dangling channel " + ch.name);
+    ESL_CHECK(node(ch.producer).output(ch.producerPort) == id,
+              "validate: producer binding inconsistent for " + ch.name);
+    ESL_CHECK(node(ch.consumer).input(ch.consumerPort) == id,
+              "validate: consumer binding inconsistent for " + ch.name);
+  }
+}
+
+
+bool Netlist::channelIsPersistent(ChannelId ch) const {
+  // Depth-limited walk through combinational producers; combinational cycles
+  // cannot occur in valid designs, but guard with a visited set anyway.
+  std::vector<ChannelId> stack{ch};
+  std::vector<bool> seen(channels_.size(), false);
+  while (!stack.empty()) {
+    const ChannelId cur = stack.back();
+    stack.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = true;
+    const Channel& c = channel(cur);
+    const Node& producer = node(c.producer);
+    switch (producer.outputPersistence(c.producerPort)) {
+      case Node::Persistence::kNonPersistent:
+        return false;
+      case Node::Persistence::kPersistent:
+        break;
+      case Node::Persistence::kDerived:
+        for (unsigned i = 0; i < producer.numInputs(); ++i)
+          if (producer.inputBound(i)) stack.push_back(producer.input(i));
+        break;
+    }
+  }
+  return true;
+}
+
+logic::Cost Netlist::totalCost() const {
+  logic::Cost total;
+  for (const NodeId id : nodeIds()) total = total + node(id).cost();
+  return total;
+}
+
+std::string Netlist::freshChannelName(const Node& producer, unsigned port) const {
+  return producer.name() + ".out" + std::to_string(port);
+}
+
+}  // namespace esl

@@ -1,0 +1,100 @@
+// Netlist: the elastic system graph — nodes connected by channels.
+//
+// "An elastic system can be defined as a collection of blocks and FIFOs
+// connected by channels" (paper §3). The netlist owns the nodes, tracks
+// channel endpoints, validates connectivity, and supports the re-wiring
+// operations the transformation kit (src/transform) needs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "elastic/node.h"
+
+namespace esl {
+
+class Netlist {
+ public:
+  Netlist() = default;
+  Netlist(const Netlist&) = delete;
+  Netlist& operator=(const Netlist&) = delete;
+  Netlist(Netlist&&) = default;
+  Netlist& operator=(Netlist&&) = default;
+
+  /// Constructs a node in place and registers it. Returns a stable reference.
+  template <typename T, typename... Args>
+  T& make(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    addNode(std::move(owned));
+    return ref;
+  }
+
+  NodeId addNode(std::unique_ptr<Node> node);
+
+  /// Removes a node; all its channels must be unbound/removed first.
+  void removeNode(NodeId id);
+
+  /// Creates a channel producer.out[producerPort] -> consumer.in[consumerPort].
+  /// Width is taken from the producer port and checked against the consumer.
+  ChannelId connect(Node& producer, unsigned producerPort, Node& consumer,
+                    unsigned consumerPort, std::string name = {});
+
+  /// Deletes a channel, unbinding both endpoints.
+  void disconnect(ChannelId ch);
+
+  /// Moves the consumer endpoint of `ch` to another node/port (re-wiring).
+  void rebindConsumer(ChannelId ch, Node& consumer, unsigned consumerPort);
+  /// Moves the producer endpoint of `ch` to another node/port.
+  void rebindProducer(ChannelId ch, Node& producer, unsigned producerPort);
+
+  /// Splices `node` (1 input, 1 output) into channel `ch`:
+  /// producer -> node stays on `ch`; a new channel node -> consumer is made.
+  /// Returns the new downstream channel.
+  ChannelId insertOnChannel(ChannelId ch, Node& node);
+
+  /// Removes a 1-in/1-out node from the middle of a path, reconnecting its
+  /// upstream channel to its downstream consumer. The downstream channel is
+  /// deleted. Returns the surviving channel.
+  ChannelId bypassNode(NodeId id);
+
+  bool hasNode(NodeId id) const;
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  /// First node with the given name, or nullptr.
+  Node* findNode(const std::string& name);
+
+  bool hasChannel(ChannelId ch) const;
+  const Channel& channel(ChannelId ch) const;
+  Channel& channelMutable(ChannelId ch);
+  /// First channel with the given name, or nullptr.
+  const Channel* findChannel(const std::string& name) const;
+
+  /// Live node ids in insertion order.
+  std::vector<NodeId> nodeIds() const;
+  /// Live channel ids in insertion order.
+  std::vector<ChannelId> channelIds() const;
+  std::size_t channelCapacity() const { return channels_.size(); }
+
+  /// Throws NetlistError unless every port of every node is bound and every
+  /// channel has both endpoints with matching widths.
+  void validate() const;
+
+  /// Sums node costs (area report input).
+  logic::Cost totalCost() const;
+
+  /// Resolves Node::Persistence::kDerived transitively: a channel obeys
+  /// Retry+ persistence unless its producer (or any combinational ancestor)
+  /// is a non-persistent block (paper §4.2).
+  bool channelIsPersistent(ChannelId ch) const;
+
+ private:
+  std::string freshChannelName(const Node& producer, unsigned port) const;
+
+  std::vector<std::unique_ptr<Node>> nodes_;  // nullptr = removed slot
+  std::vector<Channel> channels_;             // id == kNoChannel marks removed
+  std::vector<bool> channelLive_;
+};
+
+}  // namespace esl

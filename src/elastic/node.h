@@ -1,0 +1,177 @@
+// Node: base class for every elastic block (buffers, functions, forks,
+// early-evaluation multiplexers, shared speculative modules, environments).
+//
+// Execution model (DESIGN.md §3): each clock cycle the simulator repeatedly
+// calls evalComb() on every node until all channel signals stabilize, then
+// calls clockEdge() once with the settled signals. evalComb must be a pure
+// function of (sequential state, input signals, per-cycle choice bits) and may
+// only write the signals the node drives:
+//   producer side of an output channel: vf, data, sb
+//   consumer side of an input channel:  sf, vb
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "elastic/channel.h"
+#include "elastic/state_io.h"
+#include "logic/cost.h"
+
+namespace esl {
+
+class SimContext;
+
+/// Timing nets: per channel, the forward (valid/data) and backward
+/// (stop/anti-token) signal groups settle at separate times.
+enum class NetKind { kFwd, kBwd };
+
+struct TimingRef {
+  ChannelId ch = kNoChannel;
+  NetKind kind = NetKind::kFwd;
+};
+
+/// Combinational dependency through a node: `to` settles no earlier than
+/// `delay` after `from`.
+struct TimingArc {
+  TimingRef from;
+  TimingRef to;
+  double delay = 0.0;
+};
+
+/// A net driven from sequential state (registers/latches) with clk->q delay.
+struct TimingLaunch {
+  TimingRef at;
+  double delay = 0.0;
+};
+
+/// A path from a net into an internal register: the cycle must also
+/// accommodate arrival(at) + delay (e.g. a block's internal datapath).
+struct TimingCapture {
+  TimingRef at;
+  double delay = 0.0;
+};
+
+/// Collected combinational timing structure of a netlist.
+struct TimingModel {
+  std::vector<TimingArc> arcs;
+  std::vector<TimingLaunch> launches;
+  std::vector<TimingCapture> captures;
+
+  void arc(TimingRef from, TimingRef to, double delay) {
+    arcs.push_back({from, to, delay});
+  }
+  void launch(TimingRef at, double delay) { launches.push_back({at, delay}); }
+  void capture(TimingRef at, double delay) { captures.push_back({at, delay}); }
+};
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  void rename(std::string name) { name_ = std::move(name); }
+  NodeId id() const { return id_; }
+
+  unsigned numInputs() const { return static_cast<unsigned>(inputs_.size()); }
+  unsigned numOutputs() const { return static_cast<unsigned>(outputs_.size()); }
+  unsigned inputWidth(unsigned port) const { return inputWidths_.at(port); }
+  unsigned outputWidth(unsigned port) const { return outputWidths_.at(port); }
+  ChannelId input(unsigned port) const { return inputs_.at(port); }
+  ChannelId output(unsigned port) const { return outputs_.at(port); }
+  bool inputBound(unsigned port) const { return inputs_.at(port) != kNoChannel; }
+  bool outputBound(unsigned port) const { return outputs_.at(port) != kNoChannel; }
+
+  /// Re-initializes sequential state (start of simulation / verification).
+  virtual void reset() {}
+
+  /// One combinational sweep; called until fixpoint.
+  virtual void evalComb(SimContext& ctx) = 0;
+
+  /// Sequential update with settled signals.
+  virtual void clockEdge(SimContext& ctx) { (void)ctx; }
+
+  /// Sequential state serialization (model checker). Statistics excluded.
+  virtual void packState(StateWriter& w) const { (void)w; }
+  virtual void unpackState(StateReader& r) { (void)r; }
+
+  /// Number of per-cycle nondeterministic binary choices this node consumes
+  /// (environments only; deterministic blocks return 0).
+  virtual unsigned choiceCount() const { return 0; }
+
+  /// Area/delay contribution of this node's datapath + control.
+  virtual logic::Cost cost() const { return {}; }
+
+  /// Retry+ persistence class of an output port (paper §4.2): registered
+  /// blocks and environments are persistent; shared speculative modules are
+  /// not (the scheduler may change its prediction after a retry); and
+  /// combinational blocks *derive* their persistence from their inputs —
+  /// non-persistence propagates downstream until the next EB. Use
+  /// channelIsPersistent() to resolve kDerived through the netlist.
+  enum class Persistence { kPersistent, kNonPersistent, kDerived };
+  virtual Persistence outputPersistence(unsigned port) const {
+    (void)port;
+    return Persistence::kDerived;
+  }
+
+  /// Combinational timing structure (arcs between channel nets + launches).
+  virtual void timing(TimingModel& m) const { (void)m; }
+
+  /// Token-flow edge through a node: tokens crossing from an input channel to
+  /// an output channel take `latency` cycles; `tokens` initial tokens sit on
+  /// the way. Used by the min-cycle-ratio throughput bound (src/perf).
+  struct FlowEdge {
+    ChannelId from;
+    ChannelId to;
+    double latency = 0.0;
+    double tokens = 0.0;
+  };
+
+  /// Default: combinational flow from every input to every output.
+  virtual void flowEdges(std::vector<FlowEdge>& out) const {
+    for (unsigned i = 0; i < numInputs(); ++i)
+      for (unsigned o = 0; o < numOutputs(); ++o)
+        if (inputBound(i) && outputBound(o))
+          out.push_back({input(i), output(o), 0.0, 0.0});
+  }
+
+  /// One-line description for DOT labels and the shell.
+  virtual std::string kindName() const = 0;
+
+ private:
+  friend class Netlist;
+  void setId(NodeId id) { id_ = id; }
+  unsigned addInputPort(unsigned width) {
+    inputs_.push_back(kNoChannel);
+    inputWidths_.push_back(width);
+    return numInputs() - 1;
+  }
+  unsigned addOutputPort(unsigned width) {
+    outputs_.push_back(kNoChannel);
+    outputWidths_.push_back(width);
+    return numOutputs() - 1;
+  }
+
+ protected:
+  /// Port declaration helpers for subclass constructors.
+  void declareInput(unsigned width) { (void)addInputPort(width); }
+  void declareOutput(unsigned width) { (void)addOutputPort(width); }
+
+ private:
+  void bindInput(unsigned port, ChannelId ch) { inputs_.at(port) = ch; }
+  void bindOutput(unsigned port, ChannelId ch) { outputs_.at(port) = ch; }
+
+  std::string name_;
+  NodeId id_ = kNoNode;
+  std::vector<ChannelId> inputs_;
+  std::vector<ChannelId> outputs_;
+  std::vector<unsigned> inputWidths_;
+  std::vector<unsigned> outputWidths_;
+};
+
+}  // namespace esl

@@ -1,0 +1,127 @@
+#include "elastic/shared.h"
+
+namespace esl {
+
+SharedModule::SharedModule(std::string name, unsigned channels, unsigned inWidth,
+                           unsigned outWidth, SharedFn fn,
+                           std::unique_ptr<sched::Scheduler> scheduler,
+                           logic::Cost fnCost)
+    : Node(std::move(name)),
+      channels_(channels),
+      inWidth_(inWidth),
+      outWidth_(outWidth),
+      fn_(std::move(fn)),
+      scheduler_(std::move(scheduler)),
+      fnCost_(fnCost) {
+  ESL_CHECK(channels_ >= 2, "SharedModule: need at least two channels");
+  ESL_CHECK(static_cast<bool>(fn_), "SharedModule: function required");
+  ESL_CHECK(scheduler_ != nullptr, "SharedModule: scheduler required");
+  ESL_CHECK(scheduler_->channels() == channels_,
+            "SharedModule: scheduler arity mismatch");
+  for (unsigned i = 0; i < channels_; ++i) declareInput(inWidth_);
+  for (unsigned i = 0; i < channels_; ++i) declareOutput(outWidth_);
+  served_.assign(channels_, 0);
+}
+
+void SharedModule::reset() {
+  scheduler_->reset();
+  served_.assign(channels_, 0);
+  demandCycles_ = 0;
+}
+
+unsigned SharedModule::predictNow(SimContext& ctx) {
+  std::vector<bool> valid(channels_);
+  for (unsigned i = 0; i < channels_; ++i) valid[i] = ctx.sig(input(i)).vf;
+  const sched::ChoiceReader reader = [this, &ctx](unsigned b) {
+    return ctx.choice(*this, b);
+  };
+  const unsigned p = scheduler_->predict(valid, reader);
+  ESL_CHECK(p < channels_, "SharedModule: scheduler predicted out of range");
+  return p;
+}
+
+void SharedModule::evalComb(SimContext& ctx) {
+  const unsigned sched = predictNow(ctx);
+  for (unsigned i = 0; i < channels_; ++i) {
+    ChannelSignals& in = ctx.sig(input(i));
+    ChannelSignals& out = ctx.sig(output(i));
+    const bool routed = i == sched;
+
+    out.vf = routed && in.vf;
+    if (out.vf) {
+      out.data = fn_(in.data);
+      ESL_CHECK(out.data.width() == outWidth_,
+                "SharedModule '" + name() + "': function returned wrong width");
+    }
+
+    // Anti-tokens pass straight through the controller (Fig. 4b): the module
+    // is combinational, so the token seen at out_i *is* the token at in_i and
+    // a kill annihilates it at both channel views at once.
+    in.vb = out.vb;
+    out.sb = !in.vf && in.sb;
+
+    // Routed channel sees the downstream stop; others are stopped unless
+    // being killed ("stops the other channel (unless it is killed)").
+    in.sf = !in.vb && (routed ? out.sf : true);
+  }
+}
+
+void SharedModule::clockEdge(SimContext& ctx) {
+  const unsigned sched = predictNow(ctx);
+  sched::Observation obs;
+  obs.predicted = sched;
+  obs.valid.resize(channels_);
+  obs.demand.resize(channels_);
+  obs.served.resize(channels_);
+  obs.killed.resize(channels_);
+  bool anyDemand = false;
+  for (unsigned i = 0; i < channels_; ++i) {
+    const ChannelSignals& in = ctx.sig(input(i));
+    const ChannelSignals& out = ctx.sig(output(i));
+    obs.valid[i] = in.vf;
+    obs.demand[i] = out.sf && !out.vf;  // selected-but-empty at the EE mux
+    obs.served[i] = fwdTransfer(out);
+    obs.killed[i] = killEvent(in);
+    if (obs.served[i]) ++served_[i];
+    anyDemand = anyDemand || obs.demand[i];
+  }
+  if (anyDemand) ++demandCycles_;
+  scheduler_->observe(obs);
+}
+
+void SharedModule::packState(StateWriter& w) const { scheduler_->packState(w); }
+
+void SharedModule::unpackState(StateReader& r) { scheduler_->unpackState(r); }
+
+unsigned SharedModule::choiceCount() const { return scheduler_->choiceBits(); }
+
+logic::Cost SharedModule::cost() const {
+  return fnCost_ + logic::muxCost(channels_, inWidth_) +
+         logic::sharedModuleCost(channels_);
+}
+
+void SharedModule::timing(TimingModel& m) const {
+  const double path = logic::muxCost(channels_, inWidth_).delay + fnCost_.delay;
+  for (unsigned i = 0; i < channels_; ++i) {
+    m.arc({input(i), NetKind::kFwd}, {output(i), NetKind::kFwd}, path);
+    m.arc({output(i), NetKind::kBwd}, {input(i), NetKind::kBwd}, 1.0);
+    m.arc({input(i), NetKind::kFwd}, {output(i), NetKind::kBwd}, 1.0);
+  }
+}
+
+std::uint64_t SharedModule::totalServed() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : served_) total += s;
+  return total;
+}
+
+}  // namespace esl
+
+namespace esl {
+
+void SharedModule::flowEdges(std::vector<FlowEdge>& out) const {
+  for (unsigned i = 0; i < channels_; ++i)
+    out.push_back({input(i), output(i), 0.0, 0.0});
+}
+
+}  // namespace esl

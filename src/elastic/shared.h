@@ -1,0 +1,77 @@
+// Shared speculative module (paper §4.1, Fig. 4).
+//
+// k input channels compete for one copy of a combinational function F. Each
+// cycle the scheduler predicts a channel; the controller forwards the
+// predicted channel's token through F to the matching output channel
+// (V+out_i = (sched==i) ∧ V+in_i), stops the other channels unless they are
+// being killed, and passes anti-tokens from each output back to its input
+// combinationally. The datapath is an input multiplexer followed by F
+// (Fig. 4a), so sharing adds one mux delay to the function path.
+//
+// The scheduler observes — at the clock edge only, keeping it out of the
+// combinational critical path (§4.1.2) — which channels were valid, served,
+// killed, and *demanded* (selected-but-empty stop from the early-evaluation
+// multiplexer), and corrects its prediction on misprediction.
+#pragma once
+
+#include <memory>
+
+#include "elastic/context.h"
+#include "elastic/node.h"
+#include "sched/scheduler.h"
+
+namespace esl {
+
+/// Unary function applied by the shared datapath.
+using SharedFn = std::function<BitVec(const BitVec&)>;
+
+class SharedModule : public Node {
+ public:
+  SharedModule(std::string name, unsigned channels, unsigned inWidth,
+               unsigned outWidth, SharedFn fn,
+               std::unique_ptr<sched::Scheduler> scheduler,
+               logic::Cost fnCost = {1.0, 1.0});
+
+  void reset() override;
+  void evalComb(SimContext& ctx) override;
+  void clockEdge(SimContext& ctx) override;
+  void packState(StateWriter& w) const override;
+  void unpackState(StateReader& r) override;
+  unsigned choiceCount() const override;
+  logic::Cost cost() const override;
+  void timing(TimingModel& m) const override;
+  void flowEdges(std::vector<FlowEdge>& out) const override;
+  /// §4.2: after a retry the scheduler may change its prediction, so shared
+  /// module outputs are exempt from Retry+ persistence.
+  Persistence outputPersistence(unsigned) const override {
+    return Persistence::kNonPersistent;
+  }
+  std::string kindName() const override { return "shared"; }
+
+  unsigned channels() const { return channels_; }
+  sched::Scheduler& scheduler() { return *scheduler_; }
+
+  /// The channel predicted for the current cycle (e.g. for trace rows).
+  unsigned prediction(SimContext& ctx) { return predictNow(ctx); }
+
+  /// Tokens served per channel (forward transfers on the outputs).
+  const std::vector<std::uint64_t>& servedPerChannel() const { return served_; }
+  /// Cycles in which some output carried a misprediction demand.
+  std::uint64_t demandCycles() const { return demandCycles_; }
+  std::uint64_t totalServed() const;
+
+ private:
+  unsigned predictNow(SimContext& ctx);
+
+  unsigned channels_;
+  unsigned inWidth_;
+  unsigned outWidth_;
+  SharedFn fn_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  logic::Cost fnCost_;
+
+  std::vector<std::uint64_t> served_;
+  std::uint64_t demandCycles_ = 0;
+};
+
+}  // namespace esl

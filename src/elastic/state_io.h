@@ -1,0 +1,88 @@
+// Byte-oriented serialization of node state.
+//
+// The explicit-state model checker (src/verify) snapshots the entire netlist
+// state as a byte string; nodes pack and unpack their sequential state through
+// these helpers. Performance statistics must NOT be packed (they would blow up
+// the reachable state space without changing behaviour).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bitvec.h"
+#include "base/error.h"
+
+namespace esl {
+
+class StateWriter {
+ public:
+  void writeBool(bool b) { bytes_.push_back(b ? 1 : 0); }
+
+  void writeU32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void writeU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void writeBitVec(const BitVec& v) {
+    writeU32(v.width());
+    std::uint8_t acc = 0;
+    for (unsigned i = 0; i < v.width(); ++i) {
+      if (v.bit(i)) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+      if (i % 8 == 7 || i + 1 == v.width()) {
+        bytes_.push_back(acc);
+        acc = 0;
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class StateReader {
+ public:
+  explicit StateReader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool readBool() { return byte() != 0; }
+
+  std::uint32_t readU32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(byte()) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t readU64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(byte()) << (8 * i);
+    return v;
+  }
+
+  BitVec readBitVec() {
+    const unsigned width = readU32();
+    BitVec v(width);
+    std::uint8_t acc = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      if (i % 8 == 0) acc = byte();
+      v.setBit(i, (acc >> (i % 8)) & 1);
+    }
+    return v;
+  }
+
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::uint8_t byte() {
+    ESL_CHECK(pos_ < bytes_.size(), "StateReader: out of data");
+    return bytes_[pos_++];
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace esl

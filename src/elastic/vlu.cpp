@@ -1,0 +1,109 @@
+#include "elastic/vlu.h"
+
+namespace esl {
+
+StallingVLU::StallingVLU(std::string name, unsigned inWidth, unsigned outWidth,
+                         UnaryFn exact, ErrFn err, logic::Cost approxCost,
+                         logic::Cost exactCost, logic::Cost errCost)
+    : Node(std::move(name)),
+      inWidth_(inWidth),
+      outWidth_(outWidth),
+      exact_(std::move(exact)),
+      err_(std::move(err)),
+      approxCost_(approxCost),
+      exactCost_(exactCost),
+      errCost_(errCost) {
+  ESL_CHECK(static_cast<bool>(exact_) && static_cast<bool>(err_),
+            "StallingVLU: exact and err functions required");
+  declareInput(inWidth);
+  declareOutput(outWidth);
+}
+
+void StallingVLU::reset() {
+  pending_.reset();
+  result_.reset();
+  completed_ = 0;
+  stalls_ = 0;
+}
+
+void StallingVLU::evalComb(SimContext& ctx) {
+  ChannelSignals& in = ctx.sig(input(0));
+  ChannelSignals& out = ctx.sig(output(0));
+
+  out.vf = result_.has_value();
+  if (result_) out.data = *result_;
+  out.sb = !result_.has_value();  // anti-token consumed only against a result
+
+  const bool leave = out.vf && (!out.sf || out.vb);
+  const bool canAccept = !pending_ && (!result_ || leave);
+  in.sf = !canAccept;
+  in.vb = false;
+}
+
+void StallingVLU::clockEdge(SimContext& ctx) {
+  const ChannelSignals in = ctx.sig(input(0));
+  const ChannelSignals out = ctx.sig(output(0));
+
+  if (killEvent(out) || fwdTransfer(out)) {
+    if (fwdTransfer(out)) ++completed_;
+    result_.reset();
+  }
+
+  if (pending_) {
+    // Second cycle of a mispredicted operand: F_exact finishes the job.
+    ESL_ASSERT(!result_.has_value());
+    result_ = exact_(*pending_);
+    pending_.reset();
+  } else if (fwdTransfer(in)) {
+    const BitVec x = in.data;
+    if (err_(x)) {
+      pending_ = x;  // bubble next cycle, sender stalled
+      ++stalls_;
+    } else {
+      result_ = exact_(x);  // approx == exact when no error is flagged
+    }
+  }
+}
+
+void StallingVLU::packState(StateWriter& w) const {
+  w.writeBool(pending_.has_value());
+  if (pending_) w.writeBitVec(*pending_);
+  w.writeBool(result_.has_value());
+  if (result_) w.writeBitVec(*result_);
+}
+
+void StallingVLU::unpackState(StateReader& r) {
+  pending_ = r.readBool() ? std::optional<BitVec>(r.readBitVec()) : std::nullopt;
+  result_ = r.readBool() ? std::optional<BitVec>(r.readBitVec()) : std::nullopt;
+}
+
+logic::Cost StallingVLU::cost() const {
+  // Both function copies, the error detector, the output register and the
+  // gating control all live inside the unit.
+  return approxCost_ + exactCost_ + errCost_ + logic::flopCost(outWidth_) +
+         logic::controlGatingCost();
+}
+
+void StallingVLU::timing(TimingModel& m) const {
+  m.launch({output(0), NetKind::kFwd}, 1.0);
+  // The §5.1 critical path: F_err computed from the incoming operand gates
+  // the controller (stop to the sender) through the global enable network.
+  m.arc({input(0), NetKind::kFwd}, {input(0), NetKind::kBwd},
+        errCost_.delay + logic::controlGatingCost().delay);
+  m.arc({output(0), NetKind::kBwd}, {input(0), NetKind::kBwd}, 1.0);
+  // Internal datapath into the result register: F_approx in one cycle, or
+  // F_exact spread over two (telescopic-unit structure).
+  m.capture({input(0), NetKind::kFwd},
+            std::max(approxCost_.delay, exactCost_.delay / 2.0));
+}
+
+}  // namespace esl
+
+namespace esl {
+
+void StallingVLU::flowEdges(std::vector<FlowEdge>& out) const {
+  // Optimistic single-cycle latency (the common, error-free case).
+  out.push_back({input(0), output(0), 1.0, 0.0});
+}
+
+}  // namespace esl

@@ -1,0 +1,84 @@
+#include "logic/adders.h"
+
+namespace esl::logic {
+
+BitVec rippleAdd(const BitVec& a, const BitVec& b, bool carryIn, bool* carryOut) {
+  ESL_CHECK(a.width() == b.width(), "rippleAdd: width mismatch");
+  const unsigned n = a.width();
+  BitVec sum(n);
+  bool c = carryIn;
+  for (unsigned i = 0; i < n; ++i) {
+    const bool ai = a.bit(i);
+    const bool bi = b.bit(i);
+    sum.setBit(i, ai ^ bi ^ c);
+    c = (ai && bi) || (c && (ai ^ bi));
+  }
+  if (carryOut != nullptr) *carryOut = c;
+  return sum;
+}
+
+BitVec koggeStoneAdd(const BitVec& a, const BitVec& b, bool carryIn) {
+  ESL_CHECK(a.width() == b.width(), "koggeStoneAdd: width mismatch");
+  const unsigned n = a.width();
+  if (n == 0) return BitVec();
+
+  // Generate / propagate per bit; bit 0 folds in the carry-in.
+  std::vector<bool> g(n), p(n), pRaw(n);
+  for (unsigned i = 0; i < n; ++i) {
+    g[i] = a.bit(i) && b.bit(i);
+    p[i] = a.bit(i) != b.bit(i);
+    pRaw[i] = p[i];
+  }
+  if (carryIn) g[0] = g[0] || p[0];
+
+  // Prefix network: (g,p)[i] accumulates over spans doubling each level.
+  for (unsigned dist = 1; dist < n; dist <<= 1) {
+    std::vector<bool> g2 = g, p2 = p;
+    for (unsigned i = dist; i < n; ++i) {
+      g2[i] = g[i] || (p[i] && g[i - dist]);
+      p2[i] = p[i] && p[i - dist];
+    }
+    g = std::move(g2);
+    p = std::move(p2);
+  }
+
+  BitVec sum(n);
+  for (unsigned i = 0; i < n; ++i) {
+    const bool carryIntoI = i == 0 ? carryIn : g[i - 1];
+    sum.setBit(i, pRaw[i] ^ carryIntoI);
+  }
+  return sum;
+}
+
+BitVec segmentedAdd(const BitVec& a, const BitVec& b, unsigned segment) {
+  ESL_CHECK(a.width() == b.width(), "segmentedAdd: width mismatch");
+  ESL_CHECK(segment > 0, "segmentedAdd: segment must be positive");
+  const unsigned n = a.width();
+  BitVec sum(n);
+  bool c = false;
+  for (unsigned i = 0; i < n; ++i) {
+    if (i % segment == 0) c = false;  // carry chain cut at segment boundary
+    const bool ai = a.bit(i);
+    const bool bi = b.bit(i);
+    sum.setBit(i, ai ^ bi ^ c);
+    c = (ai && bi) || (c && (ai ^ bi));
+  }
+  return sum;
+}
+
+bool segmentedAddOverflows(const BitVec& a, const BitVec& b, unsigned segment) {
+  ESL_CHECK(a.width() == b.width(), "segmentedAddOverflows: width mismatch");
+  ESL_CHECK(segment > 0, "segmentedAddOverflows: segment must be positive");
+  const unsigned n = a.width();
+  bool c = false;
+  for (unsigned i = 0; i < n; ++i) {
+    if (i % segment == 0 && i != 0 && c) return true;  // carry crosses a cut
+    if (i % segment == 0) c = false;
+    const bool ai = a.bit(i);
+    const bool bi = b.bit(i);
+    c = (ai && bi) || (c && (ai != bi));
+  }
+  return false;
+}
+
+}  // namespace esl::logic

@@ -1,0 +1,31 @@
+// Structural adder implementations.
+//
+// Both adders are implemented the way the hardware computes them (explicit
+// carry chain / prefix network) rather than delegating to built-in `+`, so the
+// unit tests can cross-check the structural algorithms against the golden
+// modular sum and the cost model stays honest about what is being built.
+#pragma once
+
+#include "base/bitvec.h"
+
+namespace esl::logic {
+
+/// Ripple-carry addition with explicit bit-serial carry chain.
+/// Returns (sum mod 2^width); `carryOut` (optional) receives the carry.
+BitVec rippleAdd(const BitVec& a, const BitVec& b, bool carryIn = false,
+                 bool* carryOut = nullptr);
+
+/// Kogge-Stone parallel-prefix addition (radix-2, explicit PG network).
+BitVec koggeStoneAdd(const BitVec& a, const BitVec& b, bool carryIn = false);
+
+/// Segmented-carry approximate addition: the carry chain is cut at every
+/// multiple of `segment` bits (carry into a segment is assumed 0). This is the
+/// classic approximate adder used as F_approx in variable-latency units.
+BitVec segmentedAdd(const BitVec& a, const BitVec& b, unsigned segment);
+
+/// True iff segmentedAdd(a, b, segment) != exact sum — i.e. a real carry
+/// crosses some segment boundary. Computable from the operands alone with a
+/// shallow circuit; this is the telescopic-unit error/hold predictor F_err.
+bool segmentedAddOverflows(const BitVec& a, const BitVec& b, unsigned segment);
+
+}  // namespace esl::logic

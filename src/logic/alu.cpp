@@ -1,0 +1,75 @@
+#include "logic/alu.h"
+
+#include "logic/adders.h"
+
+namespace esl::logic {
+
+BitVec packAluOperands(const BitVec& a, const BitVec& b, AluOp op) {
+  ESL_CHECK(a.width() == b.width(), "packAluOperands: width mismatch");
+  BitVec opBits(2, static_cast<unsigned>(op));
+  return a.concat(b).concat(opBits);
+}
+
+AluOperands unpackAluOperands(const BitVec& packed, unsigned width) {
+  ESL_CHECK(packed.width() == 2 * width + 2, "unpackAluOperands: bad packed width");
+  AluOperands ops;
+  ops.a = packed.slice(0, width);
+  ops.b = packed.slice(width, width);
+  ops.op = static_cast<AluOp>(packed.slice(2 * width, 2).toUint64());
+  return ops;
+}
+
+namespace {
+
+BitVec aluCompute(const BitVec& packed, unsigned width, bool exact,
+                  unsigned segment) {
+  const AluOperands in = unpackAluOperands(packed, width);
+  switch (in.op) {
+    case AluOp::kAdd:
+      return exact ? rippleAdd(in.a, in.b) : segmentedAdd(in.a, in.b, segment);
+    case AluOp::kSub: {
+      // a - b = a + ~b + 1; the +1 rides the carry-in (exact) or bit 0 of the
+      // segmented chain (approx), matching a real segmented subtractor.
+      const BitVec nb = ~in.b;
+      if (exact) return rippleAdd(in.a, nb, /*carryIn=*/true);
+      BitVec one(width, 1);
+      return segmentedAdd(segmentedAdd(in.a, nb, segment), one, segment);
+    }
+    case AluOp::kAnd:
+      return in.a & in.b;
+    case AluOp::kXor:
+      return in.a ^ in.b;
+  }
+  throw EslError("aluCompute: invalid opcode");
+}
+
+}  // namespace
+
+BitVec aluExact(const BitVec& packed, unsigned width) {
+  return aluCompute(packed, width, /*exact=*/true, /*segment=*/0);
+}
+
+BitVec aluApprox(const BitVec& packed, unsigned width, unsigned segment) {
+  return aluCompute(packed, width, /*exact=*/false, segment);
+}
+
+bool aluApproxError(const BitVec& packed, unsigned width, unsigned segment) {
+  const AluOperands in = unpackAluOperands(packed, width);
+  switch (in.op) {
+    case AluOp::kAdd:
+      return segmentedAddOverflows(in.a, in.b, segment);
+    case AluOp::kSub: {
+      // Conservative: flag when either segmented stage would lose a carry.
+      const BitVec nb = ~in.b;
+      BitVec one(width, 1);
+      return segmentedAddOverflows(in.a, nb, segment) ||
+             segmentedAddOverflows(segmentedAdd(in.a, nb, segment), one, segment);
+    }
+    case AluOp::kAnd:
+    case AluOp::kXor:
+      return false;  // logic ops are exact in the approximate unit
+  }
+  throw EslError("aluApproxError: invalid opcode");
+}
+
+}  // namespace esl::logic

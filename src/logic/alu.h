@@ -1,0 +1,38 @@
+// Small ALU with an exact and an approximate (segmented-carry) variant.
+//
+// These are the F_exact / F_approx / F_err blocks of the variable-latency
+// unit case study (paper §5.1, Fig. 6). The operand word packs two `width`-bit
+// operands plus a 2-bit opcode:
+//   [ op(2) | b(width) | a(width) ]
+#pragma once
+
+#include "base/bitvec.h"
+
+namespace esl::logic {
+
+enum class AluOp : unsigned { kAdd = 0, kSub = 1, kAnd = 2, kXor = 3 };
+
+/// Packs (a, b, op) into a single operand word of width 2*width+2.
+BitVec packAluOperands(const BitVec& a, const BitVec& b, AluOp op);
+
+/// Inverse of packAluOperands.
+struct AluOperands {
+  BitVec a;
+  BitVec b;
+  AluOp op;
+};
+AluOperands unpackAluOperands(const BitVec& packed, unsigned width);
+
+/// Exact ALU result (full carry chain).
+BitVec aluExact(const BitVec& packed, unsigned width);
+
+/// Approximate ALU: add/sub use a carry chain segmented every `segment` bits;
+/// logic ops are exact. Equals aluExact unless a carry crosses a boundary.
+BitVec aluApprox(const BitVec& packed, unsigned width, unsigned segment);
+
+/// Telescopic error predictor F_err, a function of the *inputs* only:
+/// true iff aluApprox may differ from aluExact for this operand word.
+/// Never returns false when the results actually differ (no false negatives).
+bool aluApproxError(const BitVec& packed, unsigned width, unsigned segment);
+
+}  // namespace esl::logic

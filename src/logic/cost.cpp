@@ -1,0 +1,115 @@
+#include "logic/cost.h"
+
+namespace esl::logic {
+
+unsigned clog2(unsigned n) {
+  unsigned bits = 0;
+  unsigned v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+// XOR2 counts as 2 NAND-equivalents in delay and area; a full adder is two
+// XOR2 in the sum path plus a majority gate on the carry path.
+
+Cost rippleAdderCost(unsigned width) {
+  // Carry ripples through one majority gate (delay 2) per bit.
+  return {2.0 * width + 2.0, 9.0 * width};
+}
+
+Cost koggeStoneAdderCost(unsigned width) {
+  const unsigned levels = clog2(width);
+  // PG generation + log2(n) prefix levels + sum XOR.
+  return {2.0 + 2.0 * levels + 2.0,
+          static_cast<double>(width) * (3.0 + 3.0 * levels) + 2.0 * width};
+}
+
+Cost mux2Cost(unsigned width) { return {2.0, 3.0 * width}; }
+
+Cost muxCost(unsigned inputs, unsigned width) {
+  if (inputs <= 1) return {0.0, 0.0};
+  const unsigned levels = clog2(inputs);
+  return {2.0 * levels, 3.0 * width * (inputs - 1)};
+}
+
+Cost equalityCost(unsigned width) {
+  // Bitwise XOR (delay 2) + AND reduction tree.
+  return {2.0 + 1.0 * clog2(width), 2.0 * width + (width - 1)};
+}
+
+Cost xorTreeCost(unsigned leaves) {
+  if (leaves <= 1) return {0.0, 0.0};
+  return {2.0 * clog2(leaves), 2.0 * (leaves - 1)};
+}
+
+Cost aluExactCost(unsigned width) {
+  const Cost add = rippleAdderCost(width);
+  // op decode + result mux over 4 function classes + logic unit.
+  return {add.delay + 4.0, add.area + 6.0 * width + 8.0};
+}
+
+Cost aluApproxCost(unsigned width, unsigned segment) {
+  // Carry chains run only within a segment.
+  const Cost add = rippleAdderCost(segment < width ? segment : width);
+  const double segments = static_cast<double>((width + segment - 1) / segment);
+  return {add.delay + 4.0, add.area * segments + 6.0 * width + 8.0};
+}
+
+Cost aluErrorPredictorCost(unsigned width, unsigned segment) {
+  // Propagate/generate chains over each segment boundary neighbourhood
+  // (both operands) + OR reduction. Telescopic hold functions are deep
+  // relative to their size — this is what makes F_err critical in §5.1.
+  const unsigned boundaries = segment == 0 ? 0 : (width - 1) / segment;
+  const Cost perBoundary{2.0 * clog2(width) + 2.0 * clog2(segment) + 2.0,
+                         4.0 * segment};
+  return {perBoundary.delay + clog2(boundaries ? boundaries : 1),
+          perBoundary.area * boundaries + (boundaries ? boundaries - 1.0 : 0.0)};
+}
+
+Cost secdedEncoderCost() {
+  // 8 parity trees, each over ~35 of the 64 data bits.
+  const Cost tree = xorTreeCost(35);
+  return {tree.delay, 8.0 * tree.area};
+}
+
+Cost secdedDecoderCost() {
+  // Syndrome trees over 72 bits, decode, correction XOR + flag logic.
+  const Cost tree = xorTreeCost(36);
+  return {tree.delay + 3.0 + 2.0, 8.0 * tree.area + 72.0 * 3.0 + 20.0};
+}
+
+Cost latchCost(unsigned bits) { return {1.0, 4.0 * bits}; }
+
+Cost flopCost(unsigned bits) { return {1.0, 8.0 * bits}; }
+
+Cost ebCost(unsigned dataBits) {
+  // Two transparent-latch ranks (Fig. 2a) + ~14 gates of handshake control.
+  return {1.0, 2.0 * latchCost(dataBits).area + 14.0};
+}
+
+Cost eb0Cost(unsigned dataBits) {
+  // One flop rank (Fig. 5) + combinational stop/kill control (~10 gates).
+  return {1.0, flopCost(dataBits).area + 10.0};
+}
+
+Cost forkJoinCost(unsigned ways) { return {1.0, 6.0 * ways}; }
+
+Cost earlyEvalMuxCost(unsigned inputs) {
+  // Per-input anti-token counter (2 flops + inc/dec) + firing logic.
+  return {2.0, inputs * (2.0 * 8.0 + 6.0) + 10.0};
+}
+
+Cost sharedModuleCost(unsigned inputs) {
+  // Fig. 4(b): per-channel valid/stop gating + kill pass-through.
+  return {2.0, inputs * 10.0 + 6.0};
+}
+
+Cost controlGatingCost() {
+  // Buffering a datapath-derived signal onto a global enable network.
+  return {5.0, 12.0};
+}
+
+}  // namespace esl::logic

@@ -1,0 +1,99 @@
+#include "logic/secded.h"
+
+#include <array>
+
+namespace esl::logic {
+
+namespace {
+
+constexpr unsigned kHammingPositions = 71;  // positions 1..71 in code bits 0..70
+constexpr unsigned kParityBit = 71;         // overall parity at code bit 71
+
+bool isPowerOfTwo(unsigned x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Code-bit indices (Hamming position - 1) of the 64 data positions, in order.
+const std::array<unsigned, kSecdedDataBits>& dataPositions() {
+  static const std::array<unsigned, kSecdedDataBits> table = [] {
+    std::array<unsigned, kSecdedDataBits> t{};
+    unsigned n = 0;
+    for (unsigned pos = 1; pos <= kHammingPositions; ++pos) {
+      if (!isPowerOfTwo(pos)) t[n++] = pos - 1;
+    }
+    ESL_ASSERT(n == kSecdedDataBits);
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+BitVec secdedEncode(const BitVec& data) {
+  ESL_CHECK(data.width() == kSecdedDataBits, "secdedEncode: data must be 64 bits");
+  BitVec code(kSecdedCodeBits);
+  for (unsigned i = 0; i < kSecdedDataBits; ++i)
+    code.setBit(dataPositions()[i], data.bit(i));
+
+  // Check bit k (position 2^k) makes parity over positions with bit k set even.
+  for (unsigned k = 0; k < 7; ++k) {
+    bool parity = false;
+    for (unsigned pos = 1; pos <= kHammingPositions; ++pos) {
+      if ((pos & (1u << k)) != 0 && !isPowerOfTwo(pos)) parity ^= code.bit(pos - 1);
+    }
+    code.setBit((1u << k) - 1, parity);
+  }
+
+  // Overall parity over code bits 0..70.
+  bool overall = false;
+  for (unsigned i = 0; i < kParityBit; ++i) overall ^= code.bit(i);
+  code.setBit(kParityBit, overall);
+  return code;
+}
+
+BitVec secdedPayload(const BitVec& code) {
+  ESL_CHECK(code.width() == kSecdedCodeBits, "secdedPayload: code must be 72 bits");
+  BitVec data(kSecdedDataBits);
+  for (unsigned i = 0; i < kSecdedDataBits; ++i)
+    data.setBit(i, code.bit(dataPositions()[i]));
+  return data;
+}
+
+SecdedResult secdedDecode(const BitVec& code) {
+  ESL_CHECK(code.width() == kSecdedCodeBits, "secdedDecode: code must be 72 bits");
+
+  unsigned syndrome = 0;
+  for (unsigned k = 0; k < 7; ++k) {
+    bool parity = false;
+    for (unsigned pos = 1; pos <= kHammingPositions; ++pos) {
+      if ((pos & (1u << k)) != 0) parity ^= code.bit(pos - 1);
+    }
+    if (parity) syndrome |= 1u << k;
+  }
+  bool overallOdd = code.parity();  // even parity encoding => should be false
+
+  BitVec fixed = code;
+  SecdedResult out;
+  if (syndrome == 0 && !overallOdd) {
+    out.status = SecdedStatus::kOk;
+  } else if (syndrome == 0 && overallOdd) {
+    // The overall parity bit itself flipped.
+    out.status = SecdedStatus::kCorrected;
+    out.correctedBit = kParityBit;
+    fixed.setBit(kParityBit, !fixed.bit(kParityBit));
+  } else if (overallOdd) {
+    // Nonzero syndrome + odd overall parity: single error at `syndrome`.
+    if (syndrome > kHammingPositions) {
+      out.status = SecdedStatus::kDoubleError;  // syndrome outside the code
+    } else {
+      out.status = SecdedStatus::kCorrected;
+      out.correctedBit = syndrome - 1;
+      fixed.setBit(syndrome - 1, !fixed.bit(syndrome - 1));
+    }
+  } else {
+    // Nonzero syndrome + even overall parity: exactly the double-error signature.
+    out.status = SecdedStatus::kDoubleError;
+  }
+  out.data = secdedPayload(fixed);
+  return out;
+}
+
+}  // namespace esl::logic

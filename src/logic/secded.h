@@ -1,0 +1,39 @@
+// SECDED(72,64): single-error-correction, double-error-detection Hamming code.
+//
+// Substrate for the resilient-design case study (paper §5.2, Fig. 7): 64 data
+// bits are protected by 7 Hamming check bits plus one overall parity bit.
+// Layout: code bits 0..70 hold Hamming positions 1..71 (check bits at the
+// power-of-two positions 1,2,4,8,16,32,64; data bits fill the rest in order);
+// code bit 71 is the overall parity over the whole 72-bit word (even parity).
+#pragma once
+
+#include "base/bitvec.h"
+
+namespace esl::logic {
+
+inline constexpr unsigned kSecdedDataBits = 64;
+inline constexpr unsigned kSecdedCodeBits = 72;
+
+enum class SecdedStatus {
+  kOk,           ///< no error detected
+  kCorrected,    ///< single-bit error corrected
+  kDoubleError,  ///< two-bit error detected (uncorrectable)
+};
+
+struct SecdedResult {
+  BitVec data;          ///< 64-bit payload (corrected when possible)
+  SecdedStatus status = SecdedStatus::kOk;
+  unsigned correctedBit = 0;  ///< code-bit index of the fix (valid iff kCorrected)
+};
+
+/// Encodes 64 data bits into a 72-bit SECDED code word.
+BitVec secdedEncode(const BitVec& data);
+
+/// Decodes a 72-bit code word, correcting a single-bit error if present.
+SecdedResult secdedDecode(const BitVec& code);
+
+/// Extracts the payload without any checking (the "speculative" read used by
+/// the resilient pipeline before SECDED finishes).
+BitVec secdedPayload(const BitVec& code);
+
+}  // namespace esl::logic

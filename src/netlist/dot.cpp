@@ -1,0 +1,37 @@
+#include "netlist/dot.h"
+
+#include <sstream>
+
+namespace esl::netlist {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string toDot(const Netlist& nl, const std::string& graphName) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(graphName) << "\" {\n";
+  os << "  rankdir=LR;\n";
+  for (const NodeId id : nl.nodeIds()) {
+    const Node& n = nl.node(id);
+    const bool storage = n.kindName() == "eb" || n.kindName() == "eb0";
+    os << "  n" << id << " [label=\"" << escape(n.name()) << "\\n(" << n.kindName()
+       << ")\", shape=" << (storage ? "box" : "ellipse") << "];\n";
+  }
+  for (const ChannelId id : nl.channelIds()) {
+    const Channel& ch = nl.channel(id);
+    os << "  n" << ch.producer << " -> n" << ch.consumer << " [label=\""
+       << escape(ch.name) << " [" << ch.width << "]\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace esl::netlist

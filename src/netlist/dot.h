@@ -1,0 +1,16 @@
+// Graphviz export of an elastic netlist (the paper's toolkit lets the user
+// "visualize the modified graph" during exploration).
+#pragma once
+
+#include <string>
+
+#include "elastic/netlist.h"
+
+namespace esl::netlist {
+
+/// DOT digraph: nodes labelled "name\n(kind)", edges labelled with channel
+/// name and width. EBs are drawn as boxes (storage), everything else as
+/// ellipses.
+std::string toDot(const Netlist& nl, const std::string& graphName = "elastic");
+
+}  // namespace esl::netlist

@@ -1,0 +1,470 @@
+#include "netlist/patterns.h"
+
+#include "base/rng.h"
+#include "logic/alu.h"
+#include "logic/cost.h"
+#include "logic/secded.h"
+
+namespace esl::patterns {
+
+namespace {
+
+/// F of the Fig. 1 loop: any pure unary transform works for Shannon
+/// decomposition; this one mixes bits so data streams are distinguishable.
+BitVec fig1F(const BitVec& x) {
+  const unsigned w = x.width();
+  return ((x << 2) ^ x) + BitVec(w, 7);
+}
+
+bool fig1Branch(const BitVec& pc, unsigned takenPermille) {
+  return hashChancePermille(pc.toUint64(), takenPermille, /*salt=*/0xb2a7c3);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+Table1System buildTable1(std::vector<std::uint64_t> selStream, std::uint64_t base0,
+                         std::uint64_t base1,
+                         std::unique_ptr<sched::Scheduler> scheduler) {
+  Table1System s;
+  Netlist& nl = s.nl;
+  const unsigned w = 8;
+
+  s.src0 = &nl.make<TokenSource>("src0", w, TokenSource::counting(w, base0));
+  s.src1 = &nl.make<TokenSource>("src1", w, TokenSource::counting(w, base1));
+  s.selSrc =
+      &nl.make<TokenSource>("selSrc", 1, TokenSource::listOf(std::move(selStream), 1));
+
+  if (!scheduler) scheduler = std::make_unique<sched::RoundRobinScheduler>(2);
+  s.shared = &nl.make<SharedModule>(
+      "F", 2, w, w, [](const BitVec& x) { return x; }, std::move(scheduler),
+      logic::Cost{4.0, 30.0});
+  s.mux = &nl.make<EarlyEvalMux>("mux", 2, 1, w);
+  s.sink = &nl.make<TokenSink>("sink", w);
+
+  s.fin0 = nl.connect(*s.src0, 0, *s.shared, 0, "Fin0");
+  s.fin1 = nl.connect(*s.src1, 0, *s.shared, 1, "Fin1");
+  s.fout0 = nl.connect(*s.shared, 0, *s.mux, 1, "Fout0");
+  s.fout1 = nl.connect(*s.shared, 1, *s.mux, 2, "Fout1");
+  s.sel = nl.connect(*s.selSrc, 0, *s.mux, 0, "Sel");
+  s.ebin = nl.connect(*s.mux, 0, *s.sink, 0, "EBin");
+  nl.validate();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> fig1PcSequence(const Fig1Config& c, std::size_t n) {
+  std::vector<std::uint64_t> seq;
+  seq.reserve(n);
+  BitVec pc(c.width, c.pc0);
+  for (std::size_t i = 0; i < n; ++i) {
+    seq.push_back(pc.toUint64());
+    const bool taken = fig1Branch(pc, c.takenPermille);
+    const BitVec step(c.width, taken ? c.takenStep : c.notTakenStep);
+    pc = fig1F(pc + step);
+  }
+  return seq;
+}
+
+namespace {
+
+std::unique_ptr<sched::Scheduler> makeFig1Scheduler(const Fig1Config& c) {
+  switch (c.scheduler) {
+    case Fig1Scheduler::kStatic0:
+      return std::make_unique<sched::StaticScheduler>(2, 0);
+    case Fig1Scheduler::kLastServed:
+      return std::make_unique<sched::LastServedScheduler>(2);
+    case Fig1Scheduler::kTwoBit:
+      return std::make_unique<sched::TwoBitScheduler>();
+    case Fig1Scheduler::kRoundRobin:
+      return std::make_unique<sched::RoundRobinScheduler>(2);
+    case Fig1Scheduler::kOracle: {
+      // The loop is deterministic: the k-th firing selects G(pc_k).
+      auto cfg = c;
+      auto cache = std::make_shared<std::vector<std::uint64_t>>();
+      return std::make_unique<sched::OracleScheduler>(
+          2, [cfg, cache](std::uint64_t k) -> unsigned {
+            while (cache->size() <= k) {
+              const std::size_t need = cache->size() + 64;
+              *cache = fig1PcSequence(cfg, need);
+            }
+            return fig1Branch(BitVec(cfg.width, (*cache)[k]), cfg.takenPermille) ? 1 : 0;
+          });
+    }
+  }
+  throw EslError("buildFig1: unknown scheduler");
+}
+
+}  // namespace
+
+Fig1System buildFig1(Fig1Variant variant, const Fig1Config& c) {
+  Fig1System s;
+  Netlist& nl = s.nl;
+  const unsigned w = c.width;
+
+  auto& eb = nl.make<ElasticBuffer>("pc", w, 2, std::vector<BitVec>{BitVec(w, c.pc0)});
+  auto& fork = nl.make<ForkNode>("fork", w, 4);
+  s.observer = &nl.make<TokenSink>("observer", w);
+
+  auto& g = makeUnary(
+      nl, "G", w, 1,
+      [c](const BitVec& pc) { return BitVec(1, fig1Branch(pc, c.takenPermille) ? 1 : 0); },
+      logic::Cost{c.delayG, 60.0});
+  auto& w0 = makeUnary(
+      nl, "nextpc", w, w,
+      [c, w](const BitVec& pc) { return pc + BitVec(w, c.notTakenStep); },
+      logic::Cost{2.0, 18.0});
+  auto& w1 = makeUnary(
+      nl, "target", w, w,
+      [c, w](const BitVec& pc) { return pc + BitVec(w, c.takenStep); },
+      logic::Cost{2.0, 18.0});
+
+  s.loopChannel = nl.connect(eb, 0, fork, 0, "pc.out");
+  nl.connect(fork, 0, g, 0, "pc.g");
+  nl.connect(fork, 1, w0, 0, "pc.w0");
+  nl.connect(fork, 2, w1, 0, "pc.w1");
+  nl.connect(fork, 3, *s.observer, 0, "pc.obs");
+
+  const logic::Cost fCost{c.delayF, c.areaF};
+
+  switch (variant) {
+    case Fig1Variant::kNonSpeculative:
+    case Fig1Variant::kBubble: {
+      auto& mux = makeJoinMux(nl, "mux", 2, 1, w);
+      auto& f = makeUnary(nl, "F", w, w, fig1F, fCost);
+      nl.connect(g, 0, mux, 0, "sel");
+      nl.connect(w0, 0, mux, 1, "d0");
+      nl.connect(w1, 0, mux, 2, "d1");
+      const ChannelId muxOut = nl.connect(mux, 0, f, 0, "mux.out");
+      nl.connect(f, 0, eb, 0, "pc.in");
+      if (variant == Fig1Variant::kBubble) {
+        auto& bubble = nl.make<ElasticBuffer>("bubble", w);
+        nl.insertOnChannel(muxOut, bubble);
+      }
+      break;
+    }
+    case Fig1Variant::kShannon: {
+      auto& f0 = makeUnary(nl, "F0", w, w, fig1F, fCost);
+      auto& f1 = makeUnary(nl, "F1", w, w, fig1F, fCost);
+      auto& mux = makeJoinMux(nl, "mux", 2, 1, w);
+      nl.connect(w0, 0, f0, 0, "w0.f");
+      nl.connect(w1, 0, f1, 0, "w1.f");
+      nl.connect(g, 0, mux, 0, "sel");
+      nl.connect(f0, 0, mux, 1, "d0");
+      nl.connect(f1, 0, mux, 2, "d1");
+      nl.connect(mux, 0, eb, 0, "pc.in");
+      break;
+    }
+    case Fig1Variant::kSpeculative: {
+      s.shared = &nl.make<SharedModule>("F", 2, w, w, fig1F, makeFig1Scheduler(c), fCost);
+      auto& mux = nl.make<EarlyEvalMux>("mux", 2, 1, w);
+      nl.connect(w0, 0, *s.shared, 0, "Fin0");
+      nl.connect(w1, 0, *s.shared, 1, "Fin1");
+      nl.connect(*s.shared, 0, mux, 1, "Fout0");
+      nl.connect(*s.shared, 1, mux, 2, "Fout1");
+      nl.connect(g, 0, mux, 0, "sel");
+      nl.connect(mux, 0, eb, 0, "pc.in");
+      break;
+    }
+  }
+  nl.validate();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// §5.1 variable-latency ALU
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Mask clearing the MSB of every `segment`-bit group: operands under this
+/// mask can never carry across a segment boundary.
+std::uint64_t noCarryMask(unsigned width, unsigned segment) {
+  std::uint64_t mask = 0;
+  for (unsigned i = 0; i < width; ++i)
+    if (i % segment != segment - 1) mask |= 1ULL << i;
+  return mask;
+}
+
+/// Operand-pair generator with a controlled error (2-cycle) rate.
+TokenSource::Generator vluOperandGen(const VluConfig& c) {
+  const std::uint64_t clean = noCarryMask(c.width, c.segment);
+  const std::uint64_t segMask = (1ULL << c.segment) - 1;
+  const std::uint64_t widthMask =
+      c.width >= 64 ? ~0ULL : ((1ULL << c.width) - 1);
+  return [c, clean, segMask, widthMask](std::uint64_t i) -> std::optional<BitVec> {
+    const std::uint64_t r1 = mix64(i, c.seed * 3 + 1);
+    const std::uint64_t r2 = mix64(i, c.seed * 3 + 2);
+    std::uint64_t a, b;
+    if (hashChancePermille(i, c.errPermille, c.seed)) {
+      // Force a carry out of the lowest segment: a_low = all ones, b_low = 1.
+      a = ((r1 & ~segMask) | segMask) & widthMask;
+      b = ((r2 & ~segMask) | 1ULL) & widthMask;
+    } else {
+      a = r1 & clean & widthMask;
+      b = r2 & clean & widthMask;
+    }
+    return logic::packAluOperands(BitVec(c.width, a), BitVec(c.width, b),
+                                  logic::AluOp::kAdd);
+  };
+}
+
+/// Downstream consumer stage G of Fig. 6 (any pure transform).
+BitVec vluG(const BitVec& x) { return x ^ (x >> 1); }
+
+}  // namespace
+
+std::vector<std::uint64_t> vluGolden(const VluConfig& c, std::size_t n) {
+  const auto gen = vluOperandGen(c);
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BitVec packed = *gen(i);
+    out.push_back(vluG(logic::aluExact(packed, c.width)).toUint64());
+  }
+  return out;
+}
+
+VluSystem buildStallingVlu(const VluConfig& c) {
+  VluSystem s;
+  Netlist& nl = s.nl;
+  const unsigned packedW = 2 * c.width + 2;
+
+  s.src = &nl.make<TokenSource>("src", packedW, vluOperandGen(c));
+  s.vlu = &nl.make<StallingVLU>(
+      "vlu", packedW, c.width,
+      [c](const BitVec& x) { return logic::aluExact(x, c.width); },
+      [c](const BitVec& x) { return logic::aluApproxError(x, c.width, c.segment); },
+      logic::aluApproxCost(c.width, c.segment), logic::aluExactCost(c.width),
+      logic::aluErrorPredictorCost(c.width, c.segment));
+  auto& g = makeUnary(nl, "G", c.width, c.width, vluG, logic::Cost{c.delayG, 40.0});
+  auto& outEb = nl.make<ElasticBuffer>("out", c.width);
+  s.sink = &nl.make<TokenSink>("sink", c.width);
+
+  nl.connect(*s.src, 0, *s.vlu, 0, "ops");
+  nl.connect(*s.vlu, 0, g, 0, "vlu.out");
+  nl.connect(g, 0, outEb, 0, "g.out");
+  s.outChannel = nl.connect(outEb, 0, *s.sink, 0, "result");
+  nl.validate();
+  return s;
+}
+
+VluSystem buildSpeculativeVlu(const VluConfig& c) {
+  // Fig. 6(b) with the pipeline structure spelled out: F_exact is split over
+  // two cycles (the empty EB of the figure retimed into its middle), both
+  // shared-module inputs have an EB storing the token waiting to be served
+  // (§4.1), and the F_err select path is delayed by one EB so the select
+  // token reaches the early-eval mux in the same cycle as the approximate
+  // result. Error-free tokens finish in one effective cycle; a flagged
+  // operand replays through the exact channel one cycle later.
+  VluSystem s;
+  Netlist& nl = s.nl;
+  const unsigned packedW = 2 * c.width + 2;
+  const unsigned w = c.width;
+  const logic::Cost exactCost = logic::aluExactCost(c.width);
+
+  s.src = &nl.make<TokenSource>("src", packedW, vluOperandGen(c));
+  auto& fork = nl.make<ForkNode>("fork", packedW, 3);
+
+  auto& fApprox = makeUnary(
+      nl, "Fapprox", packedW, w,
+      [c](const BitVec& x) { return logic::aluApprox(x, c.width, c.segment); },
+      logic::aluApproxCost(c.width, c.segment));
+  auto& ebA = nl.make<ElasticBuffer>("ebA", w);
+  // F_exact stage 1: first half of the carry chain (timing only; the packed
+  // operands pass through so stage 2 can finish the computation).
+  auto& fExact1 = makeUnary(
+      nl, "Fexact1", packedW, packedW, [](const BitVec& x) { return x; },
+      logic::Cost{exactCost.delay / 2.0, exactCost.area / 2.0});
+  auto& bubble = nl.make<ElasticBuffer>("bubble", packedW);
+  auto& fExact2 = makeUnary(
+      nl, "Fexact2", packedW, w,
+      [c](const BitVec& x) { return logic::aluExact(x, c.width); },
+      logic::Cost{exactCost.delay / 2.0, exactCost.area / 2.0});
+  auto& ebX = nl.make<ElasticBuffer>("ebX", w);
+
+  auto& fErr = makeUnary(
+      nl, "Ferr", packedW, 1,
+      [c](const BitVec& x) {
+        return BitVec(1, logic::aluApproxError(x, c.width, c.segment) ? 1 : 0);
+      },
+      logic::aluErrorPredictorCost(c.width, c.segment));
+  auto& ebE = nl.make<ElasticBuffer>("ebE", 1);
+
+  s.shared = &nl.make<SharedModule>("G", 2, w, w, vluG,
+                                    std::make_unique<sched::StaticScheduler>(2, 0),
+                                    logic::Cost{c.delayG, 40.0});
+  auto& mux = nl.make<EarlyEvalMux>("mux", 2, 1, w);
+  auto& outEb = nl.make<ElasticBuffer>("out", w);
+  s.sink = &nl.make<TokenSink>("sink", w);
+
+  nl.connect(*s.src, 0, fork, 0, "ops");
+  nl.connect(fork, 0, fApprox, 0, "ops.a");
+  nl.connect(fork, 1, fExact1, 0, "ops.e");
+  nl.connect(fork, 2, fErr, 0, "ops.err");
+  nl.connect(fApprox, 0, ebA, 0, "approx");
+  nl.connect(ebA, 0, *s.shared, 0, "Gin0");
+  nl.connect(fExact1, 0, bubble, 0, "exact.mid");
+  nl.connect(bubble, 0, fExact2, 0, "exact.ops");
+  nl.connect(fExact2, 0, ebX, 0, "exact");
+  nl.connect(ebX, 0, *s.shared, 1, "Gin1");
+  nl.connect(*s.shared, 0, mux, 1, "Gout0");
+  nl.connect(*s.shared, 1, mux, 2, "Gout1");
+  nl.connect(fErr, 0, ebE, 0, "err.raw");
+  nl.connect(ebE, 0, mux, 0, "err");
+  nl.connect(mux, 0, outEb, 0, "mux.out");
+  s.outChannel = nl.connect(outEb, 0, *s.sink, 0, "result");
+  nl.validate();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// §5.2 SECDED resilient adder
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Code-word source with seeded single/double bit-flip injection.
+TokenSource::Generator secdedCodeGen(const SecdedConfig& c, std::uint64_t stream) {
+  return [c, stream](std::uint64_t i) -> std::optional<BitVec> {
+    const BitVec data(64, mix64(i, c.seed * 97 + stream));
+    BitVec code = logic::secdedEncode(data);
+    const std::uint64_t sel = mix64(i, c.seed * 131 + stream + 5);
+    if (hashChancePermille(i, c.doublePermille, c.seed + stream + 17)) {
+      const unsigned p1 = sel % logic::kSecdedCodeBits;
+      const unsigned p2 = (p1 + 1 + (sel >> 8) % (logic::kSecdedCodeBits - 1)) %
+                          logic::kSecdedCodeBits;
+      code.setBit(p1, !code.bit(p1));
+      code.setBit(p2, !code.bit(p2));
+    } else if (hashChancePermille(i, c.flipPermille, c.seed + stream)) {
+      const unsigned p = sel % logic::kSecdedCodeBits;
+      code.setBit(p, !code.bit(p));
+    }
+    return code;
+  };
+}
+
+BitVec secdedCorrectWord(const BitVec& code) {
+  return logic::secdedEncode(logic::secdedDecode(code).data);
+}
+
+BitVec secdedPairSum(const BitVec& pair) {
+  const BitVec a = logic::secdedPayload(pair.slice(0, 72));
+  const BitVec b = logic::secdedPayload(pair.slice(72, 72));
+  return a + b;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> secdedGolden(const SecdedConfig& c, std::size_t n) {
+  const auto genA = secdedCodeGen(c, 1);
+  const auto genB = secdedCodeGen(c, 2);
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BitVec a = logic::secdedDecode(*genA(i)).data;
+    const BitVec b = logic::secdedDecode(*genB(i)).data;
+    out.push_back((a + b).toUint64());
+  }
+  return out;
+}
+
+SecdedSystem buildSecdedPipeline(const SecdedConfig& c) {
+  SecdedSystem s;
+  Netlist& nl = s.nl;
+
+  auto& srcA = nl.make<TokenSource>("srcA", 72, secdedCodeGen(c, 1));
+  auto& srcB = nl.make<TokenSource>("srcB", 72, secdedCodeGen(c, 2));
+  auto& fixA = makeUnary(
+      nl, "secdedA", 72, 64,
+      [](const BitVec& x) { return logic::secdedDecode(x).data; },
+      logic::secdedDecoderCost());
+  auto& fixB = makeUnary(
+      nl, "secdedB", 72, 64,
+      [](const BitVec& x) { return logic::secdedDecode(x).data; },
+      logic::secdedDecoderCost());
+  auto& ebA = nl.make<ElasticBuffer>("ebA", 64);
+  auto& ebB = nl.make<ElasticBuffer>("ebB", 64);
+  auto& add = makeBinary(
+      nl, "add", 64, 64, 64,
+      [](const BitVec& a, const BitVec& b) { return a + b; },
+      logic::koggeStoneAdderCost(64));
+  auto& outEb = nl.make<ElasticBuffer>("out", 64);
+  s.sink = &nl.make<TokenSink>("sink", 64);
+
+  nl.connect(srcA, 0, fixA, 0, "codeA");
+  nl.connect(srcB, 0, fixB, 0, "codeB");
+  nl.connect(fixA, 0, ebA, 0, "dataA");
+  nl.connect(fixB, 0, ebB, 0, "dataB");
+  nl.connect(ebA, 0, add, 0, "addA");
+  nl.connect(ebB, 0, add, 1, "addB");
+  nl.connect(add, 0, outEb, 0, "sum");
+  s.outChannel = nl.connect(outEb, 0, *s.sink, 0, "result");
+  nl.validate();
+  return s;
+}
+
+SecdedSystem buildSecdedSpeculative(const SecdedConfig& c) {
+  SecdedSystem s;
+  Netlist& nl = s.nl;
+
+  auto& srcA = nl.make<TokenSource>("srcA", 72, secdedCodeGen(c, 1));
+  auto& srcB = nl.make<TokenSource>("srcB", 72, secdedCodeGen(c, 2));
+  auto& pair = makeBinary(
+      nl, "pair", 72, 72, 144,
+      [](const BitVec& a, const BitVec& b) { return a.concat(b); },
+      logic::Cost{0.0, 0.0});
+  auto& fork = nl.make<ForkNode>("fork", 144, 3);
+
+  auto& raw = makeWire(nl, "raw", 144);
+  auto& fix = makeUnary(
+      nl, "secded", 144, 144,
+      [](const BitVec& p) {
+        return secdedCorrectWord(p.slice(0, 72)).concat(secdedCorrectWord(p.slice(72, 72)));
+      },
+      logic::Cost{logic::secdedDecoderCost().delay,
+                  2.0 * logic::secdedDecoderCost().area});
+  auto& err = makeUnary(
+      nl, "errdet", 144, 1,
+      [](const BitVec& p) {
+        const bool e0 =
+            logic::secdedDecode(p.slice(0, 72)).status != logic::SecdedStatus::kOk;
+        const bool e1 =
+            logic::secdedDecode(p.slice(72, 72)).status != logic::SecdedStatus::kOk;
+        return BitVec(1, (e0 || e1) ? 1 : 0);
+      },
+      logic::Cost{logic::secdedDecoderCost().delay + 1.0, 30.0});
+  auto& bubble = nl.make<ElasticBuffer>("bubble", 144);
+
+  s.shared = &nl.make<SharedModule>("add", 2, 144, 64, secdedPairSum,
+                                    std::make_unique<sched::StaticScheduler>(2, 0),
+                                    logic::koggeStoneAdderCost(64));
+  auto& mux = nl.make<EarlyEvalMux>("mux", 2, 1, 64);
+  auto& outEb = nl.make<ElasticBuffer>("out", 64);
+  s.sink = &nl.make<TokenSink>("sink", 64);
+
+  nl.connect(srcA, 0, pair, 0, "codeA");
+  nl.connect(srcB, 0, pair, 1, "codeB");
+  nl.connect(pair, 0, fork, 0, "pair");
+  nl.connect(fork, 0, raw, 0, "pair.raw");
+  nl.connect(fork, 1, fix, 0, "pair.fix");
+  nl.connect(fork, 2, err, 0, "pair.err");
+  nl.connect(raw, 0, *s.shared, 0, "addin0");
+  nl.connect(fix, 0, bubble, 0, "corrected");
+  nl.connect(bubble, 0, *s.shared, 1, "addin1");
+  nl.connect(*s.shared, 0, mux, 1, "addout0");
+  nl.connect(*s.shared, 1, mux, 2, "addout1");
+  nl.connect(err, 0, mux, 0, "err");
+  nl.connect(mux, 0, outEb, 0, "mux.out");
+  s.outChannel = nl.connect(outEb, 0, *s.sink, 0, "result");
+  nl.validate();
+  return s;
+}
+
+}  // namespace esl::patterns

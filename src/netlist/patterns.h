@@ -1,0 +1,147 @@
+// Reusable paper topologies.
+//
+// Builders for every system evaluated in the paper, used by the test suite,
+// the benchmark harnesses and the examples:
+//  * the open shared-module system traced in Table 1;
+//  * the four closed-loop variants of Fig. 1 (non-speculative, bubble,
+//    Shannon, speculative) on the branch-prediction micro-architecture of §2;
+//  * the stalling and speculative variable-latency ALUs of §5.1 / Fig. 6;
+//  * the non-speculative and speculative SECDED resilient adders of §5.2 /
+//    Fig. 7.
+//
+// Each builder returns the netlist together with the handles a harness needs
+// (sources, the shared module, the channels to measure or trace).
+#pragma once
+
+#include <memory>
+
+#include "elastic/buffer.h"
+#include "elastic/eemux.h"
+#include "elastic/endpoints.h"
+#include "elastic/fork.h"
+#include "elastic/func.h"
+#include "elastic/netlist.h"
+#include "elastic/shared.h"
+#include "elastic/vlu.h"
+#include "sched/scheduler.h"
+
+namespace esl::patterns {
+
+// ---------------------------------------------------------------------------
+// Table 1: open shared-module + early-evaluation mux system
+// ---------------------------------------------------------------------------
+
+struct Table1System {
+  Netlist nl;
+  TokenSource* src0 = nullptr;
+  TokenSource* src1 = nullptr;
+  TokenSource* selSrc = nullptr;
+  SharedModule* shared = nullptr;
+  EarlyEvalMux* mux = nullptr;
+  TokenSink* sink = nullptr;
+  ChannelId fin0{}, fin1{};    ///< shared-module input channels
+  ChannelId fout0{}, fout1{};  ///< shared-module output channels (mux inputs)
+  ChannelId sel{}, ebin{};     ///< select channel; mux output channel
+};
+
+/// `selStream` is the sequence of select values; data streams count up from
+/// `base0`/`base1`. The scheduler is round-robin with demand correction,
+/// which reproduces the paper's Sched row exactly.
+Table1System buildTable1(std::vector<std::uint64_t> selStream,
+                         std::uint64_t base0 = 1, std::uint64_t base1 = 101,
+                         std::unique_ptr<sched::Scheduler> scheduler = nullptr);
+
+// ---------------------------------------------------------------------------
+// Fig. 1: branch-speculation loop (the §2 PC micro-architecture)
+// ---------------------------------------------------------------------------
+
+enum class Fig1Variant {
+  kNonSpeculative,  ///< Fig. 1(a): join mux, F after the mux
+  kBubble,          ///< Fig. 1(b): empty EB inserted after the mux
+  kShannon,         ///< Fig. 1(c): F duplicated onto the mux inputs
+  kSpeculative,     ///< Fig. 1(d): shared F + early-evaluation mux + scheduler
+};
+
+/// Scheduler choices for the speculative variant.
+enum class Fig1Scheduler { kStatic0, kLastServed, kTwoBit, kOracle, kRoundRobin };
+
+struct Fig1Config {
+  unsigned width = 16;
+  std::uint64_t pc0 = 1;           ///< initial PC token in the loop EB
+  unsigned takenPermille = 300;    ///< branch taken-rate (hash of PC)
+  std::uint64_t notTakenStep = 1;  ///< PC += step when not taken
+  std::uint64_t takenStep = 17;    ///< PC += step when taken
+  Fig1Scheduler scheduler = Fig1Scheduler::kStatic0;
+  double delayF = 8.0;             ///< unit-gate delay of F
+  double delayG = 8.0;             ///< unit-gate delay of G
+  double areaF = 400.0;            ///< F is a sizable functional unit
+};
+
+struct Fig1System {
+  Netlist nl;
+  ChannelId loopChannel{};  ///< EB output: throughput is measured here
+  TokenSink* observer = nullptr;
+  SharedModule* shared = nullptr;  ///< only for kSpeculative
+};
+
+Fig1System buildFig1(Fig1Variant variant, const Fig1Config& config = {});
+
+/// The PC sequence of the Fig. 1 loop (for oracles and golden checks):
+/// returns the first `n` PC values starting at pc0.
+std::vector<std::uint64_t> fig1PcSequence(const Fig1Config& config, std::size_t n);
+
+// ---------------------------------------------------------------------------
+// §5.1 / Fig. 6: variable-latency ALU
+// ---------------------------------------------------------------------------
+
+struct VluConfig {
+  unsigned width = 8;           ///< ALU operand width
+  unsigned segment = 4;         ///< approximate-adder carry segment
+  unsigned errPermille = 100;   ///< fraction of operands that need 2 cycles
+  std::uint64_t seed = 1;
+  double delayG = 6.0;          ///< downstream (shared) stage delay
+};
+
+struct VluSystem {
+  Netlist nl;
+  TokenSource* src = nullptr;
+  TokenSink* sink = nullptr;
+  SharedModule* shared = nullptr;   ///< speculative variant only
+  StallingVLU* vlu = nullptr;       ///< stalling variant only
+  ChannelId outChannel{};
+};
+
+/// Fig. 6(a): F_err gates the elastic controller; 1 or 2 cycles per token.
+VluSystem buildStallingVlu(const VluConfig& config = {});
+/// Fig. 6(b): speculation with replay through a shared downstream stage.
+VluSystem buildSpeculativeVlu(const VluConfig& config = {});
+
+/// Golden results (G(exact ALU result) per operand) for `n` operands.
+std::vector<std::uint64_t> vluGolden(const VluConfig& config, std::size_t n);
+
+// ---------------------------------------------------------------------------
+// §5.2 / Fig. 7: SECDED resilient adder
+// ---------------------------------------------------------------------------
+
+struct SecdedConfig {
+  unsigned flipPermille = 50;    ///< chance a 72-bit input word has 1 bit flipped
+  unsigned doublePermille = 0;   ///< chance of a 2-bit (uncorrectable) flip
+  std::uint64_t seed = 7;
+};
+
+struct SecdedSystem {
+  Netlist nl;
+  TokenSink* sink = nullptr;       ///< receives 64-bit sums
+  SharedModule* shared = nullptr;  ///< speculative variant only
+  ChannelId outChannel{};
+};
+
+/// Fig. 7(a): SECDED correction pipelined before the adder (1 extra stage).
+SecdedSystem buildSecdedPipeline(const SecdedConfig& config = {});
+/// Fig. 7(b): speculative addition with SECDED replay on error.
+SecdedSystem buildSecdedSpeculative(const SecdedConfig& config = {});
+
+/// Golden sums for `n` operand pairs under the same seed (errors corrected).
+std::vector<std::uint64_t> secdedGolden(const SecdedConfig& config, std::size_t n);
+
+}  // namespace esl::patterns

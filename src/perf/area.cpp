@@ -1,0 +1,31 @@
+#include "perf/area.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace esl::perf {
+
+AreaReport areaReport(const Netlist& nl) {
+  AreaReport report;
+  for (const NodeId id : nl.nodeIds()) {
+    const Node& n = nl.node(id);
+    const double a = n.cost().area;
+    report.total += a;
+    report.byKind[n.kindName()] += a;
+    report.byNode[n.name()] += a;
+  }
+  return report;
+}
+
+std::string renderAreaReport(const AreaReport& report) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  for (const auto& [kind, area] : report.byKind)
+    os << "  " << std::left << std::setw(14) << kind << std::right << std::setw(10)
+       << area << "\n";
+  os << "  " << std::left << std::setw(14) << "total" << std::right << std::setw(10)
+     << report.total << "\n";
+  return os.str();
+}
+
+}  // namespace esl::perf

@@ -1,0 +1,22 @@
+// Area accounting (NAND2-equivalent units, see logic/cost.h).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "elastic/netlist.h"
+
+namespace esl::perf {
+
+struct AreaReport {
+  double total = 0.0;
+  std::map<std::string, double> byKind;  ///< node kind -> area
+  std::map<std::string, double> byNode;  ///< node name -> area
+};
+
+AreaReport areaReport(const Netlist& nl);
+
+/// Formatted area table for bench output.
+std::string renderAreaReport(const AreaReport& report);
+
+}  // namespace esl::perf

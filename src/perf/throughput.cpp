@@ -1,0 +1,78 @@
+#include "perf/throughput.h"
+
+#include <cmath>
+
+namespace esl::perf {
+
+namespace {
+
+struct Edge {
+  std::size_t from;
+  std::size_t to;
+  double tokens;
+  double latency;
+};
+
+/// Bellman-Ford negative-cycle detection with weights tokens - lambda*latency.
+bool hasNegativeCycle(const std::vector<Edge>& edges, std::size_t n, double lambda) {
+  std::vector<double> dist(n, 0.0);
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    bool changed = false;
+    for (const Edge& e : edges) {
+      const double w = e.tokens - lambda * e.latency;
+      if (dist[e.from] + w < dist[e.to] - 1e-12) {
+        dist[e.to] = dist[e.from] + w;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ThroughputBound throughputBound(const Netlist& nl) {
+  // Vertices are channels; edges are through-node token flows.
+  std::vector<Node::FlowEdge> flows;
+  for (const NodeId id : nl.nodeIds()) nl.node(id).flowEdges(flows);
+
+  const std::size_t n = nl.channelCapacity();
+  std::vector<Edge> edges;
+  edges.reserve(flows.size());
+  for (const Node::FlowEdge& f : flows)
+    edges.push_back({f.from, f.to, f.tokens, f.latency});
+
+  ThroughputBound result;
+  // A cycle with zero latency and zero tokens is a combinational loop;
+  // detect it as a negative cycle for weights -epsilon per edge.
+  {
+    std::vector<Edge> probe = edges;
+    for (Edge& e : probe)
+      if (e.latency == 0.0 && e.tokens == 0.0) e.tokens = -1e-6;
+    result.zeroLatencyCycle = hasNegativeCycle(probe, n, 0.0);
+  }
+
+  // Any cycle at all? For lambda slightly above 1 every latency edge turns
+  // negative, so a negative cycle exists iff some cycle has latency.
+  result.hasCycles = hasNegativeCycle(edges, n, 1.0 + 1e-6) ||
+                     hasNegativeCycle(edges, n, 2.0);
+  if (!result.hasCycles) {
+    result.bound = 1.0;  // pipelines without feedback sustain full rate
+    return result;
+  }
+
+  // Binary search the largest lambda with no negative cycle.
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (hasNegativeCycle(edges, n, mid))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  result.bound = lo;
+  return result;
+}
+
+}  // namespace esl::perf

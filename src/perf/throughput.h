@@ -1,0 +1,31 @@
+// Analytic throughput bound: minimum cycle ratio tokens/latency.
+//
+// Treating the elastic netlist as a marked graph (every node contributes
+// token-flow edges, Node::flowEdges), the sustainable throughput of the
+// system is bounded by min over directed cycles of
+//     (initial tokens on the cycle) / (registered latency on the cycle).
+// Bubble insertion (paper §2/Fig. 1b) shows up directly: adding an empty EB
+// to a loop with one token drops the bound from 1 to 1/2. For speculative
+// systems the bound assumes perfect prediction; the simulator reports the
+// achieved value.
+#pragma once
+
+#include "elastic/netlist.h"
+
+namespace esl::perf {
+
+struct ThroughputBound {
+  bool hasCycles = false;     ///< any directed cycle with latency
+  double bound = 1.0;         ///< min cycle ratio, clamped to [0, 1]
+  bool zeroLatencyCycle = false;  ///< combinational loop (no EB on a cycle)
+};
+
+ThroughputBound throughputBound(const Netlist& nl);
+
+/// Effective cycle time: timing cycle time divided by throughput — the
+/// figure of merit the paper optimizes ("average case").
+inline double effectiveCycleTime(double cycleTime, double throughput) {
+  return throughput > 0.0 ? cycleTime / throughput : 0.0;
+}
+
+}  // namespace esl::perf

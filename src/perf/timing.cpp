@@ -1,0 +1,100 @@
+#include "perf/timing.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace esl::perf {
+
+namespace {
+std::size_t netIndex(TimingRef ref) {
+  return static_cast<std::size_t>(ref.ch) * 2 + (ref.kind == NetKind::kBwd ? 1 : 0);
+}
+}  // namespace
+
+TimingReport analyzeTiming(const Netlist& nl) {
+  TimingModel model;
+  for (const NodeId id : nl.nodeIds()) nl.node(id).timing(model);
+
+  const std::size_t nets = nl.channelCapacity() * 2;
+  TimingReport report;
+  report.arrival.assign(nets, 0.0);
+  std::vector<int> pred(nets, -1);
+
+  for (const TimingLaunch& l : model.launches) {
+    const std::size_t i = netIndex(l.at);
+    report.arrival[i] = std::max(report.arrival[i], l.delay);
+  }
+
+  // Kahn topological order over the arc graph.
+  std::vector<std::vector<std::size_t>> arcsFrom(nets);
+  std::vector<unsigned> indeg(nets, 0);
+  for (std::size_t a = 0; a < model.arcs.size(); ++a) {
+    arcsFrom[netIndex(model.arcs[a].from)].push_back(a);
+    ++indeg[netIndex(model.arcs[a].to)];
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t n = 0; n < nets; ++n)
+    if (indeg[n] == 0) ready.push_back(n);
+
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const std::size_t n = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (const std::size_t a : arcsFrom[n]) {
+      const TimingArc& arc = model.arcs[a];
+      const std::size_t to = netIndex(arc.to);
+      const double t = report.arrival[n] + arc.delay;
+      if (t > report.arrival[to]) {
+        report.arrival[to] = t;
+        pred[to] = static_cast<int>(n);
+      }
+      if (--indeg[to] == 0) ready.push_back(to);
+    }
+  }
+  if (visited != nets)
+    throw CombinationalCycleError(
+        "timing graph has a combinational cycle (" +
+        std::to_string(nets - visited) + " nets unresolved)");
+
+  // Critical endpoint + path reconstruction. Internal capture paths extend
+  // the cycle beyond the net arrival itself.
+  std::size_t end = 0;
+  for (std::size_t n = 1; n < nets; ++n)
+    if (report.arrival[n] > report.arrival[end]) end = n;
+  report.cycleTime = report.arrival[end];
+  for (const TimingCapture& cap : model.captures) {
+    const std::size_t at = netIndex(cap.at);
+    if (report.arrival[at] + cap.delay > report.cycleTime) {
+      report.cycleTime = report.arrival[at] + cap.delay;
+      end = at;
+    }
+  }
+
+  std::vector<TimingRef> path;
+  for (int n = static_cast<int>(end); n >= 0; n = pred[n]) {
+    path.push_back({static_cast<ChannelId>(n / 2),
+                    (n % 2) != 0 ? NetKind::kBwd : NetKind::kFwd});
+    if (pred[n] < 0) break;
+  }
+  std::reverse(path.begin(), path.end());
+  report.criticalPath = std::move(path);
+  return report;
+}
+
+std::string describeCriticalPath(const Netlist& nl, const TimingReport& report) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < report.criticalPath.size(); ++i) {
+    const TimingRef ref = report.criticalPath[i];
+    if (i != 0) os << " -> ";
+    if (nl.hasChannel(ref.ch))
+      os << nl.channel(ref.ch).name;
+    else
+      os << "ch" << ref.ch;
+    os << (ref.kind == NetKind::kBwd ? "[bwd]" : "[fwd]");
+  }
+  os << " @ " << report.cycleTime;
+  return os.str();
+}
+
+}  // namespace esl::perf

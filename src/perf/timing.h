@@ -1,0 +1,37 @@
+// Static timing analysis over the elastic netlist.
+//
+// Every channel has two timing nets — forward (valid/data) and backward
+// (stop/anti-token) — and every node contributes combinational arcs between
+// nets plus launch points for registered outputs (Node::timing). The cycle
+// time is the longest settled path; because control arcs are included, the
+// analysis sees the paper's control-critical paths: F_err gating the stalling
+// VLU's controller (§5.1) and chains of zero-backward-latency EBs (§4.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "elastic/netlist.h"
+
+namespace esl::perf {
+
+struct TimingReport {
+  double cycleTime = 0.0;
+  /// Arrival time per net; index = channel id * 2 + (kind == kBwd).
+  std::vector<double> arrival;
+  /// Nets on the critical path, endpoint last.
+  std::vector<TimingRef> criticalPath;
+
+  double arrivalOf(TimingRef ref) const {
+    return arrival.at(ref.ch * 2 + (ref.kind == NetKind::kBwd ? 1 : 0));
+  }
+};
+
+/// Longest-path analysis; throws CombinationalCycleError if the collected
+/// arcs form a cycle (a true combinational loop through control).
+TimingReport analyzeTiming(const Netlist& nl);
+
+/// Human-readable critical path (channel names + net kinds).
+std::string describeCriticalPath(const Netlist& nl, const TimingReport& report);
+
+}  // namespace esl::perf

@@ -1,0 +1,300 @@
+#include "shell/session.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "backend/blif.h"
+#include "backend/smv.h"
+#include "backend/verilog.h"
+#include "netlist/dot.h"
+#include "netlist/patterns.h"
+#include "perf/area.h"
+#include "perf/throughput.h"
+#include "perf/timing.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "transform/transform.h"
+
+namespace esl::shell {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;
+    tokens.push_back(t);
+  }
+  return tokens;
+}
+
+std::unique_ptr<Netlist> buildDesign(const std::string& name) {
+  using namespace patterns;
+  auto lift = [](Netlist&& nl) { return std::make_unique<Netlist>(std::move(nl)); };
+  if (name == "fig1a") return lift(std::move(buildFig1(Fig1Variant::kNonSpeculative).nl));
+  if (name == "fig1b") return lift(std::move(buildFig1(Fig1Variant::kBubble).nl));
+  if (name == "fig1c") return lift(std::move(buildFig1(Fig1Variant::kShannon).nl));
+  if (name == "fig1d") return lift(std::move(buildFig1(Fig1Variant::kSpeculative).nl));
+  if (name == "table1") return lift(std::move(buildTable1({0, 1, 1, 0, 0}).nl));
+  if (name == "vlu-stall") return lift(std::move(buildStallingVlu().nl));
+  if (name == "vlu-spec") return lift(std::move(buildSpeculativeVlu().nl));
+  if (name == "secded-pipe") return lift(std::move(buildSecdedPipeline().nl));
+  if (name == "secded-spec") return lift(std::move(buildSecdedSpeculative().nl));
+  throw EslError("unknown design '" + name + "'");
+}
+
+std::unique_ptr<sched::Scheduler> makeSched(const std::string& name, unsigned k) {
+  if (name == "static0" || name.empty()) return std::make_unique<sched::StaticScheduler>(k, 0);
+  if (name == "static1") return std::make_unique<sched::StaticScheduler>(k, 1);
+  if (name == "rr") return std::make_unique<sched::RoundRobinScheduler>(k);
+  if (name == "last") return std::make_unique<sched::LastServedScheduler>(k);
+  if (name == "2bit") return std::make_unique<sched::TwoBitScheduler>();
+  throw EslError("unknown scheduler '" + name + "' (static0|static1|rr|last|2bit)");
+}
+
+Node& findNodeOrThrow(Netlist& nl, const std::string& name) {
+  Node* n = nl.findNode(name);
+  ESL_CHECK(n != nullptr, "no node named '" + name + "'");
+  return *n;
+}
+
+ChannelId findChannelOrThrow(const Netlist& nl, const std::string& name) {
+  const Channel* ch = nl.findChannel(name);
+  ESL_CHECK(ch != nullptr, "no channel named '" + name + "'");
+  return ch->id;
+}
+
+/// Commands that change the design (recorded for replay-undo).
+bool isMutating(const std::string& verb) {
+  return verb == "bubble" || verb == "unbubble" || verb == "retime-back" ||
+         verb == "retime-fwd" || verb == "shannon" || verb == "early" ||
+         verb == "speculate";
+}
+
+}  // namespace
+
+Session::Session() = default;
+
+std::vector<std::string> Session::designNames() {
+  return {"fig1a", "fig1b", "fig1c", "fig1d", "table1",
+          "vlu-stall", "vlu-spec", "secded-pipe", "secded-spec"};
+}
+
+std::string Session::helpText() {
+  return
+      "commands:\n"
+      "  build <design>            load a base design (see `designs`)\n"
+      "  designs                   list base designs\n"
+      "  nodes | channels          list the current graph\n"
+      "  candidates                speculation candidates (mux+func pairs)\n"
+      "  bubble <channel>          insert an empty EB on a channel\n"
+      "  unbubble <node>           remove an empty EB\n"
+      "  retime-back <eb>          move an empty EB to the inputs of its producer\n"
+      "  retime-fwd <func>         move input EBs of a function to its output\n"
+      "  shannon <mux> <func>      Shannon decomposition (mux retiming)\n"
+      "  early <mux>               convert a join mux to early evaluation\n"
+      "  speculate <mux> <func> [sched]   full speculation recipe\n"
+      "  undo | redo               replay-based undo/redo of transformations\n"
+      "  sim <cycles>              simulate; report sink transfers + violations\n"
+      "  tput <cycles> <channel>   measured throughput on a channel\n"
+      "  trace <cycles> <ch...>    Table-1 style trace of selected channels\n"
+      "  timing                    cycle time + critical path\n"
+      "  bound                     analytic throughput bound (min cycle ratio)\n"
+      "  area                      area report (NAND2 equivalents)\n"
+      "  dot | verilog | smv | blif  emit the corresponding artifact\n"
+      "  help                      this text\n";
+}
+
+std::string Session::execute(const std::string& line) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return "";
+  try {
+    const std::string out = dispatch(line, /*replaying=*/false);
+    if (isMutating(tokens[0])) {
+      applied_.push_back(line);
+      undone_.clear();
+    }
+    return out;
+  } catch (const EslError& e) {
+    return std::string("error: ") + e.what() + "\n";
+  }
+}
+
+std::string Session::runScript(const std::string& script) {
+  std::istringstream is(script);
+  std::ostringstream os;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    std::string trimmed = tokens[0];
+    for (std::size_t i = 1; i < tokens.size(); ++i) trimmed += " " + tokens[i];
+    os << "esl> " << trimmed << "\n" << execute(trimmed);
+  }
+  return os.str();
+}
+
+void Session::rebuildAndReplay() {
+  netlist_ = buildDesign(baseDesign_);
+  for (const std::string& cmd : applied_) dispatch(cmd, /*replaying=*/true);
+}
+
+std::string Session::dispatch(const std::string& line, bool replaying) {
+  const auto t = tokenize(line);
+  const std::string& verb = t[0];
+  std::ostringstream os;
+
+  if (verb == "help") return helpText();
+  if (verb == "designs") {
+    for (const auto& d : designNames()) os << d << "\n";
+    return os.str();
+  }
+  if (verb == "build") {
+    ESL_CHECK(t.size() == 2, "usage: build <design>");
+    netlist_ = buildDesign(t[1]);
+    baseDesign_ = t[1];
+    applied_.clear();
+    undone_.clear();
+    os << "loaded '" << t[1] << "': " << netlist_->nodeIds().size() << " nodes, "
+       << netlist_->channelIds().size() << " channels\n";
+    return os.str();
+  }
+
+  ESL_CHECK(netlist_ != nullptr, "no design loaded (use `build <design>`)");
+  Netlist& nl = *netlist_;
+
+  if (verb == "undo") {
+    ESL_CHECK(!applied_.empty(), "nothing to undo");
+    undone_.push_back(applied_.back());
+    applied_.pop_back();
+    rebuildAndReplay();
+    return "undone: " + undone_.back() + "\n";
+  }
+  if (verb == "redo") {
+    ESL_CHECK(!undone_.empty(), "nothing to redo");
+    const std::string cmd = undone_.back();
+    undone_.pop_back();
+    dispatch(cmd, /*replaying=*/true);
+    applied_.push_back(cmd);
+    return "redone: " + cmd + "\n";
+  }
+
+  if (verb == "nodes") {
+    for (const NodeId id : nl.nodeIds()) {
+      const Node& n = nl.node(id);
+      os << std::setw(4) << id << "  " << std::left << std::setw(18) << n.name()
+         << std::right << " (" << n.kindName() << ")\n";
+    }
+    return os.str();
+  }
+  if (verb == "channels") {
+    for (const ChannelId id : nl.channelIds()) {
+      const Channel& ch = nl.channel(id);
+      os << std::setw(4) << id << "  " << std::left << std::setw(18) << ch.name
+         << std::right << " [" << ch.width << "]  " << nl.node(ch.producer).name()
+         << " -> " << nl.node(ch.consumer).name() << "\n";
+    }
+    return os.str();
+  }
+  if (verb == "candidates") {
+    for (const auto& c : transform::findSpeculationCandidates(nl))
+      os << "mux=" << nl.node(c.mux).name() << " func=" << nl.node(c.func).name()
+         << (c.onCriticalCycle ? "  [on critical cycle through select]" : "") << "\n";
+    return os.str();
+  }
+  if (verb == "bubble") {
+    ESL_CHECK(t.size() == 2, "usage: bubble <channel>");
+    auto& eb = transform::insertBubble(nl, findChannelOrThrow(nl, t[1]));
+    return replaying ? "" : "inserted bubble '" + eb.name() + "'\n";
+  }
+  if (verb == "unbubble") {
+    ESL_CHECK(t.size() == 2, "usage: unbubble <node>");
+    transform::removeBubble(nl, findNodeOrThrow(nl, t[1]).id());
+    return replaying ? "" : "removed bubble '" + t[1] + "'\n";
+  }
+  if (verb == "retime-back") {
+    ESL_CHECK(t.size() == 2, "usage: retime-back <eb>");
+    const auto ebs = transform::retimeBackward(nl, findNodeOrThrow(nl, t[1]).id());
+    return replaying ? "" : "retimed into " + std::to_string(ebs.size()) + " EB(s)\n";
+  }
+  if (verb == "retime-fwd") {
+    ESL_CHECK(t.size() == 2, "usage: retime-fwd <func>");
+    transform::retimeForward(nl, findNodeOrThrow(nl, t[1]).id());
+    return replaying ? "" : "retimed forward across '" + t[1] + "'\n";
+  }
+  if (verb == "shannon") {
+    ESL_CHECK(t.size() == 3, "usage: shannon <mux> <func>");
+    const auto r = transform::shannonDecompose(nl, findNodeOrThrow(nl, t[1]).id(),
+                                               findNodeOrThrow(nl, t[2]).id());
+    return replaying ? "" : "duplicated into " + std::to_string(r.copies.size()) +
+                                " copies\n";
+  }
+  if (verb == "early") {
+    ESL_CHECK(t.size() == 2, "usage: early <mux>");
+    transform::convertToEarlyEval(nl, findNodeOrThrow(nl, t[1]).id());
+    return replaying ? "" : "converted '" + t[1] + "' to early evaluation\n";
+  }
+  if (verb == "speculate") {
+    ESL_CHECK(t.size() == 3 || t.size() == 4, "usage: speculate <mux> <func> [sched]");
+    const NodeId shared = transform::speculate(
+        nl, findNodeOrThrow(nl, t[1]).id(), findNodeOrThrow(nl, t[2]).id(),
+        makeSched(t.size() == 4 ? t[3] : "", 2));
+    return replaying ? "" : "speculation applied; shared module '" +
+                                nl.node(shared).name() + "'\n";
+  }
+
+  if (verb == "sim") {
+    ESL_CHECK(t.size() == 2, "usage: sim <cycles>");
+    sim::Simulator s(nl, {.checkProtocol = true, .throwOnViolation = false});
+    s.run(std::stoull(t[1]));
+    for (const NodeId id : nl.nodeIds()) {
+      if (const auto* sink = dynamic_cast<const TokenSink*>(&nl.node(id)))
+        os << "sink '" << sink->name() << "': " << sink->received() << " transfers\n";
+    }
+    os << "protocol violations: " << s.ctx().protocolViolations().size() << "\n";
+    return os.str();
+  }
+  if (verb == "tput") {
+    ESL_CHECK(t.size() == 3, "usage: tput <cycles> <channel>");
+    sim::Simulator s(nl, {.checkProtocol = false});
+    const ChannelId ch = findChannelOrThrow(nl, t[2]);
+    s.run(std::stoull(t[1]));
+    os << "throughput(" << t[2] << ") = " << std::fixed << std::setprecision(4)
+       << s.throughput(ch) << "\n";
+    return os.str();
+  }
+  if (verb == "trace") {
+    ESL_CHECK(t.size() >= 3, "usage: trace <cycles> <channel...>");
+    sim::TraceRecorder trace;
+    for (std::size_t i = 2; i < t.size(); ++i)
+      trace.addChannel(findChannelOrThrow(nl, t[i]), t[i]);
+    sim::Simulator s(nl, {.checkProtocol = false});
+    s.attachTrace(&trace);
+    s.run(std::stoull(t[1]));
+    return trace.render();
+  }
+  if (verb == "timing") {
+    const auto report = perf::analyzeTiming(nl);
+    os << "cycle time: " << report.cycleTime << " gate units\n"
+       << "critical path: " << perf::describeCriticalPath(nl, report) << "\n";
+    return os.str();
+  }
+  if (verb == "bound") {
+    const auto bound = perf::throughputBound(nl);
+    os << "throughput bound: " << bound.bound
+       << (bound.hasCycles ? "" : " (no token cycles)")
+       << (bound.zeroLatencyCycle ? " [combinational cycle!]" : "") << "\n";
+    return os.str();
+  }
+  if (verb == "area") return perf::renderAreaReport(perf::areaReport(nl));
+  if (verb == "dot") return netlist::toDot(nl);
+  if (verb == "verilog") return backend::emitVerilog(nl);
+  if (verb == "smv") return backend::emitSmv(nl);
+  if (verb == "blif") return backend::emitBlif(nl);
+
+  throw EslError("unknown command '" + verb + "' (try `help`)");
+}
+
+}  // namespace esl::shell

@@ -1,0 +1,55 @@
+// Interactive exploration shell (paper §5).
+//
+// "Given an abstract netlist ... our toolkit can apply all of the known
+// correct-by-construction transformations under the user guidance in the form
+// of command scripts within an interactive shell. ... The user can perform
+// transformations, visualize the modified graph, undo and redo the
+// transformations. At any point, it is possible to generate a Verilog netlist
+// of the elastic controller ... or a NuSMV model for verification."
+//
+// Session interprets that command language. Undo/redo is implemented by
+// deterministic replay: the session keeps the base design name plus the list
+// of applied transformation commands and rebuilds from scratch on undo —
+// transformations are cheap ("all transformations are local they are very
+// fast to compute"), so replay is instantaneous.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "elastic/netlist.h"
+
+namespace esl::shell {
+
+class Session {
+ public:
+  Session();
+
+  /// Executes one command line; returns the printable result. Errors are
+  /// reported in the returned text (prefixed "error:"), never thrown.
+  std::string execute(const std::string& line);
+
+  /// Runs a newline-separated script ('#' starts a comment). Returns the
+  /// concatenated output; each command is echoed with a "esl> " prompt.
+  std::string runScript(const std::string& script);
+
+  /// Current design (nullptr before the first `build`).
+  Netlist* netlist() { return netlist_.get(); }
+
+  /// One-line summary of every available command.
+  static std::string helpText();
+  /// Names accepted by `build`.
+  static std::vector<std::string> designNames();
+
+ private:
+  std::string dispatch(const std::string& line, bool replaying);
+  void rebuildAndReplay();
+
+  std::string baseDesign_;
+  std::vector<std::string> applied_;  ///< mutating commands, replay order
+  std::vector<std::string> undone_;   ///< redo stack
+  std::unique_ptr<Netlist> netlist_;
+};
+
+}  // namespace esl::shell

@@ -1,0 +1,36 @@
+// Transfer equivalence (paper §3.1).
+//
+// "Two elastic systems are transfer equivalent if, given identical input
+// streams, the output transfer streams match." Every correct-by-construction
+// transformation must preserve this; the transformation tests co-simulate the
+// original and transformed netlists and compare the data sequences observed
+// at identically named sinks (cycle alignment is irrelevant by design).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace esl::sim {
+
+/// Runs the netlist for `cycles` and returns, per TokenSink name, the ordered
+/// sequence of transferred payloads.
+std::map<std::string, std::vector<BitVec>> collectSinkStreams(
+    Netlist& netlist, std::uint64_t cycles, SimOptions options = {});
+
+struct EquivalenceResult {
+  bool equivalent = true;
+  std::string reason;
+};
+
+/// Compares the transfer streams of the two netlists over `cycles` cycles.
+/// Streams may have different lengths (transformations change timing); the
+/// common prefix must match and at least `minTransfers` transfers must have
+/// been observed per sink for the comparison to be meaningful.
+EquivalenceResult transferEquivalent(Netlist& a, Netlist& b, std::uint64_t cycles,
+                                     std::uint64_t minTransfers = 1,
+                                     SimOptions options = {});
+
+}  // namespace esl::sim

@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+namespace esl::sim {
+
+Simulator::Simulator(Netlist& netlist, SimOptions options)
+    : ctx_(netlist), options_(options), rng_(options.seed) {
+  ctx_.setProtocolChecking(options_.checkProtocol);
+  ctx_.setThrowOnViolation(options_.throwOnViolation);
+  ctx_.setChoiceProvider([this](NodeId, unsigned) { return (rng_.next() & 1) != 0; });
+  stats_.assign(netlist.channelCapacity(), ChannelStats{});
+}
+
+void Simulator::step() {
+  ctx_.settle();
+  if (options_.checkProtocol) ctx_.checkProtocol();
+
+  for (const ChannelId id : ctx_.netlist().channelIds()) {
+    const ChannelSignals& s = ctx_.sig(id);
+    ChannelStats& st = stats_[id];
+    if (fwdTransfer(s)) ++st.fwdTransfers;
+    if (killEvent(s)) ++st.kills;
+    if (bwdTransfer(s)) ++st.bwdTransfers;
+  }
+  if (trace_ != nullptr) trace_->capture(ctx_);
+
+  ctx_.edge();
+}
+
+void Simulator::run(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) step();
+}
+
+double Simulator::throughput(ChannelId ch) const {
+  const std::uint64_t c = ctx_.cycle();
+  if (c == 0) return 0.0;
+  return static_cast<double>(stats_.at(ch).fwdTransfers) / static_cast<double>(c);
+}
+
+}  // namespace esl::sim

@@ -1,0 +1,53 @@
+// Simulator: runs a netlist cycle by cycle and collects statistics.
+//
+// Wraps SimContext with: a seeded RNG choice provider (nondet environment
+// nodes behave randomly but reproducibly), per-channel transfer/kill
+// statistics, throughput measurement, and an optional trace recorder.
+#pragma once
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "elastic/context.h"
+#include "sim/trace.h"
+
+namespace esl::sim {
+
+struct SimOptions {
+  bool checkProtocol = true;       ///< monitor SELF properties every cycle
+  bool throwOnViolation = true;    ///< raise ProtocolError immediately
+  std::uint64_t seed = 0x5e1fULL;  ///< choice-provider seed
+};
+
+struct ChannelStats {
+  std::uint64_t fwdTransfers = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t bwdTransfers = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(Netlist& netlist, SimOptions options = {});
+
+  SimContext& ctx() { return ctx_; }
+  std::uint64_t cycle() const { return ctx_.cycle(); }
+
+  /// Attach a trace recorder (optional; must outlive the simulator runs).
+  void attachTrace(TraceRecorder* trace) { trace_ = trace; }
+
+  void step();
+  void run(std::uint64_t cycles);
+
+  const ChannelStats& channelStats(ChannelId ch) const { return stats_.at(ch); }
+  /// Forward transfers per cycle on `ch` since reset.
+  double throughput(ChannelId ch) const;
+
+ private:
+  SimContext ctx_;
+  SimOptions options_;
+  Rng rng_;
+  std::vector<ChannelStats> stats_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace esl::sim

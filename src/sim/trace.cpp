@@ -1,0 +1,87 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace esl::sim {
+
+void TraceRecorder::addChannel(ChannelId ch, std::string label) {
+  Row row;
+  row.label = std::move(label);
+  row.isChannel = true;
+  row.ch = ch;
+  rows_.push_back(std::move(row));
+}
+
+void TraceRecorder::addSignal(std::string label,
+                              std::function<std::string(SimContext&)> fn) {
+  Row row;
+  row.label = std::move(label);
+  row.fn = std::move(fn);
+  rows_.push_back(std::move(row));
+}
+
+std::string TraceRecorder::letterFor(const BitVec& v) {
+  for (std::size_t i = 0; i < seenValues_.size(); ++i) {
+    if (seenValues_[i] == v) {
+      if (i < 26) return std::string(1, static_cast<char>('A' + i));
+      return "T" + std::to_string(i);
+    }
+  }
+  seenValues_.push_back(v);
+  const std::size_t i = seenValues_.size() - 1;
+  if (i < 26) return std::string(1, static_cast<char>('A' + i));
+  return "T" + std::to_string(i);
+}
+
+void TraceRecorder::capture(SimContext& ctx) {
+  for (Row& row : rows_) {
+    std::string cell;
+    if (row.isChannel) {
+      const ChannelSignals& s = ctx.sig(row.ch);
+      switch (channelSymbol(s)) {
+        case ChannelSymbol::kAntiToken:
+          cell = "-";
+          break;
+        case ChannelSymbol::kBubble:
+          cell = "*";
+          break;
+        case ChannelSymbol::kData:
+          cell = letterFor(s.data);
+          break;
+      }
+    } else {
+      cell = row.fn(ctx);
+    }
+    row.cells.push_back(std::move(cell));
+  }
+  ++cycles_;
+}
+
+std::string TraceRecorder::cell(std::size_t row, std::uint64_t cycle) const {
+  return rows_.at(row).cells.at(cycle);
+}
+
+std::string TraceRecorder::render() const {
+  std::size_t labelWidth = 5;  // "Cycle"
+  for (const Row& r : rows_) labelWidth = std::max(labelWidth, r.label.size());
+
+  std::ostringstream os;
+  os << std::string(labelWidth - 5, ' ') << "Cycle";
+  for (std::uint64_t c = 0; c < cycles_; ++c) {
+    std::string s = std::to_string(c);
+    os << ' ' << std::string(s.size() < 2 ? 2 - s.size() : 0, ' ') << s;
+  }
+  os << '\n';
+  for (const Row& r : rows_) {
+    os << std::string(labelWidth - r.label.size(), ' ') << r.label;
+    for (std::uint64_t c = 0; c < cycles_; ++c) {
+      const std::string& s = r.cells[c];
+      os << ' ' << std::string(s.size() < 2 ? 2 - s.size() : 0, ' ') << s;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace esl::sim

@@ -1,0 +1,55 @@
+// TraceRecorder: per-cycle channel snapshots rendered in the style of the
+// paper's Table 1 — '-' for an anti-token, '*' for a bubble, and a letter
+// (assigned by first appearance) for each distinct token value.
+//
+// Arbitrary extra rows (e.g. a scheduler's prediction) can be added as
+// callbacks evaluated on the settled signals each cycle.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "elastic/context.h"
+
+namespace esl::sim {
+
+class TraceRecorder {
+ public:
+  /// Watch a channel; `label` is the row header (e.g. "Fin0").
+  void addChannel(ChannelId ch, std::string label);
+
+  /// Add a computed row; the callback sees the settled context each cycle.
+  void addSignal(std::string label, std::function<std::string(SimContext&)> fn);
+
+  /// Called by the simulator once per cycle after settling.
+  void capture(SimContext& ctx);
+
+  std::uint64_t cycles() const { return cycles_; }
+
+  /// Raw cell text: channels rows use the letter encoding.
+  std::string cell(std::size_t row, std::uint64_t cycle) const;
+  std::size_t rows() const { return rows_.size(); }
+  const std::string& rowLabel(std::size_t row) const { return rows_[row].label; }
+
+  /// Fixed-width table like the paper's Table 1.
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::string label;
+    bool isChannel = false;
+    ChannelId ch = kNoChannel;
+    std::function<std::string(SimContext&)> fn;
+    std::vector<std::string> cells;
+  };
+
+  /// Letter for a data value, assigned on first appearance (A, B, C, ...).
+  std::string letterFor(const BitVec& v);
+
+  std::vector<Row> rows_;
+  std::vector<BitVec> seenValues_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace esl::sim

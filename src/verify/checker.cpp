@@ -1,0 +1,286 @@
+#include "verify/checker.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "elastic/shared.h"
+
+namespace esl::verify {
+
+ModelChecker::ModelChecker(Netlist& netlist, CheckerOptions options)
+    : netlist_(netlist), options_(options), ctx_(netlist) {
+  ctx_.setProtocolChecking(false);
+}
+
+unsigned ModelChecker::addLabel(std::string name, LabelFn fn) {
+  ESL_CHECK(labelNames_.size() < 64, "ModelChecker: too many labels (max 64)");
+  labelNames_.push_back(std::move(name));
+  labelFns_.push_back(std::move(fn));
+  return static_cast<unsigned>(labelNames_.size() - 1);
+}
+
+unsigned ModelChecker::labelIndex(const std::string& name) const {
+  for (unsigned i = 0; i < labelNames_.size(); ++i)
+    if (labelNames_[i] == name) return i;
+  throw EslError("ModelChecker: unknown label " + name);
+}
+
+ModelChecker::ExploreResult ModelChecker::explore() {
+  ESL_CHECK(ctx_.totalChoices() <= options_.maxChoiceBits,
+            "ModelChecker: too many choice bits to enumerate");
+  const std::size_t choiceCombos = std::size_t{1} << ctx_.totalChoices();
+
+  ctx_.reset();
+  std::map<std::vector<std::uint8_t>, std::uint32_t> ids;
+  std::vector<std::vector<std::uint8_t>> states;
+  std::queue<std::uint32_t> frontier;
+
+  auto intern = [&](std::vector<std::uint8_t> s) -> std::pair<std::uint32_t, bool> {
+    const auto it = ids.find(s);
+    if (it != ids.end()) return {it->second, false};
+    const auto id = static_cast<std::uint32_t>(states.size());
+    ids.emplace(s, id);
+    states.push_back(std::move(s));
+    edges_.emplace_back();
+    return {id, true};
+  };
+
+  edges_.clear();
+  ExploreResult result;
+  const auto [initId, isNew] = intern(ctx_.packState());
+  (void)isNew;
+  frontier.push(initId);
+
+  while (!frontier.empty()) {
+    if (states.size() > options_.maxStates) {
+      result.truncated = true;
+      break;
+    }
+    const std::uint32_t cur = frontier.front();
+    frontier.pop();
+
+    for (std::size_t combo = 0; combo < choiceCombos; ++combo) {
+      ctx_.unpackState(states[cur]);
+      std::vector<bool> bits(ctx_.totalChoices());
+      for (std::size_t b = 0; b < bits.size(); ++b) bits[b] = (combo >> b) & 1;
+      ctx_.setChoices(std::move(bits));
+      ctx_.settle();
+
+      std::uint64_t labels = 0;
+      for (std::size_t l = 0; l < labelFns_.size(); ++l)
+        if (labelFns_[l](ctx_)) labels |= 1ULL << l;
+
+      ctx_.edge();
+      const auto [next, fresh] = intern(ctx_.packState());
+      edges_[cur].push_back({next, labels});
+      ++result.transitions;
+      if (fresh) frontier.push(next);
+    }
+  }
+  result.states = states.size();
+  return result;
+}
+
+std::optional<std::string> ModelChecker::checkNever(const std::string& label) const {
+  const std::uint64_t mask = labelMask(label);
+  for (std::size_t s = 0; s < edges_.size(); ++s)
+    for (const Edge& e : edges_[s])
+      if (e.labels & mask)
+        return "G !" + label + " violated from state " + std::to_string(s);
+  return std::nullopt;
+}
+
+std::optional<std::string> ModelChecker::checkStep(const std::string& p,
+                                                   const std::string& q) const {
+  const std::uint64_t pm = labelMask(p), qm = labelMask(q);
+  for (std::size_t s = 0; s < edges_.size(); ++s) {
+    for (const Edge& e : edges_[s]) {
+      if (!(e.labels & pm)) continue;
+      for (const Edge& next : edges_[e.to])
+        if (!(next.labels & qm))
+          return "G(" + p + " => X " + q + ") violated via state " +
+                 std::to_string(e.to);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<bool> ModelChecker::canAvoidForever(std::uint64_t avoidMask) const {
+  const std::size_t n = edges_.size();
+  // Subgraph of edges that do NOT carry any avoided label.
+  // A state can avoid forever iff it reaches a cycle inside the subgraph.
+  // Iterative pruning: repeatedly remove states with no subgraph successor
+  // that can still avoid; the fixpoint keeps exactly the cycle-reaching set.
+  std::vector<bool> can(n, false);
+  for (std::size_t s = 0; s < n; ++s)
+    for (const Edge& e : edges_[s])
+      if (!(e.labels & avoidMask)) {
+        can[s] = true;
+        break;
+      }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!can[s]) continue;
+      bool ok = false;
+      for (const Edge& e : edges_[s])
+        if (!(e.labels & avoidMask) && can[e.to]) {
+          ok = true;
+          break;
+        }
+      if (!ok) {
+        can[s] = false;
+        changed = true;
+      }
+    }
+  }
+  return can;
+}
+
+std::optional<std::string> ModelChecker::checkRecurrence(const std::string& p) const {
+  const std::vector<bool> avoid = canAvoidForever(labelMask(p));
+  // The initial state is 0; GF p fails iff any reachable state can avoid p
+  // forever (all stored states are reachable by construction).
+  for (std::size_t s = 0; s < edges_.size(); ++s)
+    if (avoid[s])
+      return "G F " + p + " violated: state " + std::to_string(s) +
+             " can avoid it forever";
+  return std::nullopt;
+}
+
+std::optional<std::string> ModelChecker::checkLeadsTo(const std::string& p,
+                                                      const std::string& q) const {
+  const std::uint64_t pm = labelMask(p), qm = labelMask(q);
+  const std::vector<bool> avoid = canAvoidForever(qm);
+  for (std::size_t s = 0; s < edges_.size(); ++s)
+    for (const Edge& e : edges_[s])
+      if ((e.labels & pm) && !(e.labels & qm) && avoid[e.to])
+        return "G(" + p + " => F " + q + ") violated from state " +
+               std::to_string(s);
+  return std::nullopt;
+}
+
+std::optional<std::string> ModelChecker::checkAlwaysReachable(
+    const std::string& p) const {
+  const std::uint64_t pm = labelMask(p);
+  const std::size_t n = edges_.size();
+  // Backward closure from sources of p-edges.
+  std::vector<bool> good(n, false);
+  for (std::size_t s = 0; s < n; ++s)
+    for (const Edge& e : edges_[s])
+      if (e.labels & pm) {
+        good[s] = true;
+        break;
+      }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (good[s]) continue;
+      for (const Edge& e : edges_[s])
+        if (good[e.to]) {
+          good[s] = true;
+          changed = true;
+          break;
+        }
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s)
+    if (!good[s])
+      return "dead state " + std::to_string(s) + ": no " + p +
+             " reachable any more";
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol suite
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void addChannelLabels(ModelChecker& mc, const Netlist& nl, ChannelId ch) {
+  const std::string base = nl.channel(ch).name;
+  mc.addLabel(base + ".retryF", [ch](const SimContext& c) {
+    const ChannelSignals& s = c.sig(ch);
+    return s.vf && s.sf && !s.vb;
+  });
+  mc.addLabel(base + ".vf", [ch](const SimContext& c) { return c.sig(ch).vf; });
+  mc.addLabel(base + ".retryB", [ch](const SimContext& c) {
+    const ChannelSignals& s = c.sig(ch);
+    return s.vb && s.sb && !s.vf;
+  });
+  mc.addLabel(base + ".vb", [ch](const SimContext& c) { return c.sig(ch).vb; });
+  mc.addLabel(base + ".killStop", [ch](const SimContext& c) {
+    const ChannelSignals& s = c.sig(ch);
+    return (s.vf && s.vb && s.sf) || (s.vf && s.vb && s.sb);
+  });
+}
+
+}  // namespace
+
+ProtocolReport checkSelfProtocol(Netlist& netlist, ProtocolSuiteOptions options) {
+  ModelChecker mc(netlist, options.checker);
+  const auto channels = netlist.channelIds();
+  for (const ChannelId ch : channels) addChannelLabels(mc, netlist, ch);
+  mc.addLabel("progress", [&channels](const SimContext& c) {
+    for (const ChannelId ch : channels) {
+      const ChannelSignals& s = c.sig(ch);
+      if (fwdTransfer(s) || killEvent(s) || bwdTransfer(s)) return true;
+    }
+    return false;
+  });
+
+  ProtocolReport report;
+  report.explore = mc.explore();
+
+  auto note = [&report](const std::optional<std::string>& v) {
+    ++report.propertiesChecked;
+    if (v) report.violations.push_back(*v);
+  };
+
+  for (const ChannelId ch : channels) {
+    const std::string base = netlist.channel(ch).name;
+    note(mc.checkNever(base + ".killStop"));  // Invariant
+    if (options.checkPersistence) {
+      const bool exempt = !netlist.channelIsPersistent(ch);
+      if (!exempt) note(mc.checkStep(base + ".retryF", base + ".vf"));  // Retry+
+      note(mc.checkStep(base + ".retryB", base + ".vb"));               // Retry-
+    }
+  }
+  if (options.checkLiveness) note(mc.checkRecurrence("progress"));
+  if (options.checkDeadlock) note(mc.checkAlwaysReachable("progress"));
+  return report;
+}
+
+ProtocolReport checkSchedulerLeadsTo(Netlist& netlist, NodeId sharedId,
+                                     ProtocolSuiteOptions options) {
+  auto* shared = dynamic_cast<SharedModule*>(&netlist.node(sharedId));
+  ESL_CHECK(shared != nullptr, "checkSchedulerLeadsTo: node is not a SharedModule");
+
+  ModelChecker mc(netlist, options.checker);
+  const unsigned k = shared->channels();
+  for (unsigned i = 0; i < k; ++i) {
+    const ChannelId in = shared->input(i);
+    const ChannelId out = shared->output(i);
+    mc.addLabel("in" + std::to_string(i) + ".valid",
+                [in](const SimContext& c) { return c.sig(in).vf; });
+    // Served through the shared unit, or killed by an anti-token.
+    mc.addLabel("in" + std::to_string(i) + ".done", [in, out](const SimContext& c) {
+      return fwdTransfer(c.sig(out)) || killEvent(c.sig(in)) ||
+             killEvent(c.sig(out));
+    });
+  }
+
+  ProtocolReport report;
+  report.explore = mc.explore();
+  for (unsigned i = 0; i < k; ++i) {
+    ++report.propertiesChecked;
+    const auto v = mc.checkLeadsTo("in" + std::to_string(i) + ".valid",
+                                   "in" + std::to_string(i) + ".done");
+    if (v) report.violations.push_back(*v);
+  }
+  return report;
+}
+
+}  // namespace esl::verify

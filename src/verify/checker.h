@@ -1,0 +1,120 @@
+// Explicit-state model checker for elastic controllers (paper §4.2).
+//
+// The paper verifies its controllers with NuSMV/SMV; controllers composed
+// with nondeterministic environments are small FSMs, so this repo checks the
+// same property classes by explicit enumeration:
+//   * reachability over (node state) x (environment choice bits),
+//   * safety properties on settled signals (the SELF Invariant),
+//   * step properties  G(p => X q)      (Retry+ / Retry-),
+//   * recurrence       G F p            (Liveness),
+//   * leads-to         G(p => F q)      (scheduler property, eq. 1),
+//   * "a transfer stays reachable from every state" (deadlock freedom).
+//
+// Labels are predicates over the settled signals of one transition; each
+// explored edge stores a label bitmask (up to 64 labels).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "elastic/context.h"
+
+namespace esl::verify {
+
+struct CheckerOptions {
+  std::size_t maxStates = 100000;
+  std::size_t maxChoiceBits = 14;  ///< refuse to enumerate beyond 2^14 per state
+};
+
+using LabelFn = std::function<bool(const SimContext&)>;
+
+class ModelChecker {
+ public:
+  explicit ModelChecker(Netlist& netlist, CheckerOptions options = {});
+
+  /// Registers a labelled predicate; returns its index (max 64).
+  unsigned addLabel(std::string name, LabelFn fn);
+
+  struct ExploreResult {
+    std::size_t states = 0;
+    std::size_t transitions = 0;
+    bool truncated = false;
+  };
+
+  /// BFS over the full reachable state space.
+  ExploreResult explore();
+
+  // --- property checks on the explored graph (call after explore()) ---------
+
+  /// G !p — returns a diagnostic if any edge satisfies `label`.
+  std::optional<std::string> checkNever(const std::string& label) const;
+
+  /// G(p => X q) — after an edge with p, every next edge must have q.
+  std::optional<std::string> checkStep(const std::string& p, const std::string& q) const;
+
+  /// G F p — no reachable cycle may avoid p forever.
+  std::optional<std::string> checkRecurrence(const std::string& p) const;
+
+  /// G(p => F q) — after any p-edge without q, q must be unavoidable.
+  std::optional<std::string> checkLeadsTo(const std::string& p,
+                                          const std::string& q) const;
+
+  /// From every reachable state some p-edge must remain reachable.
+  std::optional<std::string> checkAlwaysReachable(const std::string& p) const;
+
+  std::size_t stateCount() const { return edges_.size(); }
+
+ private:
+  struct Edge {
+    std::uint32_t to;
+    std::uint64_t labels;
+  };
+
+  unsigned labelIndex(const std::string& name) const;
+  std::uint64_t labelMask(const std::string& name) const {
+    return 1ULL << labelIndex(name);
+  }
+  /// States with an infinite path using only edges without `avoid` labels.
+  std::vector<bool> canAvoidForever(std::uint64_t avoidMask) const;
+
+  Netlist& netlist_;
+  CheckerOptions options_;
+  SimContext ctx_;
+  std::vector<std::string> labelNames_;
+  std::vector<LabelFn> labelFns_;
+  std::vector<std::vector<Edge>> edges_;  ///< adjacency, indexed by state id
+};
+
+// ---------------------------------------------------------------------------
+// SELF protocol suite (paper §3.1 + §4.2) over a whole netlist
+// ---------------------------------------------------------------------------
+
+struct ProtocolReport {
+  ModelChecker::ExploreResult explore;
+  std::vector<std::string> violations;
+  std::size_t propertiesChecked = 0;
+  bool ok() const { return violations.empty(); }
+};
+
+struct ProtocolSuiteOptions {
+  CheckerOptions checker;
+  bool checkLiveness = true;      ///< G F progress (needs fair environments)
+  bool checkDeadlock = true;      ///< progress always reachable
+  bool checkPersistence = true;   ///< Retry+/Retry- per channel
+};
+
+/// Runs the full §3.1 property set on every channel of the netlist:
+/// Invariant (kill/stop exclusion), Retry+/Retry- (skipped on channels whose
+/// producer is exempt, §4.2), global liveness and deadlock freedom.
+ProtocolReport checkSelfProtocol(Netlist& netlist, ProtocolSuiteOptions options = {});
+
+/// The leads-to property of eq. (1) for each input channel of a shared
+/// module: a valid input token is eventually served or killed.
+ProtocolReport checkSchedulerLeadsTo(Netlist& netlist, NodeId sharedModule,
+                                     ProtocolSuiteOptions options = {});
+
+}  // namespace esl::verify

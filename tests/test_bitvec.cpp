@@ -1,0 +1,175 @@
+#include "base/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace esl {
+namespace {
+
+TEST(BitVec, DefaultIsZeroWidth) {
+  BitVec v;
+  EXPECT_EQ(v.width(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.isZero());
+  EXPECT_EQ(v.toUint64(), 0u);
+}
+
+TEST(BitVec, ConstructFromValue) {
+  BitVec v(8, 0xAB);
+  EXPECT_EQ(v.width(), 8u);
+  EXPECT_EQ(v.toUint64(), 0xABu);
+  EXPECT_FALSE(v.isZero());
+}
+
+TEST(BitVec, ValueIsMaskedToWidth) {
+  BitVec v(4, 0xFF);
+  EXPECT_EQ(v.toUint64(), 0xFu);
+}
+
+TEST(BitVec, BitAccess) {
+  BitVec v(8, 0b10100101);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.bit(2));
+  EXPECT_TRUE(v.bit(7));
+  v.setBit(1, true);
+  EXPECT_EQ(v.toUint64(), 0b10100111u);
+  v.setBit(7, false);
+  EXPECT_EQ(v.toUint64(), 0b00100111u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(8);
+  EXPECT_THROW(v.bit(8), EslError);
+  EXPECT_THROW(v.setBit(100, true), EslError);
+  EXPECT_THROW((void)(v + BitVec(9)), EslError);
+}
+
+TEST(BitVec, FromBinary) {
+  BitVec v = BitVec::fromBinary("1011");
+  EXPECT_EQ(v.width(), 4u);
+  EXPECT_EQ(v.toUint64(), 11u);
+  EXPECT_THROW(BitVec::fromBinary("10x1"), EslError);
+}
+
+TEST(BitVec, OnesAndOneHot) {
+  EXPECT_EQ(BitVec::ones(6).toUint64(), 63u);
+  EXPECT_EQ(BitVec::oneHot(8, 3).toUint64(), 8u);
+  EXPECT_EQ(BitVec::ones(70).popcount(), 70u);
+}
+
+TEST(BitVec, WideValues) {
+  BitVec v(72);
+  v.setBit(71, true);
+  v.setBit(0, true);
+  EXPECT_EQ(v.popcount(), 2u);
+  EXPECT_TRUE(v.bit(71));
+  EXPECT_EQ(v.slice(64, 8).toUint64(), 0x80u);
+}
+
+TEST(BitVec, Arithmetic64BitBoundary) {
+  // Carry must propagate across the word boundary.
+  BitVec a = BitVec::ones(96);
+  BitVec one(96, 1);
+  BitVec sum = a + one;
+  EXPECT_TRUE(sum.isZero());
+  BitVec back = sum - one;
+  EXPECT_EQ(back, a);
+}
+
+TEST(BitVec, AddMatchesUint64) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next(), b = rng.next();
+    BitVec va(64, a), vb(64, b);
+    EXPECT_EQ((va + vb).toUint64(), a + b);
+    EXPECT_EQ((va - vb).toUint64(), a - b);
+  }
+}
+
+TEST(BitVec, BitwiseOps) {
+  BitVec a(8, 0b11001100), b(8, 0b10101010);
+  EXPECT_EQ((a & b).toUint64(), 0b10001000u);
+  EXPECT_EQ((a | b).toUint64(), 0b11101110u);
+  EXPECT_EQ((a ^ b).toUint64(), 0b01100110u);
+  EXPECT_EQ((~a).toUint64(), 0b00110011u);
+}
+
+TEST(BitVec, Shifts) {
+  BitVec a(8, 0b00001111);
+  EXPECT_EQ((a << 2).toUint64(), 0b00111100u);
+  EXPECT_EQ((a >> 2).toUint64(), 0b00000011u);
+  EXPECT_EQ((a << 8).toUint64(), 0u);
+  EXPECT_EQ((a >> 9).toUint64(), 0u);
+}
+
+TEST(BitVec, SliceConcatRoundTrip) {
+  Rng rng(13);
+  BitVec v = rng.bits(72);
+  BitVec lo = v.slice(0, 30);
+  BitVec hi = v.slice(30, 42);
+  EXPECT_EQ(lo.concat(hi), v);
+}
+
+TEST(BitVec, Resized) {
+  BitVec v(8, 0xAB);
+  EXPECT_EQ(v.resized(16).toUint64(), 0xABu);
+  EXPECT_EQ(v.resized(4).toUint64(), 0xBu);
+  EXPECT_EQ(v.resized(16).width(), 16u);
+}
+
+TEST(BitVec, Compare) {
+  BitVec a(72), b(72);
+  a.setBit(71, true);
+  b.setBit(0, true);
+  EXPECT_TRUE(b < a);
+  EXPECT_TRUE(a > b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, a);
+  // Different widths are never equal.
+  EXPECT_NE(BitVec(8, 1), BitVec(9, 1));
+}
+
+TEST(BitVec, ParityAndPopcount) {
+  EXPECT_FALSE(BitVec(8, 0).parity());
+  EXPECT_TRUE(BitVec(8, 1).parity());
+  EXPECT_FALSE(BitVec(8, 3).parity());
+  EXPECT_EQ(BitVec(8, 0xFF).popcount(), 8u);
+}
+
+TEST(BitVec, Strings) {
+  BitVec v(5, 0b01011);
+  EXPECT_EQ(v.toBinary(), "01011");
+  EXPECT_EQ(v.toHex(), "0x0b");
+  EXPECT_EQ(BitVec(8, 0x2B).toHex(), "0x2b");
+}
+
+TEST(BitVec, HashDiffersForDifferentValues) {
+  BitVec a(64, 1), b(64, 2);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), BitVec(64, 1).hash());
+}
+
+TEST(BitVec, ZeroWidthNonzeroThrows) { EXPECT_THROW(BitVec(0, 5), EslError); }
+
+class BitVecWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVecWidthTest, ShiftAddConsistency) {
+  const unsigned w = GetParam();
+  Rng rng(w * 7919 + 3);
+  for (int i = 0; i < 20; ++i) {
+    BitVec v = rng.bits(w);
+    // v << 1 == v + v (mod 2^w)
+    EXPECT_EQ(v << 1, v + v) << "width " << w;
+    // ~v + v == all ones
+    EXPECT_EQ(~v + v, BitVec::ones(w)) << "width " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecWidthTest,
+                         ::testing::Values(1u, 3u, 8u, 31u, 32u, 33u, 63u, 64u, 65u,
+                                           72u, 127u, 128u, 200u));
+
+}  // namespace
+}  // namespace esl

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "logic/adders.h"
+#include "logic/alu.h"
+#include "logic/cost.h"
+
+namespace esl::logic {
+namespace {
+
+TEST(Clog2, Values) {
+  EXPECT_EQ(clog2(1), 0u);
+  EXPECT_EQ(clog2(2), 1u);
+  EXPECT_EQ(clog2(3), 2u);
+  EXPECT_EQ(clog2(8), 3u);
+  EXPECT_EQ(clog2(9), 4u);
+  EXPECT_EQ(clog2(64), 6u);
+}
+
+TEST(RippleAdd, MatchesGoldenNarrow) {
+  for (unsigned a = 0; a < 16; ++a)
+    for (unsigned b = 0; b < 16; ++b) {
+      bool carry = false;
+      const BitVec s = rippleAdd(BitVec(4, a), BitVec(4, b), false, &carry);
+      EXPECT_EQ(s.toUint64(), (a + b) & 0xF);
+      EXPECT_EQ(carry, (a + b) > 0xF);
+    }
+}
+
+TEST(RippleAdd, CarryIn) {
+  bool carry = false;
+  const BitVec s = rippleAdd(BitVec(4, 0xF), BitVec(4, 0), true, &carry);
+  EXPECT_EQ(s.toUint64(), 0u);
+  EXPECT_TRUE(carry);
+}
+
+TEST(RippleAdd, WidthMismatchThrows) {
+  EXPECT_THROW(rippleAdd(BitVec(4), BitVec(5)), EslError);
+}
+
+class AdderRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AdderRandomTest, RippleEqualsKoggeStoneEqualsGolden) {
+  const unsigned w = GetParam();
+  Rng rng(w * 131 + 7);
+  for (int i = 0; i < 100; ++i) {
+    const BitVec a = rng.bits(w), b = rng.bits(w);
+    const BitVec golden = a + b;  // BitVec's own modular add
+    EXPECT_EQ(rippleAdd(a, b), golden);
+    EXPECT_EQ(koggeStoneAdd(a, b), golden);
+    const BitVec one(w, 1);
+    EXPECT_EQ(koggeStoneAdd(a, b, true), golden + one);
+    EXPECT_EQ(rippleAdd(a, b, true), golden + one);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderRandomTest,
+                         ::testing::Values(1u, 2u, 7u, 8u, 16u, 31u, 64u, 72u));
+
+TEST(SegmentedAdd, ExactWhenNoBoundaryCarry) {
+  // 0x0F + 0x01 carries across bit 4 with segment 4 -> approximate differs.
+  const BitVec a(8, 0x0F), b(8, 0x01);
+  EXPECT_TRUE(segmentedAddOverflows(a, b, 4));
+  EXPECT_NE(segmentedAdd(a, b, 4), a + b);
+  // 0x11 + 0x22 never carries across the cut.
+  const BitVec c(8, 0x11), d(8, 0x22);
+  EXPECT_FALSE(segmentedAddOverflows(c, d, 4));
+  EXPECT_EQ(segmentedAdd(c, d, 4), c + d);
+}
+
+class SegmentedAddTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SegmentedAddTest, PredictorIsExactForAdd) {
+  const unsigned seg = GetParam();
+  Rng rng(seg * 17 + 5);
+  for (int i = 0; i < 300; ++i) {
+    const BitVec a = rng.bits(8), b = rng.bits(8);
+    const bool differs = segmentedAdd(a, b, seg) != (a + b);
+    EXPECT_EQ(segmentedAddOverflows(a, b, seg), differs)
+        << a.toHex() << " + " << b.toHex() << " seg " << seg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Segments, SegmentedAddTest, ::testing::Values(2u, 3u, 4u, 8u));
+
+TEST(Alu, PackUnpackRoundTrip) {
+  const BitVec a(8, 0x12), b(8, 0x34);
+  const BitVec packed = packAluOperands(a, b, AluOp::kSub);
+  EXPECT_EQ(packed.width(), 18u);
+  const AluOperands ops = unpackAluOperands(packed, 8);
+  EXPECT_EQ(ops.a, a);
+  EXPECT_EQ(ops.b, b);
+  EXPECT_EQ(ops.op, AluOp::kSub);
+}
+
+TEST(Alu, ExactOps) {
+  const unsigned w = 8;
+  const BitVec a(w, 200), b(w, 100);
+  EXPECT_EQ(aluExact(packAluOperands(a, b, AluOp::kAdd), w).toUint64(), (200u + 100u) & 0xFF);
+  EXPECT_EQ(aluExact(packAluOperands(a, b, AluOp::kSub), w).toUint64(), 100u);
+  EXPECT_EQ(aluExact(packAluOperands(a, b, AluOp::kAnd), w), a & b);
+  EXPECT_EQ(aluExact(packAluOperands(a, b, AluOp::kXor), w), a ^ b);
+}
+
+TEST(Alu, ApproxErrorNeverFalseNegative) {
+  // Whenever approx != exact, the telescopic predictor must flag it (the
+  // stalling/speculative VLU designs rely on this to stay functionally exact).
+  Rng rng(99);
+  const unsigned w = 8, seg = 4;
+  int flagged = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const BitVec a = rng.bits(w), b = rng.bits(w);
+    const auto op = static_cast<AluOp>(rng.below(4));
+    const BitVec packed = packAluOperands(a, b, op);
+    const bool differ = aluApprox(packed, w, seg) != aluExact(packed, w);
+    const bool err = aluApproxError(packed, w, seg);
+    if (differ) {
+      EXPECT_TRUE(err) << "false negative at " << packed.toHex();
+    }
+    flagged += err;
+    ++total;
+  }
+  // The predictor must also be useful: most operands are exact.
+  EXPECT_LT(flagged, total / 2);
+  EXPECT_GT(flagged, 0);
+}
+
+TEST(Alu, LogicOpsNeverFlagged) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const BitVec a = rng.bits(8), b = rng.bits(8);
+    EXPECT_FALSE(aluApproxError(packAluOperands(a, b, AluOp::kAnd), 8, 4));
+    EXPECT_FALSE(aluApproxError(packAluOperands(a, b, AluOp::kXor), 8, 4));
+  }
+}
+
+TEST(Cost, MonotoneInWidth) {
+  EXPECT_LT(rippleAdderCost(8).delay, rippleAdderCost(16).delay);
+  EXPECT_LT(rippleAdderCost(8).area, rippleAdderCost(16).area);
+  EXPECT_LT(koggeStoneAdderCost(64).delay, rippleAdderCost(64).delay);
+  EXPECT_GT(koggeStoneAdderCost(64).area, rippleAdderCost(64).area);
+}
+
+TEST(Cost, ApproxAluFasterThanExact) {
+  const Cost exact = aluExactCost(8);
+  const Cost approx = aluApproxCost(8, 4);
+  EXPECT_LT(approx.delay, exact.delay);
+}
+
+TEST(Cost, ErrorPredictorShallowerThanExactAlu) {
+  EXPECT_LT(aluErrorPredictorCost(8, 4).delay, aluExactCost(8).delay);
+}
+
+TEST(Cost, EbCheaperThanTwoFlopRanks) {
+  // The latch-based EB (Fig. 2a) must cost less than two flip-flop ranks.
+  EXPECT_LT(ebCost(8).area, 2 * flopCost(8).area + 14.0);
+}
+
+}  // namespace
+}  // namespace esl::logic

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "netlist/patterns.h"
+#include "perf/area.h"
+#include "perf/throughput.h"
+#include "perf/timing.h"
+#include "test_util.h"
+
+namespace esl {
+namespace {
+
+TEST(Timing, PipelineCycleTimeIsLaunchPlusLogic) {
+  Netlist nl;
+  auto& src = nl.make<TokenSource>("src", 8, TokenSource::counting(8));
+  auto& eb = nl.make<ElasticBuffer>("eb", 8);
+  auto& f = makeUnary(nl, "F", 8, 8, [](const BitVec& x) { return x; },
+                      logic::Cost{8.0, 10.0});
+  auto& eb2 = nl.make<ElasticBuffer>("eb2", 8);
+  auto& sink = nl.make<TokenSink>("sink", 8);
+  nl.connect(src, 0, eb, 0);
+  nl.connect(eb, 0, f, 0);
+  nl.connect(f, 0, eb2, 0);
+  nl.connect(eb2, 0, sink, 0);
+
+  const auto report = perf::analyzeTiming(nl);
+  // EB clk->q (1) + F (8) dominates.
+  EXPECT_DOUBLE_EQ(report.cycleTime, 9.0);
+}
+
+TEST(Timing, Eb0ChainsAccumulateBackwardDelay) {
+  // §4.3: "a care must be taken not to chain too many of such controllers".
+  auto build = [](unsigned chainLen) {
+    Netlist nl;
+    auto& src = nl.make<TokenSource>("src", 8, TokenSource::counting(8));
+    Node* prev = &src;
+    for (unsigned i = 0; i < chainLen; ++i) {
+      auto& eb0 = nl.make<ElasticBuffer0>("eb0_" + std::to_string(i), 8);
+      nl.connect(*prev, prev == &src ? 0 : 0, eb0, 0);
+      prev = &eb0;
+    }
+    auto& sink = nl.make<TokenSink>("sink", 8);
+    nl.connect(*prev, 0, sink, 0);
+    return perf::analyzeTiming(nl).cycleTime;
+  };
+  const double t1 = build(1);
+  const double t3 = build(3);
+  const double t6 = build(6);
+  EXPECT_LT(t1, t3);
+  EXPECT_LT(t3, t6);
+  EXPECT_NEAR(t6 - t3, 3.0, 1e-9);  // one gate per chained EB0 controller
+}
+
+TEST(Timing, Fig1VariantOrdering) {
+  using patterns::Fig1Variant;
+  const double ta =
+      perf::analyzeTiming(patterns::buildFig1(Fig1Variant::kNonSpeculative).nl).cycleTime;
+  const double tb =
+      perf::analyzeTiming(patterns::buildFig1(Fig1Variant::kBubble).nl).cycleTime;
+  const double tc =
+      perf::analyzeTiming(patterns::buildFig1(Fig1Variant::kShannon).nl).cycleTime;
+  const double td =
+      perf::analyzeTiming(patterns::buildFig1(Fig1Variant::kSpeculative).nl).cycleTime;
+
+  // (a) has G + mux + F in series; (b) breaks that path; (c)/(d) run F and G
+  // in parallel. Shannon is fastest; speculation adds only the shared input
+  // mux on the F path.
+  EXPECT_GT(ta, tc);
+  EXPECT_GT(ta, td);
+  EXPECT_LT(tb, ta);
+  EXPECT_LE(tc, td);
+  EXPECT_NEAR(td - tc, 2.0, 2.1);  // input-mux overhead is small
+}
+
+TEST(Timing, CombinationalLoopDetected) {
+  Netlist nl;
+  auto& a = makeUnary(nl, "A", 8, 8, [](const BitVec& x) { return x; });
+  auto& b = makeUnary(nl, "B", 8, 8, [](const BitVec& x) { return x; });
+  nl.connect(a, 0, b, 0);
+  nl.connect(b, 0, a, 0);
+  EXPECT_THROW(perf::analyzeTiming(nl), CombinationalCycleError);
+}
+
+TEST(Timing, CriticalPathIsDescribable) {
+  auto sys = patterns::buildFig1(patterns::Fig1Variant::kNonSpeculative);
+  const auto report = perf::analyzeTiming(sys.nl);
+  const std::string desc = perf::describeCriticalPath(sys.nl, report);
+  EXPECT_NE(desc.find("->"), std::string::npos);
+  EXPECT_FALSE(report.criticalPath.empty());
+}
+
+TEST(Throughput, LoopBoundMatchesTokensOverLatency) {
+  const auto a = patterns::buildFig1(patterns::Fig1Variant::kNonSpeculative);
+  const auto b = patterns::buildFig1(patterns::Fig1Variant::kBubble);
+  const auto ba = perf::throughputBound(a.nl);
+  const auto bb = perf::throughputBound(b.nl);
+  EXPECT_TRUE(ba.hasCycles);
+  EXPECT_NEAR(ba.bound, 1.0, 1e-6);
+  EXPECT_TRUE(bb.hasCycles);
+  EXPECT_NEAR(bb.bound, 0.5, 1e-6);
+  EXPECT_FALSE(ba.zeroLatencyCycle);
+}
+
+TEST(Throughput, OpenPipelineHasNoCycles) {
+  Netlist nl;
+  auto& src = nl.make<TokenSource>("src", 8, TokenSource::counting(8));
+  auto& eb = nl.make<ElasticBuffer>("eb", 8);
+  auto& sink = nl.make<TokenSink>("sink", 8);
+  nl.connect(src, 0, eb, 0);
+  nl.connect(eb, 0, sink, 0);
+  const auto bound = perf::throughputBound(nl);
+  EXPECT_FALSE(bound.hasCycles);
+  EXPECT_DOUBLE_EQ(bound.bound, 1.0);
+}
+
+TEST(Throughput, ZeroLatencyCycleFlagged) {
+  Netlist nl;
+  auto& a = makeUnary(nl, "A", 8, 8, [](const BitVec& x) { return x; });
+  auto& b = makeUnary(nl, "B", 8, 8, [](const BitVec& x) { return x; });
+  nl.connect(a, 0, b, 0);
+  nl.connect(b, 0, a, 0);
+  const auto bound = perf::throughputBound(nl);
+  EXPECT_TRUE(bound.zeroLatencyCycle);
+}
+
+TEST(Throughput, BoundMatchesSimulatedThroughputOnLoops) {
+  // With perfect prediction (oracle) the speculative loop achieves the bound.
+  patterns::Fig1Config cfg;
+  cfg.scheduler = patterns::Fig1Scheduler::kOracle;
+  auto sys = patterns::buildFig1(patterns::Fig1Variant::kSpeculative, cfg);
+  const auto bound = perf::throughputBound(sys.nl);
+  sim::Simulator s(sys.nl);
+  s.run(300);
+  EXPECT_NEAR(s.throughput(sys.loopChannel), bound.bound, 0.02);
+}
+
+TEST(Throughput, EffectiveCycleTime) {
+  EXPECT_DOUBLE_EQ(perf::effectiveCycleTime(10.0, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(perf::effectiveCycleTime(10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(perf::effectiveCycleTime(10.0, 0.0), 0.0);
+}
+
+TEST(Area, SharingReducesArea) {
+  // Fig. 1(c) duplicates F; Fig. 1(d) shares one copy: (d) must be smaller.
+  const auto shannon = patterns::buildFig1(patterns::Fig1Variant::kShannon);
+  const auto spec = patterns::buildFig1(patterns::Fig1Variant::kSpeculative);
+  const double areaC = perf::areaReport(shannon.nl).total;
+  const double areaD = perf::areaReport(spec.nl).total;
+  EXPECT_LT(areaD, areaC);
+}
+
+TEST(Area, ReportBreaksDownByKind) {
+  const auto sys = patterns::buildFig1(patterns::Fig1Variant::kSpeculative);
+  const auto report = perf::areaReport(sys.nl);
+  EXPECT_GT(report.total, 0.0);
+  EXPECT_TRUE(report.byKind.count("eb"));
+  EXPECT_TRUE(report.byKind.count("shared"));
+  const std::string table = perf::renderAreaReport(report);
+  EXPECT_NE(table.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esl

@@ -1,0 +1,111 @@
+#include "logic/secded.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace esl::logic {
+namespace {
+
+TEST(Secded, EncodeWidth) {
+  const BitVec code = secdedEncode(BitVec(64, 0));
+  EXPECT_EQ(code.width(), kSecdedCodeBits);
+  EXPECT_TRUE(code.isZero());  // all-zero word has all-zero checks
+}
+
+TEST(Secded, CleanDecode) {
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    const BitVec data = rng.bits(64);
+    const BitVec code = secdedEncode(data);
+    const SecdedResult r = secdedDecode(code);
+    EXPECT_EQ(r.status, SecdedStatus::kOk);
+    EXPECT_EQ(r.data, data);
+    EXPECT_EQ(secdedPayload(code), data);
+  }
+}
+
+TEST(Secded, BadWidthThrows) {
+  EXPECT_THROW(secdedEncode(BitVec(63)), EslError);
+  EXPECT_THROW(secdedDecode(BitVec(71)), EslError);
+  EXPECT_THROW(secdedPayload(BitVec(64)), EslError);
+}
+
+/// Every single-bit flip of the 72-bit word must be corrected.
+class SecdedSingleErrorTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SecdedSingleErrorTest, CorrectsFlipAtPosition) {
+  const unsigned pos = GetParam();
+  Rng rng(1000 + pos);
+  for (int i = 0; i < 10; ++i) {
+    const BitVec data = rng.bits(64);
+    BitVec code = secdedEncode(data);
+    code.setBit(pos, !code.bit(pos));
+    const SecdedResult r = secdedDecode(code);
+    EXPECT_EQ(r.status, SecdedStatus::kCorrected) << "flip at " << pos;
+    EXPECT_EQ(r.correctedBit, pos);
+    EXPECT_EQ(r.data, data) << "flip at " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, SecdedSingleErrorTest,
+                         ::testing::Range(0u, kSecdedCodeBits));
+
+TEST(Secded, DetectsDoubleErrors) {
+  Rng rng(7);
+  int checked = 0;
+  for (int i = 0; i < 300; ++i) {
+    const BitVec data = rng.bits(64);
+    BitVec code = secdedEncode(data);
+    const unsigned p1 = static_cast<unsigned>(rng.below(kSecdedCodeBits));
+    const unsigned p2 = static_cast<unsigned>(rng.below(kSecdedCodeBits));
+    if (p1 == p2) continue;
+    code.setBit(p1, !code.bit(p1));
+    code.setBit(p2, !code.bit(p2));
+    const SecdedResult r = secdedDecode(code);
+    EXPECT_EQ(r.status, SecdedStatus::kDoubleError)
+        << "flips at " << p1 << "," << p2;
+    ++checked;
+  }
+  EXPECT_GT(checked, 200);
+}
+
+TEST(Secded, ExhaustiveDoubleErrorsOnOneWord) {
+  const BitVec data(64, 0xDEADBEEFCAFEF00DULL);
+  const BitVec code = secdedEncode(data);
+  for (unsigned p1 = 0; p1 < kSecdedCodeBits; ++p1) {
+    for (unsigned p2 = p1 + 1; p2 < kSecdedCodeBits; ++p2) {
+      BitVec corrupted = code;
+      corrupted.setBit(p1, !corrupted.bit(p1));
+      corrupted.setBit(p2, !corrupted.bit(p2));
+      ASSERT_EQ(secdedDecode(corrupted).status, SecdedStatus::kDoubleError)
+          << "flips at " << p1 << "," << p2;
+    }
+  }
+}
+
+TEST(Secded, PayloadIgnoresCheckBits) {
+  // Flipping only check bits must not change the speculative payload.
+  const BitVec data(64, 0x123456789ABCDEF0ULL);
+  BitVec code = secdedEncode(data);
+  for (const unsigned checkPos : {0u, 1u, 3u, 7u, 15u, 31u, 63u, 71u}) {
+    BitVec c = code;
+    c.setBit(checkPos, !c.bit(checkPos));
+    EXPECT_EQ(secdedPayload(c), data) << "check bit " << checkPos;
+  }
+}
+
+TEST(Secded, DataBitFlipCorruptsPayloadButDecodes) {
+  // A data-position flip corrupts the raw payload (what the speculative adder
+  // consumes) yet decodes back to the original — the §5.2 replay relies on it.
+  const BitVec data(64, 0xFFFFFFFF00000000ULL);
+  BitVec code = secdedEncode(data);
+  code.setBit(2, !code.bit(2));  // position 3 is a data position (not 2^k)
+  EXPECT_NE(secdedPayload(code), data);
+  const SecdedResult r = secdedDecode(code);
+  EXPECT_EQ(r.status, SecdedStatus::kCorrected);
+  EXPECT_EQ(r.data, data);
+}
+
+}  // namespace
+}  // namespace esl::logic

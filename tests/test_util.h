@@ -1,0 +1,38 @@
+// Shared helpers for the elastic test suites.
+#pragma once
+
+#include <vector>
+
+#include "elastic/buffer.h"
+#include "elastic/eemux.h"
+#include "elastic/endpoints.h"
+#include "elastic/fork.h"
+#include "elastic/func.h"
+#include "elastic/netlist.h"
+#include "elastic/shared.h"
+#include "sim/simulator.h"
+
+namespace esl::test {
+
+/// Data values received by a sink, as uint64.
+inline std::vector<std::uint64_t> receivedValues(const TokenSink& sink) {
+  std::vector<std::uint64_t> v;
+  for (const auto& t : sink.transfers()) v.push_back(t.data.toUint64());
+  return v;
+}
+
+/// Cycles at which the sink received transfers.
+inline std::vector<std::uint64_t> receivedCycles(const TokenSink& sink) {
+  std::vector<std::uint64_t> v;
+  for (const auto& t : sink.transfers()) v.push_back(t.cycle);
+  return v;
+}
+
+/// 0,1,2,...,n-1
+inline std::vector<std::uint64_t> iota(std::uint64_t n, std::uint64_t start = 0) {
+  std::vector<std::uint64_t> v(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = start + i;
+  return v;
+}
+
+}  // namespace esl::test
