@@ -6,9 +6,9 @@
 namespace esl {
 
 BitVec::BitVec(unsigned width, std::uint64_t value) : width_(width) {
-  words_.assign(wordCount(), 0);
-  if (!words_.empty()) {
-    words_[0] = value;
+  allocate();
+  if (wordCount() > 0) {
+    wordsMut()[0] = value;
     maskTop();
   } else {
     ESL_CHECK(value == 0, "zero-width BitVec cannot hold a nonzero value");
@@ -27,7 +27,7 @@ BitVec BitVec::fromBinary(const std::string& bits) {
 
 BitVec BitVec::ones(unsigned width) {
   BitVec v(width);
-  for (auto& w : v.words_) w = ~0ULL;
+  for (unsigned i = 0; i < v.wordCount(); ++i) v.wordsMut()[i] = ~0ULL;
   v.maskTop();
   return v;
 }
@@ -40,57 +40,105 @@ BitVec BitVec::oneHot(unsigned width, unsigned pos) {
 
 bool BitVec::bit(unsigned pos) const {
   ESL_CHECK(pos < width_, "BitVec::bit out of range");
-  return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1ULL;
+  return (words()[pos / kWordBits] >> (pos % kWordBits)) & 1ULL;
 }
 
 void BitVec::setBit(unsigned pos, bool value) {
   ESL_CHECK(pos < width_, "BitVec::setBit out of range");
   const std::uint64_t mask = 1ULL << (pos % kWordBits);
   if (value)
-    words_[pos / kWordBits] |= mask;
+    wordsMut()[pos / kWordBits] |= mask;
   else
-    words_[pos / kWordBits] &= ~mask;
+    wordsMut()[pos / kWordBits] &= ~mask;
 }
 
-std::uint64_t BitVec::toUint64() const { return words_.empty() ? 0 : words_[0]; }
+std::uint64_t BitVec::toUint64() const { return wordCount() == 0 ? 0 : words()[0]; }
+
+std::uint64_t BitVec::extractBits(unsigned lo, unsigned len) const {
+  ESL_CHECK(len <= 64 && lo + len <= width_, "BitVec::extractBits out of range");
+  if (len == 0) return 0;
+  const unsigned w = lo / kWordBits;
+  const unsigned shift = lo % kWordBits;
+  std::uint64_t v = words()[w] >> shift;
+  if (shift != 0 && w + 1 < wordCount()) v |= words()[w + 1] << (kWordBits - shift);
+  return len == 64 ? v : v & ((1ULL << len) - 1);
+}
+
+void BitVec::depositBits(unsigned lo, std::uint64_t value, unsigned len) {
+  ESL_CHECK(len <= 64 && lo + len <= width_, "BitVec::depositBits out of range");
+  if (len == 0) return;
+  const std::uint64_t mask = len == 64 ? ~0ULL : (1ULL << len) - 1;
+  value &= mask;
+  const unsigned w = lo / kWordBits;
+  const unsigned shift = lo % kWordBits;
+  wordsMut()[w] = (wordsMut()[w] & ~(mask << shift)) | (value << shift);
+  const unsigned spill = shift + len > kWordBits ? shift + len - kWordBits : 0;
+  if (spill != 0) {
+    const std::uint64_t highMask = (1ULL << spill) - 1;
+    wordsMut()[w + 1] = (wordsMut()[w + 1] & ~highMask) | (value >> (kWordBits - shift));
+  }
+}
 
 bool BitVec::isZero() const {
-  return std::all_of(words_.begin(), words_.end(),
+  return std::all_of(words(), words() + wordCount(),
                      [](std::uint64_t w) { return w == 0; });
 }
 
 unsigned BitVec::popcount() const {
   unsigned n = 0;
-  for (auto w : words_) n += static_cast<unsigned>(std::popcount(w));
+  for (unsigned i = 0; i < wordCount(); ++i)
+    n += static_cast<unsigned>(std::popcount(words()[i]));
   return n;
 }
 
 bool BitVec::parity() const { return (popcount() & 1u) != 0; }
 
+bool BitVec::parityAnd(const BitVec& mask) const {
+  checkSameWidth(mask);
+  std::uint64_t acc = 0;
+  for (unsigned w = 0; w < wordCount(); ++w) acc ^= words()[w] & mask.words()[w];
+  return (std::popcount(acc) & 1u) != 0;
+}
+
 BitVec BitVec::slice(unsigned lo, unsigned len) const {
   ESL_CHECK(lo + len <= width_, "BitVec::slice out of range");
   BitVec out(len);
-  for (unsigned i = 0; i < len; ++i) out.setBit(i, bit(lo + i));
+  const unsigned shift = lo % kWordBits;
+  const unsigned base = lo / kWordBits;
+  for (unsigned w = 0; w < out.wordCount(); ++w) {
+    std::uint64_t v = words()[base + w] >> shift;
+    if (shift != 0 && base + w + 1 < wordCount())
+      v |= words()[base + w + 1] << (kWordBits - shift);
+    out.wordsMut()[w] = v;
+  }
+  out.maskTop();
   return out;
 }
 
 BitVec BitVec::concat(const BitVec& high) const {
   BitVec out(width_ + high.width_);
-  for (unsigned i = 0; i < width_; ++i) out.setBit(i, bit(i));
-  for (unsigned i = 0; i < high.width_; ++i) out.setBit(width_ + i, high.bit(i));
+  std::copy(words(), words() + wordCount(), out.wordsMut());
+  const unsigned shift = width_ % kWordBits;
+  const unsigned base = width_ / kWordBits;
+  for (unsigned w = 0; w < high.wordCount(); ++w) {
+    out.wordsMut()[base + w] |= high.words()[w] << shift;
+    if (shift != 0 && base + w + 1 < out.wordCount())
+      out.wordsMut()[base + w + 1] |= high.words()[w] >> (kWordBits - shift);
+  }
   return out;
 }
 
 BitVec BitVec::resized(unsigned width) const {
   BitVec out(width);
-  const unsigned n = std::min(width, width_);
-  for (unsigned i = 0; i < n; ++i) out.setBit(i, bit(i));
+  const unsigned n = std::min(out.wordCount(), wordCount());
+  std::copy(words(), words() + n, out.wordsMut());
+  out.maskTop();
   return out;
 }
 
 BitVec BitVec::operator~() const {
   BitVec out(*this);
-  for (auto& w : out.words_) w = ~w;
+  for (unsigned i = 0; i < out.wordCount(); ++i) out.wordsMut()[i] = ~out.words()[i];
   out.maskTop();
   return out;
 }
@@ -98,21 +146,21 @@ BitVec BitVec::operator~() const {
 BitVec BitVec::operator&(const BitVec& rhs) const {
   checkSameWidth(rhs);
   BitVec out(*this);
-  for (unsigned i = 0; i < out.words_.size(); ++i) out.words_[i] &= rhs.words_[i];
+  for (unsigned i = 0; i < out.wordCount(); ++i) out.wordsMut()[i] &= rhs.words()[i];
   return out;
 }
 
 BitVec BitVec::operator|(const BitVec& rhs) const {
   checkSameWidth(rhs);
   BitVec out(*this);
-  for (unsigned i = 0; i < out.words_.size(); ++i) out.words_[i] |= rhs.words_[i];
+  for (unsigned i = 0; i < out.wordCount(); ++i) out.wordsMut()[i] |= rhs.words()[i];
   return out;
 }
 
 BitVec BitVec::operator^(const BitVec& rhs) const {
   checkSameWidth(rhs);
   BitVec out(*this);
-  for (unsigned i = 0; i < out.words_.size(); ++i) out.words_[i] ^= rhs.words_[i];
+  for (unsigned i = 0; i < out.wordCount(); ++i) out.wordsMut()[i] ^= rhs.words()[i];
   return out;
 }
 
@@ -120,10 +168,10 @@ BitVec BitVec::operator+(const BitVec& rhs) const {
   checkSameWidth(rhs);
   BitVec out(width_);
   unsigned __int128 carry = 0;
-  for (unsigned i = 0; i < out.words_.size(); ++i) {
+  for (unsigned i = 0; i < out.wordCount(); ++i) {
     const unsigned __int128 s =
-        static_cast<unsigned __int128>(words_[i]) + rhs.words_[i] + carry;
-    out.words_[i] = static_cast<std::uint64_t>(s);
+        static_cast<unsigned __int128>(words()[i]) + rhs.words()[i] + carry;
+    out.wordsMut()[i] = static_cast<std::uint64_t>(s);
     carry = s >> 64;
   }
   out.maskTop();
@@ -139,26 +187,43 @@ BitVec BitVec::operator-(const BitVec& rhs) const {
 
 BitVec BitVec::operator<<(unsigned amount) const {
   BitVec out(width_);
-  for (unsigned i = amount; i < width_; ++i) out.setBit(i, bit(i - amount));
+  if (amount >= width_) return out;
+  const unsigned shift = amount % kWordBits;
+  const unsigned base = amount / kWordBits;
+  for (unsigned w = out.wordCount(); w-- > base;) {
+    std::uint64_t v = words()[w - base] << shift;
+    if (shift != 0 && w - base > 0) v |= words()[w - base - 1] >> (kWordBits - shift);
+    out.wordsMut()[w] = v;
+  }
+  out.maskTop();
   return out;
 }
 
 BitVec BitVec::operator>>(unsigned amount) const {
   BitVec out(width_);
-  for (unsigned i = 0; i + amount < width_; ++i) out.setBit(i, bit(i + amount));
+  if (amount >= width_) return out;
+  const unsigned shift = amount % kWordBits;
+  const unsigned base = amount / kWordBits;
+  for (unsigned w = 0; w + base < wordCount(); ++w) {
+    std::uint64_t v = words()[w + base] >> shift;
+    if (shift != 0 && w + base + 1 < wordCount())
+      v |= words()[w + base + 1] << (kWordBits - shift);
+    out.wordsMut()[w] = v;
+  }
   return out;
 }
 
 bool BitVec::operator==(const BitVec& rhs) const {
-  return width_ == rhs.width_ && words_ == rhs.words_;
+  if (width_ != rhs.width_) return false;
+  return std::equal(words(), words() + wordCount(), rhs.words());
 }
 
 std::strong_ordering BitVec::operator<=>(const BitVec& rhs) const {
   checkSameWidth(rhs);
-  for (unsigned i = static_cast<unsigned>(words_.size()); i-- > 0;) {
-    if (words_[i] != rhs.words_[i])
-      return words_[i] < rhs.words_[i] ? std::strong_ordering::less
-                                       : std::strong_ordering::greater;
+  for (unsigned i = wordCount(); i-- > 0;) {
+    if (words()[i] != rhs.words()[i])
+      return words()[i] < rhs.words()[i] ? std::strong_ordering::less
+                                         : std::strong_ordering::greater;
   }
   return std::strong_ordering::equal;
 }
@@ -188,8 +253,8 @@ std::string BitVec::toHex() const {
 
 std::size_t BitVec::hash() const {
   std::size_t h = 1469598103934665603ULL ^ width_;
-  for (auto w : words_) {
-    h ^= static_cast<std::size_t>(w);
+  for (unsigned i = 0; i < wordCount(); ++i) {
+    h ^= static_cast<std::size_t>(words()[i]);
     h *= 1099511628211ULL;
   }
   return h;
@@ -197,7 +262,8 @@ std::size_t BitVec::hash() const {
 
 void BitVec::maskTop() {
   const unsigned rem = width_ % kWordBits;
-  if (rem != 0 && !words_.empty()) words_.back() &= (~0ULL >> (kWordBits - rem));
+  if (rem != 0 && wordCount() > 0)
+    wordsMut()[wordCount() - 1] &= (~0ULL >> (kWordBits - rem));
 }
 
 void BitVec::checkSameWidth(const BitVec& rhs) const {

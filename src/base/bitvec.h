@@ -7,6 +7,7 @@
 // to the width.
 #pragma once
 
+#include <algorithm>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -39,6 +40,11 @@ class BitVec {
   bool bit(unsigned pos) const;
   void setBit(unsigned pos, bool value);
 
+  /// Bits [lo, lo+len) as a uint64 (len <= 64). Word-parallel field read.
+  std::uint64_t extractBits(unsigned lo, unsigned len) const;
+  /// Overwrites bits [lo, lo+len) with the low `len` bits of value (len <= 64).
+  void depositBits(unsigned lo, std::uint64_t value, unsigned len);
+
   /// Low 64 bits (exact value if width() <= 64).
   std::uint64_t toUint64() const;
 
@@ -47,6 +53,9 @@ class BitVec {
 
   unsigned popcount() const;
   bool parity() const;  ///< XOR of all bits.
+  /// Parity of `*this & mask` without materializing the AND (widths must
+  /// match). Lets ECC-style checks run word-parallel with no allocation.
+  bool parityAnd(const BitVec& mask) const;
 
   /// Bits [lo, lo+len) as a new BitVec of width len.
   BitVec slice(unsigned lo, unsigned len) const;
@@ -83,14 +92,74 @@ class BitVec {
   /// FNV-style hash for use in unordered containers / state hashing.
   std::size_t hash() const;
 
+  // Small-buffer value type: widths up to kInlineWords*64 bits (which covers
+  // every datapath in the paper systems, including the 144-bit SECDED pairs)
+  // live entirely inline; wider values fall back to the heap. Simulation
+  // copies channel payloads constantly, so this keeps the hot path
+  // allocation-free.
+  BitVec(const BitVec& o) : width_(o.width_) {
+    allocate();
+    std::copy(o.words(), o.words() + wordCount(), wordsMut());
+  }
+  BitVec(BitVec&& o) noexcept : width_(o.width_) {
+    if (onHeap()) {
+      heapWords_ = o.heapWords_;
+      o.width_ = 0;
+    } else {
+      std::copy(o.inlineWords_, o.inlineWords_ + wordCount(), inlineWords_);
+    }
+  }
+  BitVec& operator=(const BitVec& o) {
+    if (this == &o) return *this;
+    if (wordCount() != o.wordCount()) {
+      release();
+      width_ = o.width_;
+      allocate();
+    } else {
+      width_ = o.width_;
+    }
+    std::copy(o.words(), o.words() + wordCount(), wordsMut());
+    return *this;
+  }
+  BitVec& operator=(BitVec&& o) noexcept {
+    if (this == &o) return *this;
+    release();
+    width_ = o.width_;
+    if (onHeap()) {
+      heapWords_ = o.heapWords_;
+      o.width_ = 0;
+    } else {
+      std::copy(o.inlineWords_, o.inlineWords_ + wordCount(), inlineWords_);
+    }
+    return *this;
+  }
+  ~BitVec() { release(); }
+
  private:
   static constexpr unsigned kWordBits = 64;
+  static constexpr unsigned kInlineWords = 3;
   unsigned wordCount() const { return (width_ + kWordBits - 1) / kWordBits; }
+  bool onHeap() const { return wordCount() > kInlineWords; }
+  const std::uint64_t* words() const { return onHeap() ? heapWords_ : inlineWords_; }
+  std::uint64_t* wordsMut() { return onHeap() ? heapWords_ : inlineWords_; }
+  /// Zero-initializes storage for the current width.
+  void allocate() {
+    if (onHeap())
+      heapWords_ = new std::uint64_t[wordCount()]();
+    else
+      for (unsigned i = 0; i < kInlineWords; ++i) inlineWords_[i] = 0;
+  }
+  void release() {
+    if (onHeap()) delete[] heapWords_;
+  }
   void maskTop();
   void checkSameWidth(const BitVec& rhs) const;
 
   unsigned width_ = 0;
-  std::vector<std::uint64_t> words_;
+  union {
+    std::uint64_t inlineWords_[kInlineWords] = {0, 0, 0};
+    std::uint64_t* heapWords_;
+  };
 };
 
 struct BitVecHash {

@@ -34,6 +34,7 @@ class ElasticBuffer : public Node {
 
   void reset() override;
   void evalComb(SimContext& ctx) override;
+  EvalPurity evalPurity() const override { return EvalPurity::kStateDriven; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;
@@ -69,6 +70,7 @@ class ElasticBuffer0 : public Node {
 
   void reset() override;
   void evalComb(SimContext& ctx) override;
+  EvalPurity evalPurity() const override { return EvalPurity::kStateful; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;
@@ -94,6 +96,7 @@ class BrokenBuffer : public Node {
 
   void reset() override;
   void evalComb(SimContext& ctx) override;
+  EvalPurity evalPurity() const override { return EvalPurity::kStateDriven; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;

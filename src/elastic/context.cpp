@@ -18,6 +18,44 @@ void SimContext::reset() {
   ensureChoiceMap();
   hasFixedChoices_ = false;
   cachedChoices_.assign(totalChoices_, -1);
+  topologySeen_ = ~std::uint64_t{0};  // force cache + full-seed refresh
+  ensureTopologyCache();
+}
+
+void SimContext::ensureTopologyCache() {
+  if (topologySeen_ == netlist_.topologyVersion()) return;
+  liveNodes_ = netlist_.nodeIds();
+  seedNodes_.clear();
+  nodeUnaudited_.assign(netlist_.nodeCapacity(), 0);
+  nodeStateDriven_.assign(netlist_.nodeCapacity(), 0);
+  for (const NodeId id : liveNodes_) {
+    const Node::EvalPurity purity = netlist_.node(id).evalPurity();
+    if (purity != Node::EvalPurity::kCombPure) seedNodes_.push_back(id);
+    if (purity == Node::EvalPurity::kUnaudited) nodeUnaudited_[id] = 1;
+    if (purity == Node::EvalPurity::kStateDriven) nodeStateDriven_[id] = 1;
+  }
+  liveChannels_ = netlist_.channelIds();
+  channelPersistent_.assign(netlist_.channelCapacity(), true);
+  for (const ChannelId ch : liveChannels_)
+    channelPersistent_[ch] = netlist_.channelIsPersistent(ch);
+  // Channels created since the last reset() (insertOnChannel, connect during
+  // interactive surgery) need signal slots before any kernel touches them.
+  if (signals_.size() < netlist_.channelCapacity()) {
+    const std::size_t old = signals_.size();
+    signals_.resize(netlist_.channelCapacity());
+    prevSignals_.resize(netlist_.channelCapacity());
+    for (std::size_t i = old; i < signals_.size(); ++i) {
+      if (!netlist_.hasChannel(static_cast<ChannelId>(i))) continue;
+      signals_[i].data = BitVec(netlist_.channel(static_cast<ChannelId>(i)).width);
+      prevSignals_[i] = signals_[i];
+    }
+  }
+  pendingGen_.assign(netlist_.nodeCapacity(), 0);
+  evalGen_.assign(netlist_.nodeCapacity(), 0);
+  evalCount_.assign(netlist_.nodeCapacity(), 0);
+  topologySeen_ = netlist_.topologyVersion();
+  needFullSeed_ = true;
+  shadowValid_ = false;
 }
 
 void SimContext::resizeSignals() {
@@ -64,7 +102,19 @@ bool SimContext::choice(const Node& node, unsigned idx) {
 }
 
 void SimContext::settle() {
-  const auto ids = netlist_.nodeIds();
+  if (crossCheck_) {
+    settleCrossChecked();
+  } else if (kernel_ == SettleKernel::kSweep) {
+    settleSweep();
+  } else {
+    settleEventDriven();
+  }
+}
+
+void SimContext::settleSweep() {
+  ensureTopologyCache();
+  shadowValid_ = false;  // sweep writes bypass the event kernel's shadow
+  const std::vector<NodeId>& ids = liveNodes_;
   const unsigned maxIters = static_cast<unsigned>(2 * ids.size() + 8);
   for (unsigned iter = 0; iter < maxIters; ++iter) {
     const std::vector<ChannelSignals> before = signals_;
@@ -77,6 +127,103 @@ void SimContext::settle() {
       " sweeps (combinational cycle in data or control)");
 }
 
+void SimContext::settleEventDriven() {
+  ensureTopologyCache();
+
+  // Shadow = the signal values whose consequences have been propagated. Only
+  // evalComb() writes signals, and the loop below mirrors every accepted
+  // change, so the shadow stays valid across cycles: the refresh runs once
+  // after reset/rewiring/sweep, not every settle.
+  if (!shadowValid_) {
+    const std::size_t chCap = netlist_.channelCapacity();
+    shadow_.resize(chCap);
+    for (std::size_t i = 0; i < chCap; ++i) shadow_[i] = signals_[i];
+    shadowValid_ = true;
+  }
+
+  // Per-settle state is generation-stamped instead of cleared: the per-cycle
+  // cost stays O(active nodes), not O(node capacity), on large idle netlists.
+  const std::uint64_t gen = ++settleGen_;
+  const std::size_t nodeCap = netlist_.nodeCapacity();
+  std::size_t pending = 0;
+  std::size_t cursor = nodeCap;  // lowest id that may be pending
+  const auto push = [&](NodeId id) {
+    if (pendingGen_[id] != gen) {
+      pendingGen_[id] = gen;
+      ++pending;
+      if (id < cursor) cursor = id;
+    }
+  };
+
+  // Seed: after reset/rewiring every node; in steady state only nodes whose
+  // evaluation can differ from the previous settled cycle (state, choices,
+  // cycle counter). Pure combinational nodes wake up via change propagation.
+  for (const NodeId id : needFullSeed_ ? liveNodes_ : seedNodes_) push(id);
+  needFullSeed_ = false;
+
+  // Same budget the sweep kernel allows: a node re-evaluated more often than
+  // the sweep count can only mean a combinational oscillation.
+  const std::uint32_t maxEvals =
+      static_cast<std::uint32_t>(2 * liveNodes_.size() + 8);
+  // Lowest-id-first extraction: nodes are created roughly in dataflow order,
+  // so this batches a wave's changes before evaluating its consumers instead
+  // of re-evaluating a join once per arriving input.
+  while (pending > 0) {
+    while (pendingGen_[cursor] != gen) ++cursor;  // all pending ids are >= cursor
+    const NodeId id = static_cast<NodeId>(cursor);
+    pendingGen_[id] = 0;  // popped (settleGen_ is never 0, so 0 ≠ any gen)
+    --pending;
+    if (evalGen_[id] != gen) {
+      evalGen_[id] = gen;
+      evalCount_[id] = 0;
+    }
+    if (++evalCount_[id] > maxEvals)
+      throw CombinationalCycleError(
+          "combinational network did not stabilize: node '" +
+          netlist_.node(id).name() + "' re-evaluated more than " +
+          std::to_string(maxEvals) +
+          " times (combinational cycle in data or control)");
+    netlist_.node(id).evalComb(*this);
+
+    bool selfChanged = false;
+    for (const auto& [ch, other] : netlist_.adjacency(id)) {
+      if (signals_[ch] == shadow_[ch]) continue;
+      shadow_[ch] = signals_[ch];
+      // State-driven neighbours never read channel signals, so a change
+      // cannot alter their (already seeded) evaluation.
+      if (!nodeStateDriven_[other]) push(other);
+      selfChanged = true;
+    }
+    // Confirming re-evaluation of unaudited nodes: a contract-abiding node
+    // re-run on unchanged inputs reproduces its outputs and settles in one
+    // extra pass; a node that oscillates on its own output keeps changing
+    // until the budget above fires (matching the sweep kernel's cycle
+    // detection). Nodes declaring the contract skip this.
+    if (selfChanged && nodeUnaudited_[id]) push(id);
+  }
+}
+
+void SimContext::settleCrossChecked() {
+  ensureTopologyCache();  // grow signal slots BEFORE snapshotting
+  const std::vector<ChannelSignals> pre = signals_;
+  settleEventDriven();
+  std::vector<ChannelSignals> event = std::move(signals_);
+  signals_ = pre;
+  settleSweep();
+  for (const ChannelId id : netlist_.channelIds()) {
+    if (signals_[id] == event[id]) continue;
+    const auto bit = [](bool v) { return v ? '1' : '0'; };
+    const ChannelSignals& s = signals_[id];
+    const ChannelSignals& e = event[id];
+    throw InternalError(
+        std::string("settle cross-check: kernels disagree on channel '") +
+        netlist_.channel(id).name + "' at cycle " + std::to_string(cycle_) +
+        ": sweep vf/sf/vb/sb=" + bit(s.vf) + bit(s.sf) + bit(s.vb) + bit(s.sb) +
+        " data=" + s.data.toHex() + ", event-driven vf/sf/vb/sb=" + bit(e.vf) +
+        bit(e.sf) + bit(e.vb) + bit(e.sb) + " data=" + e.data.toHex());
+  }
+}
+
 void SimContext::checkProtocol() {
   auto report = [&](const Channel& ch, const std::string& what) {
     const std::string msg = "cycle " + std::to_string(cycle_) + ", channel '" +
@@ -85,7 +232,8 @@ void SimContext::checkProtocol() {
     if (throwOnViolation_) throw ProtocolError(msg);
   };
 
-  for (const ChannelId id : netlist_.channelIds()) {
+  ensureTopologyCache();
+  for (const ChannelId id : liveChannels_) {
     const Channel& ch = netlist_.channel(id);
     const ChannelSignals& cur = signals_[id];
 
@@ -96,7 +244,7 @@ void SimContext::checkProtocol() {
 
     if (!havePrev_) continue;
     const ChannelSignals& prev = prevSignals_[id];
-    const bool relaxed = !netlist_.channelIsPersistent(id);
+    const bool relaxed = !channelPersistent_[id];
 
     // Retry+: a stopped token must persist (with its data) next cycle.
     if (prev.vf && prev.sf && !prev.vb && !relaxed) {
@@ -112,9 +260,18 @@ void SimContext::checkProtocol() {
 }
 
 void SimContext::edge() {
-  for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).clockEdge(*this);
-  prevSignals_ = signals_;
-  havePrev_ = true;
+  ensureTopologyCache();
+  for (const NodeId id : liveNodes_) netlist_.node(id).clockEdge(*this);
+  // prev() is only consumed by the protocol monitors, so the snapshot is
+  // skipped entirely when they are off. Element-wise so BitVec payload
+  // storage is reused instead of reallocated.
+  if (protocolChecking_) {
+    prevSignals_.resize(signals_.size());
+    for (std::size_t i = 0; i < signals_.size(); ++i) prevSignals_[i] = signals_[i];
+    havePrev_ = true;
+  } else {
+    havePrev_ = false;
+  }
   hasFixedChoices_ = false;
   cachedChoices_.assign(totalChoices_, -1);
   ++cycle_;

@@ -1,10 +1,22 @@
 // SimContext: the cycle-accurate evaluation kernel.
 //
 // Owns the channel signal arrays and drives the two-phase cycle:
-//   1. settle(): combinational fixed-point — sweep evalComb() over all nodes
-//      until no signal changes (throws CombinationalCycleError if the network
-//      oscillates, i.e. there is a combinational cycle in data or control);
+//   1. settle(): combinational fixed-point (throws CombinationalCycleError if
+//      the network oscillates, i.e. there is a combinational cycle in data or
+//      control);
 //   2. edge(): clockEdge() on every node, advancing sequential state.
+//
+// Two settle kernels are available:
+//   * kSweep — the reference kernel: evalComb() over every node, sweep until
+//     no signal changes anywhere;
+//   * kEventDriven (default) — sparse worklist kernel: seeds the nodes whose
+//     evaluation can differ from the previous settled cycle (everything with
+//     sequential state or choice bits; all nodes after reset), then
+//     re-evaluates only nodes whose adjacent channel signals actually changed,
+//     using the netlist's channel→reader adjacency index. Signals are retained
+//     across cycles, so untouched combinational regions are never re-visited.
+// setCrossCheck(true) runs both kernels every settle and throws InternalError
+// on any disagreement (the equivalence harness in tests/test_sim_kernel.cpp).
 //
 // The context also resolves per-cycle nondeterministic choice bits for
 // environment nodes (random under simulation, enumerated under verification)
@@ -23,6 +35,11 @@ namespace esl {
 
 class SimContext {
  public:
+  enum class SettleKernel {
+    kSweep,        ///< dense fixed-point sweep over all nodes (reference)
+    kEventDriven,  ///< sparse worklist driven by signal-change events
+  };
+
   /// The netlist must outlive the context and is validated on construction.
   explicit SimContext(Netlist& netlist);
 
@@ -42,9 +59,26 @@ class SimContext {
 
   std::uint64_t cycle() const { return cycle_; }
 
+  // --- Settle kernel selection ----------------------------------------------
+
+  void setKernel(SettleKernel kernel) { kernel_ = kernel; }
+  SettleKernel kernel() const { return kernel_; }
+  /// Run BOTH kernels each settle from the same pre-settle signals and throw
+  /// InternalError on any per-channel disagreement.
+  void setCrossCheck(bool enabled) { crossCheck_ = enabled; }
+  bool crossCheck() const { return crossCheck_; }
+  /// External code that writes channel signals directly (outside evalComb)
+  /// must call this before the next settle() so the event-driven kernel
+  /// re-seeds every node instead of trusting retained signals.
+  void invalidateSignals() {
+    needFullSeed_ = true;
+    shadowValid_ = false;
+  }
+
   ChannelSignals& sig(ChannelId ch) { return signals_.at(ch); }
   const ChannelSignals& sig(ChannelId ch) const { return signals_.at(ch); }
-  /// Settled signals of the previous cycle (protocol monitors).
+  /// Settled signals of the previous cycle. Maintained only while protocol
+  /// checking is enabled (its sole consumer); stale otherwise.
   const ChannelSignals& prev(ChannelId ch) const { return prevSignals_.at(ch); }
 
   // --- Nondeterministic choices ---------------------------------------------
@@ -76,12 +110,38 @@ class SimContext {
  private:
   void resizeSignals();
   void ensureChoiceMap();
+  void ensureTopologyCache();
+  void settleSweep();
+  void settleEventDriven();
+  void settleCrossChecked();
 
   Netlist& netlist_;
   std::vector<ChannelSignals> signals_;
   std::vector<ChannelSignals> prevSignals_;
   std::uint64_t cycle_ = 0;
   bool havePrev_ = false;
+
+  // Event-driven kernel state (scratch, reused across settles).
+  SettleKernel kernel_ = SettleKernel::kEventDriven;
+  bool crossCheck_ = false;
+  bool needFullSeed_ = true;
+  bool shadowValid_ = false;
+  std::vector<ChannelSignals> shadow_;   ///< last propagated value per channel
+  // Generation-stamped per-settle scratch (no O(capacity) clears per cycle).
+  std::uint64_t settleGen_ = 0;
+  std::vector<std::uint64_t> pendingGen_;  ///< == settleGen_ → in worklist
+  std::vector<std::uint64_t> evalGen_;     ///< == settleGen_ → evalCount_ valid
+  std::vector<std::uint32_t> evalCount_;   ///< per-settle budget (cycle guard)
+
+  // Per-topology caches (live ids, seed set, channel persistence), refreshed
+  // whenever the netlist's topologyVersion() moves.
+  std::uint64_t topologySeen_ = ~std::uint64_t{0};
+  std::vector<NodeId> liveNodes_;
+  std::vector<NodeId> seedNodes_;            ///< live nodes not kCombPure
+  std::vector<std::uint8_t> nodeUnaudited_;  ///< kUnaudited flag per node
+  std::vector<std::uint8_t> nodeStateDriven_;  ///< kStateDriven flag per node
+  std::vector<ChannelId> liveChannels_;
+  std::vector<bool> channelPersistent_;
 
   // Choice bookkeeping: per-node offset into the per-cycle assignment.
   std::vector<unsigned> choiceOffset_;  // indexed by NodeId

@@ -30,6 +30,7 @@ class EarlyEvalMux : public Node {
 
   void reset() override;
   void evalComb(SimContext& ctx) override;
+  EvalPurity evalPurity() const override { return EvalPurity::kStateful; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;

@@ -27,8 +27,12 @@ TokenSource::Generator TokenSource::counting(unsigned width, std::uint64_t start
 }
 
 std::optional<BitVec> TokenSource::tokenAt(std::uint64_t index) const {
+  if (memoValid_ && memoIndex_ == index) return memoTok_;
   std::optional<BitVec> v = gen_(index);
   if (v) ESL_CHECK(v->width() == width_, "TokenSource: generated width mismatch");
+  memoIndex_ = index;
+  memoTok_ = v;
+  memoValid_ = true;
   return v;
 }
 

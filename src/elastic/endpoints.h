@@ -36,6 +36,7 @@ class TokenSource : public Node {
 
   void reset() override;
   void evalComb(SimContext& ctx) override;
+  EvalPurity evalPurity() const override { return EvalPurity::kStateDriven; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;
@@ -60,6 +61,12 @@ class TokenSource : public Node {
   unsigned killCredit_ = 0;
   std::uint64_t emitted_ = 0;
   std::uint64_t killedCount_ = 0;
+
+  // Size-1 memo of gen_(index): the stream is a pure function of the index,
+  // and a stalled token would otherwise be regenerated on every evaluation.
+  mutable bool memoValid_ = false;
+  mutable std::uint64_t memoIndex_ = 0;
+  mutable std::optional<BitVec> memoTok_;
 };
 
 /// Consumes tokens; readiness controlled by `ready(cycle)`; can inject a
@@ -75,6 +82,7 @@ class TokenSink : public Node {
 
   void reset() override;
   void evalComb(SimContext& ctx) override;
+  EvalPurity evalPurity() const override { return EvalPurity::kStateDriven; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;
@@ -112,6 +120,7 @@ class NondetSource : public Node {
 
   void reset() override;
   void evalComb(SimContext& ctx) override;
+  EvalPurity evalPurity() const override { return EvalPurity::kStateDriven; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;
@@ -145,6 +154,7 @@ class NondetSink : public Node {
 
   void reset() override;
   void evalComb(SimContext& ctx) override;
+  EvalPurity evalPurity() const override { return EvalPurity::kStateDriven; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;

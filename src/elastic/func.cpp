@@ -17,19 +17,22 @@ void FuncNode::evalComb(SimContext& ctx) {
   ChannelSignals& out = ctx.sig(output(0));
 
   bool allIn = true;
-  std::vector<BitVec> args;
-  args.reserve(numInputs());
-  for (unsigned i = 0; i < numInputs(); ++i) {
-    const ChannelSignals& in = ctx.sig(input(i));
-    allIn = allIn && in.vf;
-    args.push_back(in.data);
-  }
+  for (unsigned i = 0; i < numInputs(); ++i) allIn = allIn && ctx.sig(input(i)).vf;
 
   out.vf = allIn;
   if (allIn) {
-    out.data = fn_(args);
-    ESL_CHECK(out.data.width() == outputWidth(0),
-              "FuncNode '" + name() + "': function returned wrong width");
+    bool hit = memoValid_;
+    for (unsigned i = 0; hit && i < numInputs(); ++i)
+      hit = ctx.sig(input(i)).data == memoArgs_[i];
+    if (!hit) {
+      memoArgs_.resize(numInputs());
+      for (unsigned i = 0; i < numInputs(); ++i) memoArgs_[i] = ctx.sig(input(i)).data;
+      memoOut_ = fn_(memoArgs_);
+      ESL_CHECK(memoOut_.width() == outputWidth(0),
+                "FuncNode '" + name() + "': function returned wrong width");
+      memoValid_ = true;
+    }
+    out.data = memoOut_;
   }
 
   // Output consumed this cycle: normal transfer or annihilated by an

@@ -27,6 +27,8 @@ class FuncNode : public Node {
            CombFn fn, logic::Cost datapathCost = {1.0, 1.0});
 
   void evalComb(SimContext& ctx) override;
+  /// Stateless join (firings_ is edge-only), so fully signal-determined.
+  EvalPurity evalPurity() const override { return EvalPurity::kCombPure; }
   void clockEdge(SimContext& ctx) override;
   logic::Cost cost() const override;
   void timing(TimingModel& m) const override;
@@ -49,6 +51,13 @@ class FuncNode : public Node {
   logic::Cost datapathCost_;
   std::string role_;
   std::uint64_t firings_ = 0;
+
+  // Size-1 memo of the last datapath computation. fn_ is pure, so replaying
+  // it on identical operands is pure waste — and both settle kernels replay a
+  // lot (the sweep on every iteration, retried tokens on every cycle).
+  bool memoValid_ = false;
+  std::vector<BitVec> memoArgs_;
+  BitVec memoOut_;
 };
 
 /// Identity function block (a named wire with join semantics).

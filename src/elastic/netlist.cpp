@@ -9,6 +9,13 @@ NodeId Netlist::addNode(std::unique_ptr<Node> node) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   node->setId(id);
   nodes_.push_back(std::move(node));
+  // Keep the adjacency index hot through the common build-up path.
+  const bool synced = adjacencyVersion_ == topoVersion_;
+  ++topoVersion_;
+  if (synced) {
+    adjacency_.emplace_back();
+    adjacencyVersion_ = topoVersion_;
+  }
   return id;
 }
 
@@ -20,6 +27,7 @@ void Netlist::removeNode(NodeId id) {
   for (unsigned p = 0; p < n.numOutputs(); ++p)
     ESL_CHECK(!n.outputBound(p), "Netlist::removeNode: output still connected on " + n.name());
   nodes_[id].reset();
+  invalidateAdjacency();
 }
 
 ChannelId Netlist::connect(Node& producer, unsigned producerPort, Node& consumer,
@@ -49,6 +57,14 @@ ChannelId Netlist::connect(Node& producer, unsigned producerPort, Node& consumer
 
   producer.bindOutput(producerPort, ch.id);
   consumer.bindInput(consumerPort, ch.id);
+
+  const bool synced = adjacencyVersion_ == topoVersion_;
+  ++topoVersion_;
+  if (synced) {
+    adjacency_[producer.id()].push_back({ch.id, consumer.id()});
+    adjacency_[consumer.id()].push_back({ch.id, producer.id()});
+    adjacencyVersion_ = topoVersion_;
+  }
   return ch.id;
 }
 
@@ -58,6 +74,7 @@ void Netlist::disconnect(ChannelId chId) {
   node(ch.producer).bindOutput(ch.producerPort, kNoChannel);
   node(ch.consumer).bindInput(ch.consumerPort, kNoChannel);
   channelLive_[chId] = false;
+  invalidateAdjacency();
 }
 
 void Netlist::rebindConsumer(ChannelId chId, Node& consumer, unsigned consumerPort) {
@@ -70,6 +87,7 @@ void Netlist::rebindConsumer(ChannelId chId, Node& consumer, unsigned consumerPo
   ch.consumer = consumer.id();
   ch.consumerPort = consumerPort;
   consumer.bindInput(consumerPort, chId);
+  invalidateAdjacency();
 }
 
 void Netlist::rebindProducer(ChannelId chId, Node& producer, unsigned producerPort) {
@@ -82,6 +100,7 @@ void Netlist::rebindProducer(ChannelId chId, Node& producer, unsigned producerPo
   ch.producer = producer.id();
   ch.producerPort = producerPort;
   producer.bindOutput(producerPort, chId);
+  invalidateAdjacency();
 }
 
 ChannelId Netlist::insertOnChannel(ChannelId chId, Node& mid) {
@@ -92,6 +111,8 @@ ChannelId Netlist::insertOnChannel(ChannelId chId, Node& mid) {
   Node& consumer = node(ch.consumer);
   const unsigned consumerPort = ch.consumerPort;
   // Detach the old consumer, attach the new node, then connect downstream.
+  // The direct rebind below bypasses connect(), so drop the incremental index.
+  invalidateAdjacency();
   consumer.bindInput(consumerPort, kNoChannel);
   ch.consumer = mid.id();
   ch.consumerPort = 0;
@@ -106,6 +127,7 @@ ChannelId Netlist::bypassNode(NodeId id) {
   ESL_CHECK(n.inputBound(0) && n.outputBound(0), "bypassNode: node not fully connected");
   const ChannelId up = n.input(0);
   const ChannelId down = n.output(0);
+  invalidateAdjacency();
   Channel& downCh = channels_[down];
   Node& consumer = node(downCh.consumer);
   const unsigned consumerPort = downCh.consumerPort;
@@ -193,6 +215,23 @@ void Netlist::validate() const {
   }
 }
 
+
+const std::vector<Netlist::AdjacentChannel>& Netlist::adjacency(NodeId id) const {
+  ESL_CHECK(hasNode(id), "Netlist::adjacency: unknown node id " + std::to_string(id));
+  if (adjacencyVersion_ != topoVersion_) rebuildAdjacency();
+  return adjacency_[id];
+}
+
+void Netlist::rebuildAdjacency() const {
+  adjacency_.assign(nodes_.size(), {});
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (!channelLive_[i]) continue;
+    const Channel& ch = channels_[i];
+    adjacency_[ch.producer].push_back({ch.id, ch.consumer});
+    adjacency_[ch.consumer].push_back({ch.id, ch.producer});
+  }
+  adjacencyVersion_ = topoVersion_;
+}
 
 bool Netlist::channelIsPersistent(ChannelId ch) const {
   // Depth-limited walk through combinational producers; combinational cycles

@@ -76,6 +76,29 @@ class Netlist {
   /// Live channel ids in insertion order.
   std::vector<ChannelId> channelIds() const;
   std::size_t channelCapacity() const { return channels_.size(); }
+  std::size_t nodeCapacity() const { return nodes_.size(); }
+
+  // --- Event-kernel adjacency index ----------------------------------------
+
+  /// One record of the channel→reader index: a channel touching a node,
+  /// paired with the node at the channel's *other* endpoint — i.e. the reader
+  /// of whatever signal fields the indexed node drives on `ch`.
+  struct AdjacentChannel {
+    ChannelId ch = kNoChannel;
+    NodeId other = kNoNode;
+  };
+
+  /// Bumped by every structural mutation (add/remove node, connect,
+  /// disconnect, rebind, splice). Lets cached per-topology structures
+  /// (the adjacency index, a SimContext's seeding state) detect staleness.
+  std::uint64_t topologyVersion() const { return topoVersion_; }
+
+  /// Fan-in + fan-out channels of `id` with their opposite endpoints. The
+  /// index is maintained incrementally by connect() on the common build-up
+  /// path and rebuilt lazily after rewiring; not thread-safe against
+  /// concurrent structural mutation (SimFarm gives each worker its own
+  /// netlist instead of sharing one).
+  const std::vector<AdjacentChannel>& adjacency(NodeId id) const;
 
   /// Throws NetlistError unless every port of every node is bound and every
   /// channel has both endpoints with matching widths.
@@ -91,10 +114,19 @@ class Netlist {
 
  private:
   std::string freshChannelName(const Node& producer, unsigned port) const;
+  /// Structural mutation that the incremental index cannot follow: bump the
+  /// version without updating the cache, forcing a lazy rebuild.
+  void invalidateAdjacency() { ++topoVersion_; }
+  void rebuildAdjacency() const;
 
   std::vector<std::unique_ptr<Node>> nodes_;  // nullptr = removed slot
   std::vector<Channel> channels_;             // id == kNoChannel marks removed
   std::vector<bool> channelLive_;
+
+  std::uint64_t topoVersion_ = 0;
+  // Cache of adjacency(), valid while adjacencyVersion_ == topoVersion_.
+  mutable std::vector<std::vector<AdjacentChannel>> adjacency_;
+  mutable std::uint64_t adjacencyVersion_ = 0;
 };
 
 }  // namespace esl

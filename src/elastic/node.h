@@ -93,6 +93,35 @@ class Node {
   /// One combinational sweep; called until fixpoint.
   virtual void evalComb(SimContext& ctx) = 0;
 
+  /// How far the event-driven settle kernel may trust this node's evalComb.
+  ///
+  /// The evalComb contract (pure function of sequential state, input signals
+  /// and choice bits; writes only the fields the node drives) makes
+  /// re-evaluation on unchanged inputs a no-op. Nodes that declare the
+  /// contract let the kernel evaluate them exactly once per input change;
+  /// unaudited nodes are re-evaluated after every change they cause, which
+  /// certifies convergence and turns contract violations (e.g. a node
+  /// oscillating on its own output) into CombinationalCycleError instead of
+  /// silent mis-settles.
+  enum class EvalPurity {
+    /// Default for user nodes: abide-by-contract not declared; the kernel
+    /// re-checks after every change this node makes.
+    kUnaudited,
+    /// Abides by the contract but evalComb reads sequential state, choice
+    /// bits or the cycle counter: seeded into every settle.
+    kStateful,
+    /// Contract plus: evalComb never *reads* adjacent channel signals — every
+    /// driven field is a function of state/choices/cycle alone (fully
+    /// registered boundaries, e.g. an elastic buffer with Lf=Lb=1). Seeded
+    /// once per settle and never re-evaluated however its channels change.
+    kStateDriven,
+    /// Contract plus: evalComb is a function of the adjacent channel signals
+    /// alone. Skipped entirely while its inputs are unchanged from the
+    /// previous settled cycle.
+    kCombPure,
+  };
+  virtual EvalPurity evalPurity() const { return EvalPurity::kUnaudited; }
+
   /// Sequential update with settled signals.
   virtual void clockEdge(SimContext& ctx) { (void)ctx; }
 

@@ -30,13 +30,14 @@ void SharedModule::reset() {
 }
 
 unsigned SharedModule::predictNow(SimContext& ctx) {
-  std::vector<bool> valid(channels_);
-  for (unsigned i = 0; i < channels_; ++i) valid[i] = ctx.sig(input(i)).vf;
+  validScratch_.resize(channels_);
+  for (unsigned i = 0; i < channels_; ++i) validScratch_[i] = ctx.sig(input(i)).vf;
   const sched::ChoiceReader reader = [this, &ctx](unsigned b) {
     return ctx.choice(*this, b);
   };
-  const unsigned p = scheduler_->predict(valid, reader);
+  const unsigned p = scheduler_->predict(validScratch_, reader);
   ESL_CHECK(p < channels_, "SharedModule: scheduler predicted out of range");
+  lastPrediction_ = p;
   return p;
 }
 
@@ -49,9 +50,14 @@ void SharedModule::evalComb(SimContext& ctx) {
 
     out.vf = routed && in.vf;
     if (out.vf) {
-      out.data = fn_(in.data);
-      ESL_CHECK(out.data.width() == outWidth_,
-                "SharedModule '" + name() + "': function returned wrong width");
+      if (!memoValid_ || !(memoIn_ == in.data)) {
+        memoIn_ = in.data;
+        memoOut_ = fn_(in.data);
+        ESL_CHECK(memoOut_.width() == outWidth_,
+                  "SharedModule '" + name() + "': function returned wrong width");
+        memoValid_ = true;
+      }
+      out.data = memoOut_;
     }
 
     // Anti-tokens pass straight through the controller (Fig. 4b): the module
@@ -67,8 +73,10 @@ void SharedModule::evalComb(SimContext& ctx) {
 }
 
 void SharedModule::clockEdge(SimContext& ctx) {
-  const unsigned sched = predictNow(ctx);
-  sched::Observation obs;
+  // evalComb ran (at least once) on the settled signals, so lastPrediction_
+  // is the settled prediction; predict() is pure, no need to recompute it.
+  const unsigned sched = lastPrediction_;
+  sched::Observation& obs = obsScratch_;
   obs.predicted = sched;
   obs.valid.resize(channels_);
   obs.demand.resize(channels_);

@@ -34,6 +34,7 @@ class SharedModule : public Node {
 
   void reset() override;
   void evalComb(SimContext& ctx) override;
+  EvalPurity evalPurity() const override { return EvalPurity::kStateful; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;
@@ -72,6 +73,17 @@ class SharedModule : public Node {
 
   std::vector<std::uint64_t> served_;
   std::uint64_t demandCycles_ = 0;
+
+  // Size-1 memo of the last fn_ computation (fn_ is pure; retried and
+  // re-settled tokens would otherwise recompute it every evaluation).
+  bool memoValid_ = false;
+  BitVec memoIn_;
+  BitVec memoOut_;
+
+  // Scratch reused across cycles to keep the per-cycle path allocation-free.
+  unsigned lastPrediction_ = 0;  ///< prediction from the latest evalComb
+  std::vector<bool> validScratch_;
+  sched::Observation obsScratch_;
 };
 
 }  // namespace esl

@@ -25,35 +25,81 @@ const std::array<unsigned, kSecdedDataBits>& dataPositions() {
   return table;
 }
 
+/// The data→code bit map is monotone (data bits fill the non-power-of-two
+/// Hamming positions in order), so the gather/scatter between the 64-bit
+/// payload and the 72-bit code decomposes into the contiguous runs between
+/// check-bit positions — 7 word-level field moves instead of 64 bit moves.
+struct Run {
+  unsigned src, dst, len;  // data bits [src, src+len) <-> code bits [dst, dst+len)
+};
+
+const std::vector<Run>& dataRuns() {
+  static const std::vector<Run> table = [] {
+    std::vector<Run> runs;
+    const auto& pos = dataPositions();
+    unsigned i = 0;
+    while (i < kSecdedDataBits) {
+      Run r{i, pos[i], 1};
+      while (i + r.len < kSecdedDataBits && pos[i + r.len] == r.dst + r.len) ++r.len;
+      i += r.len;
+      runs.push_back(r);
+    }
+    return runs;
+  }();
+  return table;
+}
+
+/// Word-parallel parity masks: check mask k covers the code-bit indices of
+/// Hamming positions with bit k set (with and without the power-of-two check
+/// positions themselves), and one mask covers everything below the overall
+/// parity bit. Built once; every parity reduces to AND + popcount.
+struct SecdedMasks {
+  std::array<BitVec, 7> checkData;  ///< bit k set, position not a power of two
+  std::array<BitVec, 7> checkAll;   ///< bit k set (decode syndrome)
+  BitVec belowParity;               ///< code bits 0..70
+};
+
+const SecdedMasks& masks() {
+  static const SecdedMasks table = [] {
+    SecdedMasks m;
+    for (unsigned k = 0; k < 7; ++k) {
+      m.checkData[k] = BitVec(kSecdedCodeBits);
+      m.checkAll[k] = BitVec(kSecdedCodeBits);
+      for (unsigned pos = 1; pos <= kHammingPositions; ++pos) {
+        if ((pos & (1u << k)) == 0) continue;
+        m.checkAll[k].setBit(pos - 1, true);
+        if (!isPowerOfTwo(pos)) m.checkData[k].setBit(pos - 1, true);
+      }
+    }
+    m.belowParity = BitVec(kSecdedCodeBits);
+    for (unsigned i = 0; i < kParityBit; ++i) m.belowParity.setBit(i, true);
+    return m;
+  }();
+  return table;
+}
+
 }  // namespace
 
 BitVec secdedEncode(const BitVec& data) {
   ESL_CHECK(data.width() == kSecdedDataBits, "secdedEncode: data must be 64 bits");
   BitVec code(kSecdedCodeBits);
-  for (unsigned i = 0; i < kSecdedDataBits; ++i)
-    code.setBit(dataPositions()[i], data.bit(i));
+  for (const Run& r : dataRuns())
+    code.depositBits(r.dst, data.extractBits(r.src, r.len), r.len);
 
   // Check bit k (position 2^k) makes parity over positions with bit k set even.
-  for (unsigned k = 0; k < 7; ++k) {
-    bool parity = false;
-    for (unsigned pos = 1; pos <= kHammingPositions; ++pos) {
-      if ((pos & (1u << k)) != 0 && !isPowerOfTwo(pos)) parity ^= code.bit(pos - 1);
-    }
-    code.setBit((1u << k) - 1, parity);
-  }
+  for (unsigned k = 0; k < 7; ++k)
+    code.setBit((1u << k) - 1, code.parityAnd(masks().checkData[k]));
 
   // Overall parity over code bits 0..70.
-  bool overall = false;
-  for (unsigned i = 0; i < kParityBit; ++i) overall ^= code.bit(i);
-  code.setBit(kParityBit, overall);
+  code.setBit(kParityBit, code.parityAnd(masks().belowParity));
   return code;
 }
 
 BitVec secdedPayload(const BitVec& code) {
   ESL_CHECK(code.width() == kSecdedCodeBits, "secdedPayload: code must be 72 bits");
   BitVec data(kSecdedDataBits);
-  for (unsigned i = 0; i < kSecdedDataBits; ++i)
-    data.setBit(i, code.bit(dataPositions()[i]));
+  for (const Run& r : dataRuns())
+    data.depositBits(r.src, code.extractBits(r.dst, r.len), r.len);
   return data;
 }
 
@@ -61,13 +107,8 @@ SecdedResult secdedDecode(const BitVec& code) {
   ESL_CHECK(code.width() == kSecdedCodeBits, "secdedDecode: code must be 72 bits");
 
   unsigned syndrome = 0;
-  for (unsigned k = 0; k < 7; ++k) {
-    bool parity = false;
-    for (unsigned pos = 1; pos <= kHammingPositions; ++pos) {
-      if ((pos & (1u << k)) != 0) parity ^= code.bit(pos - 1);
-    }
-    if (parity) syndrome |= 1u << k;
-  }
+  for (unsigned k = 0; k < 7; ++k)
+    if (code.parityAnd(masks().checkAll[k])) syndrome |= 1u << k;
   bool overallOdd = code.parity();  // even parity encoding => should be false
 
   BitVec fixed = code;

@@ -6,15 +6,18 @@ Simulator::Simulator(Netlist& netlist, SimOptions options)
     : ctx_(netlist), options_(options), rng_(options.seed) {
   ctx_.setProtocolChecking(options_.checkProtocol);
   ctx_.setThrowOnViolation(options_.throwOnViolation);
+  ctx_.setKernel(options_.kernel);
+  ctx_.setCrossCheck(options_.crossCheckKernels);
   ctx_.setChoiceProvider([this](NodeId, unsigned) { return (rng_.next() & 1) != 0; });
   stats_.assign(netlist.channelCapacity(), ChannelStats{});
+  channels_ = netlist.channelIds();
 }
 
 void Simulator::step() {
   ctx_.settle();
   if (options_.checkProtocol) ctx_.checkProtocol();
 
-  for (const ChannelId id : ctx_.netlist().channelIds()) {
+  for (const ChannelId id : channels_) {
     const ChannelSignals& s = ctx_.sig(id);
     ChannelStats& st = stats_[id];
     if (fwdTransfer(s)) ++st.fwdTransfers;

@@ -17,6 +17,11 @@ struct SimOptions {
   bool checkProtocol = true;       ///< monitor SELF properties every cycle
   bool throwOnViolation = true;    ///< raise ProtocolError immediately
   std::uint64_t seed = 0x5e1fULL;  ///< choice-provider seed
+  /// Settle kernel (see SimContext): event-driven worklist by default, with
+  /// the dense sweep retained as reference/fallback.
+  SimContext::SettleKernel kernel = SimContext::SettleKernel::kEventDriven;
+  /// Run both kernels every cycle and throw InternalError on disagreement.
+  bool crossCheckKernels = false;
 };
 
 struct ChannelStats {
@@ -47,6 +52,7 @@ class Simulator {
   SimOptions options_;
   Rng rng_;
   std::vector<ChannelStats> stats_;
+  std::vector<ChannelId> channels_;  ///< live ids, cached (topology is fixed)
   TraceRecorder* trace_ = nullptr;
 };
 
