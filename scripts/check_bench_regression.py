@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares current benchmark JSON files (google-benchmark format for
+BENCH_sim.json, the bench_scale format for BENCH_scale.json) against the
+committed baseline bench/BENCH_baseline.json and fails on a >25% per-cycle
+regression.
+
+Raw nanoseconds are machine-dependent, so by default every current/baseline
+ratio is normalized by the median ratio across all matched entries: the
+median captures the overall speed difference between the baseline machine and
+the current one, and a regression is a benchmark that got slower *relative to
+everything else*. Use --absolute for same-machine comparisons. Only time
+metrics are gated; the machine-independent kernel-speedup floor is enforced
+separately by `bench_scale --check`.
+
+Usage:
+  check_bench_regression.py --baseline bench/BENCH_baseline.json \
+      --current build/BENCH_sim.json --current build/BENCH_scale.json \
+      [--threshold 0.25] [--absolute]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+# Gated metrics, all lower-is-better. event_vs_sweep speedup ratios are
+# intentionally not gated here (see module docstring).
+METRICS = ("ns_per_cycle", "real_time", "cpu_time")
+
+# Must mirror make_bench_baseline.py: reported-but-ungated benchmarks whose
+# measurement windows are too noise-prone for a 25% threshold.
+UNGATED_SUBSTRINGS = ("/n100000/",)
+
+
+def load_entries(path):
+    """name -> (metric, value); google-benchmark aggregates are skipped."""
+    with open(path) as f:
+        data = json.load(f)
+    entries = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") == "aggregate":
+            continue
+        if any(s in bench["name"] for s in UNGATED_SUBSTRINGS):
+            continue
+        for metric in METRICS:
+            if metric in bench:
+                entries[bench["name"]] = (metric, float(bench[metric]))
+                break
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", action="append", required=True)
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="maximum tolerated per-benchmark regression (0.25 = 25%%)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="skip median normalization (same-machine comparison)")
+    args = ap.parse_args()
+
+    baseline = load_entries(args.baseline)
+    current = {}
+    for path in args.current:
+        current.update(load_entries(path))
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print("FAIL: baseline benchmarks missing from current run "
+              "(renamed? refresh bench/BENCH_baseline.json):")
+        for name in missing:
+            print(f"  {name}")
+        return 1
+
+    unbaselined = sorted(set(current) - set(baseline))
+    if unbaselined:
+        print("FAIL: benchmarks not present in bench/BENCH_baseline.json — "
+              "they would never be gated; refresh the baseline "
+              "(scripts/make_bench_baseline.py) in the same change:")
+        for name in unbaselined:
+            print(f"  {name}")
+        return 1
+
+    # Regression ratio per entry: >1 means worse than baseline.
+    ratios = {}
+    for name, (metric, base) in sorted(baseline.items()):
+        cur_metric, cur = current[name]
+        if cur_metric != metric:
+            print(f"FAIL: {name}: metric changed {metric} -> {cur_metric}; "
+                  "refresh the baseline")
+            return 1
+        if base <= 0:
+            continue
+        ratios[name] = cur / base
+
+    if not ratios:
+        print("FAIL: no comparable benchmarks found")
+        return 1
+
+    norm = 1.0
+    if not args.absolute:
+        norm = statistics.median(ratios.values())
+        print(f"machine-speed normalization: median time ratio {norm:.3f}")
+
+    failed = []
+    for name, ratio in sorted(ratios.items()):
+        effective = ratio / norm
+        status = "OK"
+        if effective > 1.0 + args.threshold:
+            status = "REGRESSION"
+            failed.append(name)
+        print(f"  {status:>10}  x{effective:6.3f}  {name}")
+
+    if failed:
+        print(f"FAIL: {len(failed)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} vs bench/BENCH_baseline.json")
+        return 1
+    print(f"OK: {len(ratios)} benchmarks within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

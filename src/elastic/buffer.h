@@ -35,6 +35,8 @@ class ElasticBuffer : public Node {
   void reset() override;
   void evalComb(SimContext& ctx) override;
   EvalPurity evalPurity() const override { return EvalPurity::kStateDriven; }
+  /// Tokens enter/leave and anti-tokens cancel only on channel events.
+  EdgeActivity edgeActivity() const override { return EdgeActivity::kOnEvents; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;
@@ -71,6 +73,9 @@ class ElasticBuffer0 : public Node {
   void reset() override;
   void evalComb(SimContext& ctx) override;
   EvalPurity evalPurity() const override { return EvalPurity::kStateful; }
+  /// The slot fills/empties only on channel events (kills at the input
+  /// boundary annihilate on the channel and never touch the slot).
+  EdgeActivity edgeActivity() const override { return EdgeActivity::kOnEvents; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;

@@ -26,13 +26,31 @@ void SimContext::ensureTopologyCache() {
   if (topologySeen_ == netlist_.topologyVersion()) return;
   liveNodes_ = netlist_.nodeIds();
   seedNodes_.clear();
+  cycleSeedNodes_.clear();
+  alwaysEdgeNodes_.clear();
   nodeUnaudited_.assign(netlist_.nodeCapacity(), 0);
   nodeStateDriven_.assign(netlist_.nodeCapacity(), 0);
+  nodeEdgeOnEvents_.assign(netlist_.nodeCapacity(), 0);
+  nodeStateful_.assign(netlist_.nodeCapacity(), 0);
   for (const NodeId id : liveNodes_) {
-    const Node::EvalPurity purity = netlist_.node(id).evalPurity();
-    if (purity != Node::EvalPurity::kCombPure) seedNodes_.push_back(id);
+    const Node& node = netlist_.node(id);
+    const Node::EvalPurity purity = node.evalPurity();
+    if (purity != Node::EvalPurity::kCombPure) {
+      seedNodes_.push_back(id);
+      nodeStateful_[id] = 1;
+    }
     if (purity == Node::EvalPurity::kUnaudited) nodeUnaudited_[id] = 1;
     if (purity == Node::EvalPurity::kStateDriven) nodeStateDriven_[id] = 1;
+    // Unaudited nodes made no promise about what evalComb reads, so they are
+    // conservatively re-seeded into every settle along with the declared
+    // per-cycle readers (cycle counter / choice bits).
+    if (node.evalReadsPerCycleInputs() ||
+        purity == Node::EvalPurity::kUnaudited)
+      cycleSeedNodes_.push_back(id);
+    if (node.edgeActivity() == Node::EdgeActivity::kOnEvents)
+      nodeEdgeOnEvents_[id] = 1;
+    else
+      alwaysEdgeNodes_.push_back(id);
   }
   liveChannels_ = netlist_.channelIds();
   channelPersistent_.assign(netlist_.channelCapacity(), true);
@@ -53,9 +71,12 @@ void SimContext::ensureTopologyCache() {
   pendingGen_.assign(netlist_.nodeCapacity(), 0);
   evalGen_.assign(netlist_.nodeCapacity(), 0);
   evalCount_.assign(netlist_.nodeCapacity(), 0);
+  edgeMarkGen_.assign(netlist_.nodeCapacity(), 0);
   topologySeen_ = netlist_.topologyVersion();
   needFullSeed_ = true;
   shadowValid_ = false;
+  edgeTrackValid_ = false;
+  sparseSeedValid_ = false;
 }
 
 void SimContext::resizeSignals() {
@@ -114,6 +135,7 @@ void SimContext::settle() {
 void SimContext::settleSweep() {
   ensureTopologyCache();
   shadowValid_ = false;  // sweep writes bypass the event kernel's shadow
+  edgeTrackValid_ = false;  // ... and its hot-channel index
   const std::vector<NodeId>& ids = liveNodes_;
   const unsigned maxIters = static_cast<unsigned>(2 * ids.size() + 8);
   for (unsigned iter = 0; iter < maxIters; ++iter) {
@@ -139,6 +161,17 @@ void SimContext::settleEventDriven() {
     shadow_.resize(chCap);
     for (std::size_t i = 0; i < chCap; ++i) shadow_[i] = signals_[i];
     shadowValid_ = true;
+    // Rebuild the clock-edge hot-channel index alongside: every channel that
+    // currently carries a token or anti-token. From here on the change loop
+    // below keeps it a superset of the post-settle hot set.
+    hotChannels_.clear();
+    hotInList_.assign(chCap, 0);
+    for (const ChannelId ch : liveChannels_) {
+      if (signals_[ch].vf || signals_[ch].vb) {
+        hotInList_[ch] = 1;
+        hotChannels_.push_back(ch);
+      }
+    }
   }
 
   // Per-settle state is generation-stamped instead of cleared: the per-cycle
@@ -155,10 +188,21 @@ void SimContext::settleEventDriven() {
     }
   };
 
-  // Seed: after reset/rewiring every node; in steady state only nodes whose
-  // evaluation can differ from the previous settled cycle (state, choices,
-  // cycle counter). Pure combinational nodes wake up via change propagation.
-  for (const NodeId id : needFullSeed_ ? liveNodes_ : seedNodes_) push(id);
+  // Seed: after reset/rewiring every node; after a full (untracked) edge or
+  // an unpackState every stateful node; in dirty-tracked steady state only
+  // the nodes whose evaluation can actually differ from the previous settled
+  // cycle — per-cycle readers (cycle counter, choice bits, unaudited) plus
+  // the nodes whose clockEdge ran at the preceding edge (the only ones whose
+  // state can have moved). Pure combinational nodes wake up via change
+  // propagation either way.
+  if (needFullSeed_) {
+    for (const NodeId id : liveNodes_) push(id);
+  } else if (!sparseSeedValid_) {
+    for (const NodeId id : seedNodes_) push(id);
+  } else {
+    for (const NodeId id : cycleSeedNodes_) push(id);
+    for (const NodeId id : prevClocked_) push(id);
+  }
   needFullSeed_ = false;
 
   // Same budget the sweep kernel allows: a node re-evaluated more often than
@@ -189,6 +233,10 @@ void SimContext::settleEventDriven() {
     for (const auto& [ch, other] : netlist_.adjacency(id)) {
       if (signals_[ch] == shadow_[ch]) continue;
       shadow_[ch] = signals_[ch];
+      if (!hotInList_[ch] && (signals_[ch].vf || signals_[ch].vb)) {
+        hotInList_[ch] = 1;
+        hotChannels_.push_back(ch);
+      }
       // State-driven neighbours never read channel signals, so a change
       // cannot alter their (already seeded) evaluation.
       if (!nodeStateDriven_[other]) push(other);
@@ -201,6 +249,7 @@ void SimContext::settleEventDriven() {
     // detection). Nodes declaring the contract skip this.
     if (selfChanged && nodeUnaudited_[id]) push(id);
   }
+  edgeTrackValid_ = true;
 }
 
 void SimContext::settleCrossChecked() {
@@ -240,7 +289,8 @@ void SimContext::checkProtocol() {
     // Invariant (paper §3.1): kill and stop are mutually exclusive, in both
     // polarities.
     if (cur.vf && cur.vb && cur.sf) report(ch, "token killed and stopped (V+ S+ V-)");
-    if (cur.vf && cur.vb && cur.sb) report(ch, "anti-token killed and stopped (V- S- V+)");
+    if (cur.vf && cur.vb && cur.sb)
+      report(ch, "anti-token killed and stopped (V- S- V+)");
 
     if (!havePrev_) continue;
     const ChannelSignals& prev = prevSignals_[id];
@@ -261,7 +311,104 @@ void SimContext::checkProtocol() {
 
 void SimContext::edge() {
   ensureTopologyCache();
+  if (crossCheck_)
+    edgeAudited();
+  else if (edgeTrackValid_)
+    edgeSparse();
+  else
+    edgeFull();
+  edgeEpilogue();
+}
+
+void SimContext::edgeFull() {
   for (const NodeId id : liveNodes_) netlist_.node(id).clockEdge(*this);
+  sparseSeedValid_ = false;  // anything may have changed state
+}
+
+void SimContext::edgeSparse() {
+  // Clock only (a) nodes whose hint demands every cycle and (b) nodes
+  // adjacent to a channel with an actual transfer/kill event. Channels that
+  // dropped both valids since they were added are compacted out in passing,
+  // so a once-hot channel costs one check, not a permanent scan entry.
+  const std::uint64_t gen = ++edgeGen_;
+  const auto mark = [&](NodeId id) {
+    if (edgeMarkGen_[id] != gen) {
+      edgeMarkGen_[id] = gen;
+      edgeDirty_.push_back(id);
+    }
+  };
+  for (const NodeId id : alwaysEdgeNodes_) mark(id);
+  std::size_t keep = 0;
+  for (const ChannelId ch : hotChannels_) {
+    const ChannelSignals& s = signals_[ch];
+    if (!(s.vf || s.vb)) {
+      hotInList_[ch] = 0;
+      continue;
+    }
+    hotChannels_[keep++] = ch;
+    if (killEvent(s) || fwdTransfer(s) || bwdTransfer(s)) {
+      const Channel& c = netlist_.channel(ch);
+      mark(c.producer);
+      mark(c.consumer);
+    }
+  }
+  hotChannels_.resize(keep);
+  for (const NodeId id : edgeDirty_) netlist_.node(id).clockEdge(*this);
+  // Record the clocked stateful nodes: they are the only ones whose state can
+  // differ at the next settle, so they (plus the per-cycle readers) become
+  // the next seed set.
+  prevClocked_.clear();
+  for (const NodeId id : edgeDirty_)
+    if (nodeStateful_[id]) prevClocked_.push_back(id);
+  sparseSeedValid_ = true;
+  edgeDirty_.clear();
+}
+
+void SimContext::edgeAudited() {
+  // Reference clockEdge sweep over every node, auditing the EdgeActivity
+  // declarations: a node the sparse path would have skipped (kOnEvents, no
+  // adjacent event) must not change its serialized state. Channel events are
+  // recomputed from scratch — cross-check settles end on the sweep kernel,
+  // which invalidates the incremental hot index.
+  std::vector<std::uint8_t> nodeHasEvent(netlist_.nodeCapacity(), 0);
+  for (const ChannelId ch : liveChannels_) {
+    const ChannelSignals& s = signals_[ch];
+    if (killEvent(s) || fwdTransfer(s) || bwdTransfer(s)) {
+      const Channel& c = netlist_.channel(ch);
+      nodeHasEvent[c.producer] = 1;
+      nodeHasEvent[c.consumer] = 1;
+    }
+  }
+  prevClocked_.clear();
+  for (const NodeId id : liveNodes_) {
+    Node& node = netlist_.node(id);
+    const bool wouldSkip = nodeEdgeOnEvents_[id] && !nodeHasEvent[id];
+    if (!wouldSkip) {
+      if (nodeStateful_[id]) prevClocked_.push_back(id);
+      node.clockEdge(*this);
+      continue;
+    }
+    StateWriter before;
+    node.packState(before);
+    node.clockEdge(*this);
+    StateWriter after;
+    node.packState(after);
+    if (before.take() != after.take())
+      throw InternalError(
+          "edge cross-check: node '" + node.name() + "' (" + node.kindName() +
+          ") declares EdgeActivity::kOnEvents but changed state at cycle " +
+          std::to_string(cycle_) + " without an adjacent channel event");
+  }
+  // The audit above just proved the skipped nodes kept their state, so the
+  // sparse seed bookkeeping is as valid as after a dirty-tracked edge. This
+  // deliberately routes the NEXT cross-checked settle through the sparse
+  // seeding path: a node that reads the cycle counter or choice bits in
+  // evalComb without declaring evalReadsPerCycleInputs() now shows up as a
+  // kernel disagreement instead of hiding behind full re-seeding.
+  sparseSeedValid_ = true;
+}
+
+void SimContext::edgeEpilogue() {
   // prev() is only consumed by the protocol monitors, so the snapshot is
   // skipped entirely when they are off. Element-wise so BitVec payload
   // storage is reused instead of reallocated.
@@ -294,6 +441,7 @@ void SimContext::unpackState(const std::vector<std::uint8_t>& bytes) {
   for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).unpackState(r);
   ESL_CHECK(r.done(), "unpackState: trailing bytes (netlist/state mismatch)");
   havePrev_ = false;
+  sparseSeedValid_ = false;  // arbitrary state replacement: reseed stateful set
 }
 
 }  // namespace esl

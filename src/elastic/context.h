@@ -15,8 +15,18 @@
 //     re-evaluates only nodes whose adjacent channel signals actually changed,
 //     using the netlist's channel→reader adjacency index. Signals are retained
 //     across cycles, so untouched combinational regions are never re-visited.
-// setCrossCheck(true) runs both kernels every settle and throws InternalError
-// on any disagreement (the equivalence harness in tests/test_sim_kernel.cpp).
+//
+// The edge phase is dirty-tracked to match: the event-driven settle maintains
+// the set of channels that carry a token or anti-token ("hot" channels), and
+// edge() clocks only nodes adjacent to an actual transfer/kill event plus the
+// nodes whose EdgeActivity hint demands every cycle — O(active), not O(nodes).
+// The full clockEdge sweep remains the reference path (sweep kernel, and any
+// cycle whose signals were written outside the event kernel).
+// setCrossCheck(true) runs both settle kernels every cycle and throws
+// InternalError on any disagreement (the equivalence harness in
+// tests/test_sim_kernel.cpp); its edge runs the full sweep while auditing the
+// EdgeActivity declarations — a node the dirty-tracker would have skipped must
+// leave its packState() bytes unchanged.
 //
 // The context also resolves per-cycle nondeterministic choice bits for
 // environment nodes (random under simulation, enumerated under verification)
@@ -73,6 +83,8 @@ class SimContext {
   void invalidateSignals() {
     needFullSeed_ = true;
     shadowValid_ = false;
+    edgeTrackValid_ = false;
+    sparseSeedValid_ = false;
   }
 
   ChannelSignals& sig(ChannelId ch) { return signals_.at(ch); }
@@ -114,6 +126,10 @@ class SimContext {
   void settleSweep();
   void settleEventDriven();
   void settleCrossChecked();
+  void edgeSparse();
+  void edgeFull();
+  void edgeAudited();
+  void edgeEpilogue();
 
   Netlist& netlist_;
   std::vector<ChannelSignals> signals_;
@@ -133,13 +149,33 @@ class SimContext {
   std::vector<std::uint64_t> evalGen_;     ///< == settleGen_ → evalCount_ valid
   std::vector<std::uint32_t> evalCount_;   ///< per-settle budget (cycle guard)
 
+  // Clock-edge dirty-tracking: hot channels (token or anti-token present in
+  // the settled signals) feed the event scan; only maintained by the
+  // event-driven settle, so edgeTrackValid_ gates the sparse path.
+  bool edgeTrackValid_ = false;
+  std::vector<ChannelId> hotChannels_;     ///< compacted lazily in edgeSparse()
+  std::vector<std::uint8_t> hotInList_;    ///< membership flag per channel
+  std::uint64_t edgeGen_ = 0;              ///< dedup stamp for edgeDirty_
+  std::vector<std::uint64_t> edgeMarkGen_;  ///< == edgeGen_ → already queued
+  std::vector<NodeId> edgeDirty_;          ///< per-edge scratch
+
+  // Sparse settle seeding: after a dirty-tracked edge, only the nodes that
+  // were actually clocked can have changed state, so the next settle seeds
+  // those plus the per-cycle readers instead of every stateful node.
+  bool sparseSeedValid_ = false;
+  std::vector<NodeId> prevClocked_;  ///< stateful nodes clocked at last edge
+
   // Per-topology caches (live ids, seed set, channel persistence), refreshed
   // whenever the netlist's topologyVersion() moves.
   std::uint64_t topologySeen_ = ~std::uint64_t{0};
   std::vector<NodeId> liveNodes_;
   std::vector<NodeId> seedNodes_;            ///< live nodes not kCombPure
+  std::vector<NodeId> cycleSeedNodes_;       ///< per-cycle readers + unaudited
+  std::vector<NodeId> alwaysEdgeNodes_;      ///< live nodes with kEveryCycle
   std::vector<std::uint8_t> nodeUnaudited_;  ///< kUnaudited flag per node
   std::vector<std::uint8_t> nodeStateDriven_;  ///< kStateDriven flag per node
+  std::vector<std::uint8_t> nodeEdgeOnEvents_;  ///< kOnEvents flag per node
+  std::vector<std::uint8_t> nodeStateful_;      ///< !kCombPure flag per node
   std::vector<ChannelId> liveChannels_;
   std::vector<bool> channelPersistent_;
 

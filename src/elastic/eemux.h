@@ -31,6 +31,9 @@ class EarlyEvalMux : public Node {
   void reset() override;
   void evalComb(SimContext& ctx) override;
   EvalPurity evalPurity() const override { return EvalPurity::kStateful; }
+  /// pendingAnti_ grows only on firings (output transfer/kill events) and
+  /// shrinks only on input kill/backward-transfer events.
+  EdgeActivity edgeActivity() const override { return EdgeActivity::kOnEvents; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;

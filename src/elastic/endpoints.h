@@ -37,6 +37,12 @@ class TokenSource : public Node {
   void reset() override;
   void evalComb(SimContext& ctx) override;
   EvalPurity evalPurity() const override { return EvalPurity::kStateDriven; }
+  /// Ungated sources only advance on output events (an owed kill is consumed
+  /// at the edge of the backward-transfer cycle that created it); a gate makes
+  /// the offer decision a function of the cycle counter.
+  EdgeActivity edgeActivity() const override {
+    return gate_ ? EdgeActivity::kEveryCycle : EdgeActivity::kOnEvents;
+  }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;
@@ -83,6 +89,15 @@ class TokenSink : public Node {
   void reset() override;
   void evalComb(SimContext& ctx) override;
   EvalPurity evalPurity() const override { return EvalPurity::kStateDriven; }
+  /// Records transfers and resolves its own anti-tokens, all channel events —
+  /// except the anti gate, which opens as a function of the cycle counter.
+  EdgeActivity edgeActivity() const override {
+    return antiGate_ ? EdgeActivity::kEveryCycle : EdgeActivity::kOnEvents;
+  }
+  /// The readiness and anti gates read the cycle counter inside evalComb.
+  bool evalReadsPerCycleInputs() const override {
+    return static_cast<bool>(ready_) || static_cast<bool>(antiGate_);
+  }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;

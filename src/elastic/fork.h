@@ -22,6 +22,8 @@ class ForkNode : public Node {
   void reset() override;
   void evalComb(SimContext& ctx) override;
   EvalPurity evalPurity() const override { return EvalPurity::kStateful; }
+  /// done_ bits set on branch events and clear on the stem transfer event.
+  EdgeActivity edgeActivity() const override { return EdgeActivity::kOnEvents; }
   void clockEdge(SimContext& ctx) override;
   void packState(StateWriter& w) const override;
   void unpackState(StateReader& r) override;

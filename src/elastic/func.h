@@ -29,6 +29,8 @@ class FuncNode : public Node {
   void evalComb(SimContext& ctx) override;
   /// Stateless join (firings_ is edge-only), so fully signal-determined.
   EvalPurity evalPurity() const override { return EvalPurity::kCombPure; }
+  /// Only the firing counter advances, on the output transfer event.
+  EdgeActivity edgeActivity() const override { return EdgeActivity::kOnEvents; }
   void clockEdge(SimContext& ctx) override;
   logic::Cost cost() const override;
   void timing(TimingModel& m) const override;

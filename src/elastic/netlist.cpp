@@ -23,9 +23,11 @@ void Netlist::removeNode(NodeId id) {
   ESL_CHECK(hasNode(id), "Netlist::removeNode: unknown node");
   Node& n = *nodes_[id];
   for (unsigned p = 0; p < n.numInputs(); ++p)
-    ESL_CHECK(!n.inputBound(p), "Netlist::removeNode: input still connected on " + n.name());
+    ESL_CHECK(!n.inputBound(p),
+              "Netlist::removeNode: input still connected on " + n.name());
   for (unsigned p = 0; p < n.numOutputs(); ++p)
-    ESL_CHECK(!n.outputBound(p), "Netlist::removeNode: output still connected on " + n.name());
+    ESL_CHECK(!n.outputBound(p),
+              "Netlist::removeNode: output still connected on " + n.name());
   nodes_[id].reset();
   invalidateAdjacency();
 }
@@ -82,7 +84,8 @@ void Netlist::rebindConsumer(ChannelId chId, Node& consumer, unsigned consumerPo
   Channel& ch = channels_[chId];
   ESL_CHECK(consumerPort < consumer.numInputs(), "rebindConsumer: bad port");
   ESL_CHECK(!consumer.inputBound(consumerPort), "rebindConsumer: port already bound");
-  ESL_CHECK(ch.width == consumer.inputWidth(consumerPort), "rebindConsumer: width mismatch");
+  ESL_CHECK(ch.width == consumer.inputWidth(consumerPort),
+            "rebindConsumer: width mismatch");
   node(ch.consumer).bindInput(ch.consumerPort, kNoChannel);
   ch.consumer = consumer.id();
   ch.consumerPort = consumerPort;
@@ -95,7 +98,8 @@ void Netlist::rebindProducer(ChannelId chId, Node& producer, unsigned producerPo
   Channel& ch = channels_[chId];
   ESL_CHECK(producerPort < producer.numOutputs(), "rebindProducer: bad port");
   ESL_CHECK(!producer.outputBound(producerPort), "rebindProducer: port already bound");
-  ESL_CHECK(ch.width == producer.outputWidth(producerPort), "rebindProducer: width mismatch");
+  ESL_CHECK(ch.width == producer.outputWidth(producerPort),
+            "rebindProducer: width mismatch");
   node(ch.producer).bindOutput(ch.producerPort, kNoChannel);
   ch.producer = producer.id();
   ch.producerPort = producerPort;
@@ -123,7 +127,8 @@ ChannelId Netlist::insertOnChannel(ChannelId chId, Node& mid) {
 ChannelId Netlist::bypassNode(NodeId id) {
   ESL_CHECK(hasNode(id), "bypassNode: unknown node");
   Node& n = *nodes_[id];
-  ESL_CHECK(n.numInputs() == 1 && n.numOutputs() == 1, "bypassNode: node must be 1-in/1-out");
+  ESL_CHECK(n.numInputs() == 1 && n.numOutputs() == 1,
+            "bypassNode: node must be 1-in/1-out");
   ESL_CHECK(n.inputBound(0) && n.outputBound(0), "bypassNode: node not fully connected");
   const ChannelId up = n.input(0);
   const ChannelId down = n.output(0);

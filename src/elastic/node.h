@@ -122,6 +122,43 @@ class Node {
   };
   virtual EvalPurity evalPurity() const { return EvalPurity::kUnaudited; }
 
+  /// Whether evalComb reads per-cycle inputs BESIDES sequential state and
+  /// adjacent channel signals — the cycle counter or nondeterministic choice
+  /// bits. Such nodes are re-seeded into every settle. All other audited
+  /// nodes are re-seeded only when their state may actually have changed,
+  /// i.e. when their clockEdge ran at the preceding edge — on a large mostly
+  /// idle netlist that turns the per-cycle seed set from O(stateful nodes)
+  /// into O(active nodes). Default: true iff the node consumes choice bits;
+  /// override to return true when evalComb reads ctx.cycle() (typically
+  /// through a gate callback).
+  virtual bool evalReadsPerCycleInputs() const { return choiceCount() > 0; }
+
+  /// Sequential-activity hint for the clock-edge dirty-tracker, the edge-phase
+  /// sibling of EvalPurity.
+  ///
+  /// clockEdge() advances sequential state from the settled signals. For most
+  /// blocks that update is strictly event-triggered: state can only change
+  /// when one of the node's channels carries a transfer or kill event
+  /// (fwdTransfer/bwdTransfer/killEvent) this cycle. Declaring that lets
+  /// SimContext clock only the nodes adjacent to an event — the edge phase
+  /// becomes O(active) like the event-driven settle — instead of sweeping
+  /// clockEdge() over every node.
+  ///
+  /// The declaration is audited: in cross-check mode the kernel still clocks
+  /// every node but verifies that each node it *would* have skipped left its
+  /// packState() bytes unchanged, turning a wrong hint into InternalError.
+  /// Note the audit sees packState() only — statistics excluded from
+  /// serialization are not covered, so counters must also be event-triggered.
+  enum class EdgeActivity {
+    /// Default: clockEdge() must run every cycle (cycle-dependent gates,
+    /// schedulers, per-cycle choice consumers, multi-cycle latency counters).
+    kEveryCycle,
+    /// clockEdge() is a no-op on any cycle in which no adjacent channel
+    /// carries a transfer or kill event; the kernel may skip it then.
+    kOnEvents,
+  };
+  virtual EdgeActivity edgeActivity() const { return EdgeActivity::kEveryCycle; }
+
   /// Sequential update with settled signals.
   virtual void clockEdge(SimContext& ctx) { (void)ctx; }
 

@@ -114,7 +114,9 @@ Fig1System buildFig1(Fig1Variant variant, const Fig1Config& c) {
 
   auto& g = makeUnary(
       nl, "G", w, 1,
-      [c](const BitVec& pc) { return BitVec(1, fig1Branch(pc, c.takenPermille) ? 1 : 0); },
+      [c](const BitVec& pc) {
+        return BitVec(1, fig1Branch(pc, c.takenPermille) ? 1 : 0);
+      },
       logic::Cost{c.delayG, 60.0});
   auto& w0 = makeUnary(
       nl, "nextpc", w, w,
@@ -426,7 +428,8 @@ SecdedSystem buildSecdedSpeculative(const SecdedConfig& c) {
   auto& fix = makeUnary(
       nl, "secded", 144, 144,
       [](const BitVec& p) {
-        return secdedCorrectWord(p.slice(0, 72)).concat(secdedCorrectWord(p.slice(72, 72)));
+        return secdedCorrectWord(p.slice(0, 72))
+            .concat(secdedCorrectWord(p.slice(72, 72)));
       },
       logic::Cost{logic::secdedDecoderCost().delay,
                   2.0 * logic::secdedDecoderCost().area});

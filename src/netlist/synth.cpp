@@ -1,0 +1,357 @@
+#include "netlist/synth.h"
+
+#include <functional>
+
+#include "base/rng.h"
+#include "elastic/buffer.h"
+#include "elastic/eemux.h"
+#include "elastic/fork.h"
+#include "elastic/func.h"
+#include "elastic/vlu.h"
+
+namespace esl::synth {
+
+namespace {
+
+/// Endpoint of an unconsumed channel-to-be: a producer node and output port.
+struct OpenPort {
+  Node* node = nullptr;
+  unsigned port = 0;
+};
+
+/// Pure pseudo-random payload stream (safe to re-evaluate, memo-friendly).
+TokenSource::Generator payloadGen(unsigned width, std::uint64_t salt) {
+  return [width, salt](std::uint64_t i) -> std::optional<BitVec> {
+    return BitVec(width, mix64(i, salt));
+  };
+}
+
+/// Sparse-injection gate: the next token may first be offered on cycles
+/// congruent to `phase` modulo `period`. Empty gate when saturated.
+TokenSource::Gate injectGate(unsigned period, std::uint64_t phase) {
+  if (period <= 1) return {};
+  return [period, phase](std::uint64_t c) { return (c + phase) % period == 0; };
+}
+
+/// Unary stage function x -> x + salt-derived constant.
+FuncNode& addStageFunc(Netlist& nl, const std::string& name, unsigned width,
+                       std::uint64_t salt) {
+  const std::uint64_t k = mix64(salt) | 1;
+  return makeUnary(nl, name, width, width,
+                   [width, k](const BitVec& x) { return x + BitVec(width, k); });
+}
+
+struct Builder {
+  const SynthConfig& cfg;
+  SynthSystem& sys;
+  Netlist& nl;
+  Rng rng;
+  std::size_t nodes = 0;  ///< running node count, environments included
+
+  Builder(const SynthConfig& c, SynthSystem& s)
+      : cfg(c), sys(s), nl(s.nl), rng(c.seed) {}
+
+  template <typename T, typename... Args>
+  T& make(Args&&... args) {
+    ++nodes;
+    return nl.make<T>(std::forward<Args>(args)...);
+  }
+
+  /// Data-token source (deterministic or nondet); `salt` keys the stream.
+  OpenPort addSource(const std::string& name, std::uint64_t salt) {
+    if (cfg.nondetEnv) return {&make<NondetSource>(name, cfg.width), 0};
+    auto& src = make<TokenSource>(name, cfg.width, payloadGen(cfg.width, salt),
+                                  injectGate(cfg.injectPeriod, salt % 97));
+    sys.sources.push_back(&src);
+    return {&src, 0};
+  }
+
+  /// Terminates `tail` with a sink; records the first one as the main sink.
+  void addSink(const std::string& name, OpenPort tail) {
+    if (cfg.nondetEnv) {
+      auto& sink = make<NondetSink>(name, cfg.width);
+      const ChannelId ch = nl.connect(*tail.node, tail.port, sink, 0);
+      if (sys.outChannel == kNoChannel) sys.outChannel = ch;
+      return;
+    }
+    auto& sink = make<TokenSink>(name, cfg.width);
+    const ChannelId ch = nl.connect(*tail.node, tail.port, sink, 0);
+    sys.sinks.push_back(&sink);
+    if (sys.mainSink == nullptr) {
+      sys.mainSink = &sink;
+      sys.outChannel = ch;
+    }
+  }
+
+  OpenPort addBuffer(const std::string& name, OpenPort tail) {
+    auto& eb = make<ElasticBuffer>(name, cfg.width, cfg.bufferCapacity);
+    nl.connect(*tail.node, tail.port, eb, 0);
+    return {&eb, 0};
+  }
+
+  // --- deep linear pipeline -------------------------------------------------
+
+  void buildPipeline() {
+    const std::size_t budget = cfg.targetNodes < 3 ? 3 : cfg.targetNodes;
+    OpenPort tail = addSource("src", cfg.seed);
+    for (unsigned i = 0; nodes + 3 <= budget; ++i) {
+      const std::string tag = std::to_string(i);
+      tail = addBuffer("s" + tag + ".eb", tail);
+      if (cfg.vluPermille > 0 && rng.chancePermille(cfg.vluPermille)) {
+        const std::uint64_t salt = cfg.seed + i;
+        auto& vlu = make<StallingVLU>(
+            "s" + tag + ".vlu", cfg.width, cfg.width,
+            [w = cfg.width, salt](const BitVec& x) {
+              return x + BitVec(w, mix64(salt) | 1);
+            },
+            [salt](const BitVec& x) {
+              return hashChancePermille(x.toUint64(), 150, salt);
+            },
+            logic::Cost{1.0, 8.0}, logic::Cost{2.0, 16.0}, logic::Cost{1.0, 4.0});
+        nl.connect(*tail.node, tail.port, vlu, 0);
+        tail = {&vlu, 0};
+      } else {
+        auto& f = addStageFunc(nl, "s" + tag + ".f", cfg.width, cfg.seed + i);
+        ++nodes;
+        nl.connect(*tail.node, tail.port, f, 0);
+        tail = {&f, 0};
+      }
+    }
+    addSink("sink", tail);
+  }
+
+  // --- fork/join tree -------------------------------------------------------
+
+  std::vector<OpenPort> expandFork(OpenPort in, unsigned depth,
+                                   const std::string& prefix) {
+    if (depth == 0) return {in};
+    auto& fork = make<ForkNode>(prefix, cfg.width, cfg.forkArity);
+    nl.connect(*in.node, in.port, fork, 0);
+    std::vector<OpenPort> leaves;
+    for (unsigned i = 0; i < cfg.forkArity; ++i) {
+      auto sub = expandFork({&fork, i}, depth - 1, prefix + "." + std::to_string(i));
+      leaves.insert(leaves.end(), sub.begin(), sub.end());
+    }
+    return leaves;
+  }
+
+  void buildForkJoin() {
+    const unsigned a = cfg.forkArity < 2 ? 2 : cfg.forkArity;
+    const bool leafBuffered = cfg.targetNodes >= 16;
+    // nodes(d) = src + sink + forks + joins + leaves * (1 or 2), with
+    // forks = joins = (a^d - 1)/(a - 1) and leaves = a^d.
+    unsigned depth = 1;
+    const auto nodesAt = [&](unsigned d) -> std::size_t {
+      std::size_t leaves = 1, forks = 0;
+      for (unsigned i = 0; i < d; ++i) {
+        forks += leaves;
+        leaves *= a;
+      }
+      return 2 + 2 * forks + leaves * (leafBuffered ? 2 : 1);
+    };
+    while (nodesAt(depth + 1) <= cfg.targetNodes) ++depth;
+
+    OpenPort tail = addSource("src", cfg.seed);
+    std::vector<OpenPort> layer = expandFork(tail, depth, "fork");
+    for (std::size_t i = 0; i < layer.size(); ++i) {
+      const std::string tag = "leaf" + std::to_string(i);
+      if (leafBuffered) layer[i] = addBuffer(tag + ".eb", layer[i]);
+      auto& f = addStageFunc(nl, tag + ".f", cfg.width, cfg.seed + i);
+      ++nodes;
+      nl.connect(*layer[i].node, layer[i].port, f, 0);
+      layer[i] = {&f, 0};
+    }
+    // Mirror join tree: XOR-reduce groups of `a` until one channel remains.
+    unsigned level = 0;
+    while (layer.size() > 1) {
+      std::vector<OpenPort> next;
+      for (std::size_t g = 0; g < layer.size(); g += a) {
+        auto& join = make<FuncNode>(
+            "join" + std::to_string(level) + "." + std::to_string(g / a),
+            std::vector<unsigned>(a, cfg.width), cfg.width,
+            [](const std::vector<BitVec>& in) {
+              BitVec acc = in[0];
+              for (std::size_t i = 1; i < in.size(); ++i) acc = acc ^ in[i];
+              return acc;
+            });
+        for (unsigned i = 0; i < a; ++i)
+          nl.connect(*layer[g + i].node, layer[g + i].port, join, i);
+        next.push_back({&join, 0});
+      }
+      layer = std::move(next);
+      ++level;
+    }
+    addSink("sink", layer[0]);
+  }
+
+  // --- early-evaluation speculation ladder ----------------------------------
+
+  /// Select-bit source for one rung (1-bit stream; nondet variant picks the
+  /// bit per cycle so the checker quantifies over all speculation outcomes).
+  OpenPort addSelectSource(const std::string& name, std::uint64_t salt) {
+    if (cfg.nondetEnv)
+      return {&make<NondetSource>(name, 1, /*killCreditCap=*/1, /*dataBits=*/1), 0};
+    auto& src = make<TokenSource>(
+        name, 1, [salt](std::uint64_t i) -> std::optional<BitVec> {
+          return BitVec(1, mix64(i, salt) & 1);
+        });
+    return {&src, 0};
+  }
+
+  void buildSpecLadder() {
+    // A rung forks the data stream into two buffered branches and lets an
+    // early-evaluation mux pick one per select token; the mux's anti-token
+    // kills the non-selected copy back through the branch into the fork.
+    const bool slim = cfg.targetNodes < 16;  // fits a rung into 8-node budgets
+    const std::size_t perRung = slim ? 5 : 8;
+    std::size_t rungs = cfg.targetNodes > 2 ? (cfg.targetNodes - 2) / perRung : 1;
+    if (rungs == 0) rungs = 1;
+
+    OpenPort tail = addSource("src", cfg.seed);
+    for (std::size_t r = 0; r < rungs; ++r) {
+      const std::string tag = "r" + std::to_string(r);
+      auto& fork = make<ForkNode>(tag + ".fork", cfg.width, 2);
+      nl.connect(*tail.node, tail.port, fork, 0);
+      OpenPort a = addBuffer(tag + ".ebA", {&fork, 0});
+      OpenPort b = addBuffer(tag + ".ebB", {&fork, 1});
+      if (!slim) {
+        auto& fa = addStageFunc(nl, tag + ".fA", cfg.width, cfg.seed + 2 * r);
+        ++nodes;
+        nl.connect(*a.node, a.port, fa, 0);
+        a = {&fa, 0};
+        auto& fb = addStageFunc(nl, tag + ".fB", cfg.width, cfg.seed + 2 * r + 1);
+        ++nodes;
+        nl.connect(*b.node, b.port, fb, 0);
+        b = {&fb, 0};
+      }
+      OpenPort sel = addSelectSource(tag + ".sel", cfg.seed + 31 * r);
+      auto& mux = make<EarlyEvalMux>(tag + ".mux", 2, 1, cfg.width);
+      nl.connect(*sel.node, sel.port, mux, 0);
+      nl.connect(*a.node, a.port, mux, 1);
+      nl.connect(*b.node, b.port, mux, 2);
+      tail = {&mux, 0};
+      if (!slim) tail = addBuffer(tag + ".ebOut", tail);
+    }
+    addSink("sink", tail);
+  }
+
+  // --- seeded random DAG ----------------------------------------------------
+
+  void buildRandomDag() {
+    const std::size_t budget = cfg.targetNodes < 4 ? 4 : cfg.targetNodes;
+    // A couple of sources per 256-node block keeps independent token waves in
+    // flight; consumers are always new nodes, so the graph stays acyclic, and
+    // every node fires at unit rate, so joins never starve structurally.
+    std::size_t srcCount = 1 + budget / 256;
+    if (srcCount > 8) srcCount = 8;
+    std::vector<OpenPort> open;
+    for (std::size_t i = 0; i < srcCount; ++i)
+      open.push_back(addSource("src" + std::to_string(i), cfg.seed + 7 * i));
+
+    unsigned serial = 0;
+    for (;;) {
+      // Each open port eventually needs a sink: a candidate kind is allowed
+      // only if the budget covers the new node plus the resulting sink set.
+      const std::size_t after = nodes + 1;
+      const bool canNeutral = after + open.size() <= budget;
+      const bool canFork = after + open.size() + 1 <= budget;
+      const bool canJoin = open.size() >= 2 && after + open.size() - 1 <= budget;
+      if (!canNeutral && !canFork && !canJoin) break;
+
+      const std::string tag = "d" + std::to_string(serial++);
+      const auto takeOpen = [&]() {
+        const std::size_t i = rng.below(open.size());
+        const OpenPort p = open[i];
+        open[i] = open.back();
+        open.pop_back();
+        return p;
+      };
+
+      // Weighted pick among the allowed kinds; a fork implies the neutral
+      // budget and a too-tight budget leaves only joins, so the chain below
+      // always performs exactly one action per iteration.
+      const std::uint64_t roll = rng.below(100);
+      enum class Act { kJoin, kFork, kEb, kFunc };
+      Act act;
+      if (canJoin && roll < 20)
+        act = Act::kJoin;
+      else if (canFork && roll < 35)
+        act = Act::kFork;
+      else if (canNeutral)
+        act = roll < 80 ? Act::kEb : Act::kFunc;
+      else
+        act = Act::kJoin;
+
+      if (act == Act::kJoin) {
+        const OpenPort x = takeOpen();
+        const OpenPort y = takeOpen();
+        auto& join = makeBinary(nl, tag + ".join", cfg.width, cfg.width, cfg.width,
+                                [](const BitVec& p, const BitVec& q) { return p ^ q; });
+        ++nodes;
+        nl.connect(*x.node, x.port, join, 0);
+        nl.connect(*y.node, y.port, join, 1);
+        open.push_back({&join, 0});
+      } else if (act == Act::kFork) {
+        const OpenPort x = takeOpen();
+        auto& fork = make<ForkNode>(tag + ".fork", cfg.width, 2);
+        nl.connect(*x.node, x.port, fork, 0);
+        open.push_back({&fork, 0});
+        open.push_back({&fork, 1});
+      } else if (act == Act::kEb) {
+        open.push_back(addBuffer(tag + ".eb", takeOpen()));
+      } else {
+        const OpenPort x = takeOpen();
+        auto& f = addStageFunc(nl, tag + ".f", cfg.width, cfg.seed + serial);
+        ++nodes;
+        nl.connect(*x.node, x.port, f, 0);
+        open.push_back({&f, 0});
+      }
+    }
+    for (std::size_t i = 0; i < open.size(); ++i)
+      addSink("sink" + std::to_string(i), open[i]);
+  }
+};
+
+}  // namespace
+
+const char* topologyName(Topology t) {
+  switch (t) {
+    case Topology::kPipeline: return "pipeline";
+    case Topology::kForkJoin: return "fork-join";
+    case Topology::kSpecLadder: return "spec-ladder";
+    case Topology::kRandomDag: return "random-dag";
+  }
+  return "?";
+}
+
+SynthSystem build(const SynthConfig& config) {
+  SynthSystem sys;
+  Builder b(config, sys);
+  switch (config.topology) {
+    case Topology::kPipeline: b.buildPipeline(); break;
+    case Topology::kForkJoin: b.buildForkJoin(); break;
+    case Topology::kSpecLadder: b.buildSpecLadder(); break;
+    case Topology::kRandomDag: b.buildRandomDag(); break;
+  }
+  sys.nl.validate();
+  sys.nodeCount = sys.nl.nodeIds().size();
+  sys.channelCount = sys.nl.channelIds().size();
+  return sys;
+}
+
+std::string describe(const SynthConfig& config) {
+  std::string tag = std::string(topologyName(config.topology)) + "/n" +
+                    std::to_string(config.targetNodes) + "/w" +
+                    std::to_string(config.width) + "/seed" +
+                    std::to_string(config.seed) + "/inject" +
+                    std::to_string(config.injectPeriod);
+  // Non-default knobs are appended so distinct configs never share a tag
+  // (benchmark names key the CI regression baseline).
+  if (config.bufferCapacity != 2) tag += "/cap" + std::to_string(config.bufferCapacity);
+  if (config.forkArity != 2) tag += "/arity" + std::to_string(config.forkArity);
+  if (config.vluPermille != 0) tag += "/vlu" + std::to_string(config.vluPermille);
+  if (config.nondetEnv) tag += "/nondet";
+  return tag;
+}
+
+}  // namespace esl::synth

@@ -46,7 +46,8 @@ std::unique_ptr<Netlist> buildDesign(const std::string& name) {
 }
 
 std::unique_ptr<sched::Scheduler> makeSched(const std::string& name, unsigned k) {
-  if (name == "static0" || name.empty()) return std::make_unique<sched::StaticScheduler>(k, 0);
+  if (name == "static0" || name.empty())
+    return std::make_unique<sched::StaticScheduler>(k, 0);
   if (name == "static1") return std::make_unique<sched::StaticScheduler>(k, 1);
   if (name == "rr") return std::make_unique<sched::RoundRobinScheduler>(k);
   if (name == "last") return std::make_unique<sched::LastServedScheduler>(k);

@@ -10,7 +10,8 @@ Simulator::Simulator(Netlist& netlist, SimOptions options)
   ctx_.setCrossCheck(options_.crossCheckKernels);
   ctx_.setChoiceProvider([this](NodeId, unsigned) { return (rng_.next() & 1) != 0; });
   stats_.assign(netlist.channelCapacity(), ChannelStats{});
-  channels_ = netlist.channelIds();
+  channels_ = options_.trackChannelStats ? netlist.channelIds()
+                                         : std::vector<ChannelId>{};
 }
 
 void Simulator::step() {

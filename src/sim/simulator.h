@@ -22,6 +22,12 @@ struct SimOptions {
   SimContext::SettleKernel kernel = SimContext::SettleKernel::kEventDriven;
   /// Run both kernels every cycle and throw InternalError on disagreement.
   bool crossCheckKernels = false;
+  /// Collect per-channel transfer/kill statistics each cycle. The scan is
+  /// O(channels); large-netlist benchmarks that only read endpoint counters
+  /// (sink transfers, node statistics) turn it off so the wrapper does not
+  /// mask the kernel's O(active) scaling. throughput()/channelStats() read
+  /// zeros when disabled.
+  bool trackChannelStats = true;
 };
 
 struct ChannelStats {

@@ -25,7 +25,7 @@ unsigned ModelChecker::labelIndex(const std::string& name) const {
   throw EslError("ModelChecker: unknown label " + name);
 }
 
-ModelChecker::ExploreResult ModelChecker::explore() {
+ExploreResult ModelChecker::explore() {
   ESL_CHECK(ctx_.totalChoices() <= options_.maxChoiceBits,
             "ModelChecker: too many choice bits to enumerate");
   const std::size_t choiceCombos = std::size_t{1} << ctx_.totalChoices();
@@ -220,7 +220,7 @@ void addChannelLabels(ModelChecker& mc, const Netlist& nl, ChannelId ch) {
 }  // namespace
 
 ProtocolReport checkSelfProtocol(Netlist& netlist, ProtocolSuiteOptions options) {
-  ModelChecker mc(netlist, options.checker);
+  ModelChecker mc(netlist, options);
   const auto channels = netlist.channelIds();
   for (const ChannelId ch : channels) addChannelLabels(mc, netlist, ch);
   mc.addLabel("progress", [&channels](const SimContext& c) {
@@ -258,7 +258,7 @@ ProtocolReport checkSchedulerLeadsTo(Netlist& netlist, NodeId sharedId,
   auto* shared = dynamic_cast<SharedModule*>(&netlist.node(sharedId));
   ESL_CHECK(shared != nullptr, "checkSchedulerLeadsTo: node is not a SharedModule");
 
-  ModelChecker mc(netlist, options.checker);
+  ModelChecker mc(netlist, options);
   const unsigned k = shared->channels();
   for (unsigned i = 0; i < k; ++i) {
     const ChannelId in = shared->input(i);

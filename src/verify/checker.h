@@ -30,6 +30,14 @@ struct CheckerOptions {
   std::size_t maxChoiceBits = 14;  ///< refuse to enumerate beyond 2^14 per state
 };
 
+/// Outcome of one reachable-state enumeration. Shared by ModelChecker and the
+/// protocol-suite reports (it used to be duplicated between them).
+struct ExploreResult {
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  bool truncated = false;
+};
+
 using LabelFn = std::function<bool(const SimContext&)>;
 
 class ModelChecker {
@@ -38,12 +46,6 @@ class ModelChecker {
 
   /// Registers a labelled predicate; returns its index (max 64).
   unsigned addLabel(std::string name, LabelFn fn);
-
-  struct ExploreResult {
-    std::size_t states = 0;
-    std::size_t transitions = 0;
-    bool truncated = false;
-  };
 
   /// BFS over the full reachable state space.
   ExploreResult explore();
@@ -94,14 +96,16 @@ class ModelChecker {
 // ---------------------------------------------------------------------------
 
 struct ProtocolReport {
-  ModelChecker::ExploreResult explore;
+  ExploreResult explore;
   std::vector<std::string> violations;
   std::size_t propertiesChecked = 0;
   bool ok() const { return violations.empty(); }
 };
 
-struct ProtocolSuiteOptions {
-  CheckerOptions checker;
+/// Exploration limits plus the property toggles: the suite options ARE
+/// checker options, so limits are set once instead of plumbed through a
+/// nested copy (the old `options.checker.maxStates` spelling).
+struct ProtocolSuiteOptions : CheckerOptions {
   bool checkLiveness = true;      ///< G F progress (needs fair environments)
   bool checkDeadlock = true;      ///< progress always reachable
   bool checkPersistence = true;   ///< Retry+/Retry- per channel

@@ -95,9 +95,10 @@ TEST(ElasticBuffer, CapacityBelowTwoRejected) {
 }
 
 TEST(ElasticBuffer, TooManyInitTokensRejected) {
-  EXPECT_THROW(ElasticBuffer("bad", 8, 2,
-                             std::vector<BitVec>{BitVec(8, 0), BitVec(8, 1), BitVec(8, 2)}),
-               EslError);
+  EXPECT_THROW(
+      ElasticBuffer("bad", 8, 2,
+                    std::vector<BitVec>{BitVec(8, 0), BitVec(8, 1), BitVec(8, 2)}),
+      EslError);
 }
 
 TEST(ElasticBuffer, InitTokensAndAntiTokensExclusive) {

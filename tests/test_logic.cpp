@@ -96,7 +96,8 @@ TEST(Alu, PackUnpackRoundTrip) {
 TEST(Alu, ExactOps) {
   const unsigned w = 8;
   const BitVec a(w, 200), b(w, 100);
-  EXPECT_EQ(aluExact(packAluOperands(a, b, AluOp::kAdd), w).toUint64(), (200u + 100u) & 0xFF);
+  EXPECT_EQ(aluExact(packAluOperands(a, b, AluOp::kAdd), w).toUint64(),
+            (200u + 100u) & 0xFF);
   EXPECT_EQ(aluExact(packAluOperands(a, b, AluOp::kSub), w).toUint64(), 100u);
   EXPECT_EQ(aluExact(packAluOperands(a, b, AluOp::kAnd), w), a & b);
   EXPECT_EQ(aluExact(packAluOperands(a, b, AluOp::kXor), w), a ^ b);

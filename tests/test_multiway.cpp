@@ -45,7 +45,8 @@ KWay buildKWay(unsigned k, std::vector<std::uint64_t> selStream,
 }
 
 TEST(ThreeWay, RoundRobinServesAllChannels) {
-  auto sys = buildKWay(3, {0, 1, 2, 0, 1, 2}, std::make_unique<sched::RoundRobinScheduler>(3));
+  auto sys =
+      buildKWay(3, {0, 1, 2, 0, 1, 2}, std::make_unique<sched::RoundRobinScheduler>(3));
   sim::Simulator s(sys.nl, {.checkProtocol = true, .throwOnViolation = true});
   s.run(20);
   const auto vals = receivedValues(*sys.sink);

@@ -27,7 +27,9 @@ TEST(StaticScheduler, AlwaysPredictsPick) {
   EXPECT_EQ(s.predict({}, kNoChoice), 1u);
 }
 
-TEST(StaticScheduler, PickOutOfRangeThrows) { EXPECT_THROW(StaticScheduler(2, 2), EslError); }
+TEST(StaticScheduler, PickOutOfRangeThrows) {
+  EXPECT_THROW(StaticScheduler(2, 2), EslError);
+}
 
 TEST(StaticScheduler, DemandLocksUntilServed) {
   StaticScheduler s(2, 0);

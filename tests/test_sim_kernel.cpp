@@ -232,6 +232,105 @@ class OscillatorNode : public Node {
   std::string kindName() const override { return "oscillator"; }
 };
 
+/// Node with a deliberately WRONG EdgeActivity declaration: it claims its
+/// clockEdge is event-triggered but actually counts every cycle. The
+/// cross-check edge audit must catch the state change on the first quiet
+/// cycle instead of letting the sparse edge silently skip it.
+class LyingEdgeNode : public Node {
+ public:
+  explicit LyingEdgeNode(std::string name) : Node(std::move(name)) {
+    declareOutput(1);
+  }
+  void evalComb(SimContext& ctx) override {
+    ChannelSignals& out = ctx.sig(output(0));
+    out.vf = false;  // never offers: its channel never carries an event
+    out.sb = false;
+  }
+  EvalPurity evalPurity() const override { return EvalPurity::kStateful; }
+  EdgeActivity edgeActivity() const override { return EdgeActivity::kOnEvents; }
+  void clockEdge(SimContext&) override { ++cycles_; }
+  void packState(StateWriter& w) const override { w.writeU64(cycles_); }
+  void unpackState(StateReader& r) override { cycles_ = r.readU64(); }
+  std::string kindName() const override { return "lying-edge"; }
+
+ private:
+  std::uint64_t cycles_ = 0;
+};
+
+TEST(SimKernel, CrossCheckAuditsEdgeActivityDeclarations) {
+  Netlist nl;
+  auto& bad = nl.make<LyingEdgeNode>("bad");
+  auto& sink = nl.make<TokenSink>("sink", 1);
+  nl.connect(bad, 0, sink, 0);
+  SimContext ctx(nl);
+  ctx.setCrossCheck(true);
+  ctx.settle();
+  EXPECT_THROW(ctx.edge(), InternalError);
+}
+
+/// Node that reads the cycle counter in evalComb while declaring (via the
+/// evalReadsPerCycleInputs default) that it does not. On a quiet cycle the
+/// sparse settle seeding skips it, so its output goes stale — the cross-check
+/// must surface that as a kernel disagreement.
+class UndeclaredCycleReaderNode : public Node {
+ public:
+  explicit UndeclaredCycleReaderNode(std::string name) : Node(std::move(name)) {
+    declareOutput(1);
+  }
+  void evalComb(SimContext& ctx) override {
+    ChannelSignals& out = ctx.sig(output(0));
+    out.vf = (ctx.cycle() / 4) % 2 == 1;  // illegal: undeclared cycle read
+    if (out.vf) out.data = BitVec(1, 1);
+    out.sb = false;
+  }
+  EvalPurity evalPurity() const override { return EvalPurity::kStateful; }
+  EdgeActivity edgeActivity() const override { return EdgeActivity::kOnEvents; }
+  std::string kindName() const override { return "cycle-reader"; }
+};
+
+TEST(SimKernel, CrossCheckAuditsUndeclaredPerCycleReads) {
+  Netlist nl;
+  auto& bad = nl.make<UndeclaredCycleReaderNode>("bad");
+  // A sink that never accepts keeps every cycle event-free, so the sparse
+  // seeding legitimately skips `bad` — until its output flips at cycle 4.
+  auto& sink = nl.make<TokenSink>("sink", 1, [](std::uint64_t) { return false; });
+  nl.connect(bad, 0, sink, 0);
+  SimContext ctx(nl);
+  ctx.setCrossCheck(true);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 10; ++i) ctx.step();
+      },
+      InternalError);
+}
+
+TEST(SimKernel, SparseEdgeMatchesFullEdgeOnGatedSources) {
+  // A long pipeline with rare injection: most cycles most nodes are quiet,
+  // so the event kernel's dirty-tracked edge skips them. Both kernels must
+  // still deliver the identical transfer stream.
+  auto build = [](SimContext::SettleKernel kernel) {
+    Netlist nl;
+    auto& src = nl.make<TokenSource>(
+        "src", 8, TokenSource::counting(8),
+        [](std::uint64_t c) { return c % 13 == 0; });
+    Node* tail = &src;
+    for (unsigned i = 0; i < 20; ++i) {
+      auto& eb = nl.make<ElasticBuffer>("eb" + std::to_string(i), 8);
+      nl.connect(*tail, 0, eb, 0);
+      tail = &eb;
+    }
+    auto& sink = nl.make<TokenSink>("sink", 8);
+    nl.connect(*tail, 0, sink, 0);
+    sim::Simulator s(nl, {.checkProtocol = false, .kernel = kernel});
+    s.run(300);
+    return test::receivedValues(sink);
+  };
+  const auto sweep = build(Kernel::kSweep);
+  const auto event = build(Kernel::kEventDriven);
+  ASSERT_GT(sweep.size(), 10u);
+  EXPECT_EQ(sweep, event);
+}
+
 TEST(SimKernel, BothKernelsDetectCombinationalCycles) {
   for (const Kernel kernel : {Kernel::kSweep, Kernel::kEventDriven}) {
     Netlist nl;
