@@ -1,0 +1,50 @@
+// Work-stealing parallel executor.
+//
+// A small persistent thread pool for data-parallel loops: parallelFor(n, body)
+// splits [0, n) into one contiguous range per lane; each lane consumes its own
+// range from the front and, when it runs dry, steals the back half of the
+// fullest remaining range. The calling thread participates as lane 0, so an
+// Executor(1) runs everything inline with no threading machinery at all.
+//
+// This is the shared engine behind SimFarm (independent simulations per
+// index) and the parallel model checker (one BFS-frontier state per index);
+// both need the same thing: an index space, a lane id to select per-thread
+// scratch (netlist replicas are not shareable across threads), and
+// deterministic by-index result slots so scheduling order never leaks into
+// results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace esl {
+
+class Executor {
+ public:
+  /// `threads` is the total number of lanes including the calling thread;
+  /// 0 means one lane per hardware thread.
+  explicit Executor(unsigned threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  unsigned lanes() const { return lanes_; }
+
+  /// Runs body(index, lane) for every index in [0, n). Lane ids are stable in
+  /// [0, lanes()); lane 0 is the calling thread. Blocks until every index has
+  /// completed. If the body throws, the first exception is rethrown here after
+  /// the remaining indices are drained (without running the body on them).
+  /// One loop at a time per Executor: not reentrant, and the lane that calls
+  /// parallelFor must be the one thread using this Executor.
+  void parallelFor(std::size_t n,
+                   const std::function<void(std::size_t, unsigned)>& body);
+
+ private:
+  struct Impl;
+  unsigned lanes_;
+  std::unique_ptr<Impl> impl_;  ///< null when lanes_ == 1 (inline execution)
+};
+
+}  // namespace esl

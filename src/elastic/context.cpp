@@ -105,6 +105,13 @@ void SimContext::setChoices(std::vector<bool> bits) {
   cachedChoices_.assign(totalChoices_, -1);
 }
 
+void SimContext::setChoicesFrom(const std::vector<bool>& bits) {
+  ESL_CHECK(bits.size() == totalChoices_, "setChoices: wrong bit count");
+  fixedChoices_ = bits;  // copy-assign reuses fixedChoices_'s capacity
+  hasFixedChoices_ = true;
+  cachedChoices_.assign(totalChoices_, -1);
+}
+
 void SimContext::setChoiceProvider(std::function<bool(NodeId, unsigned)> fn) {
   choiceProvider_ = std::move(fn);
 }
@@ -431,14 +438,29 @@ void SimContext::step() {
 }
 
 std::vector<std::uint8_t> SimContext::packState() const {
-  StateWriter w;
-  for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).packState(w);
-  return w.take();
+  std::vector<std::uint8_t> out;
+  packStateInto(out);
+  return out;
+}
+
+void SimContext::packStateInto(std::vector<std::uint8_t>& out) const {
+  StateWriter w(std::move(out));
+  // The live-node cache avoids the nodeIds() allocation on the hot path; it
+  // is valid whenever the topology has not moved since the last settle/reset.
+  if (topologySeen_ == netlist_.topologyVersion()) {
+    for (const NodeId id : liveNodes_) netlist_.node(id).packState(w);
+  } else {
+    for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).packState(w);
+  }
+  out = w.take();
 }
 
 void SimContext::unpackState(const std::vector<std::uint8_t>& bytes) {
+  // Same cached-liveNodes_ fast path as packStateInto: restore runs once per
+  // explored edge in the model checker, so the nodeIds() allocation matters.
+  ensureTopologyCache();
   StateReader r(bytes);
-  for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).unpackState(r);
+  for (const NodeId id : liveNodes_) netlist_.node(id).unpackState(r);
   ESL_CHECK(r.done(), "unpackState: trailing bytes (netlist/state mismatch)");
   havePrev_ = false;
   sparseSeedValid_ = false;  // arbitrary state replacement: reseed stateful set

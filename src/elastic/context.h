@@ -100,6 +100,10 @@ class SimContext {
 
   /// Fixes this cycle's choice assignment (verification). Cleared after edge().
   void setChoices(std::vector<bool> bits);
+  /// Copying variant for callers that replay one precomputed assignment many
+  /// times (the model checker's combo enumeration): reuses the internal
+  /// buffer's capacity instead of consuming the argument.
+  void setChoicesFrom(const std::vector<bool>& bits);
 
   /// Fallback provider used when no explicit assignment is set (simulation).
   void setChoiceProvider(std::function<bool(NodeId, unsigned)> fn);
@@ -117,6 +121,10 @@ class SimContext {
   // --- State snapshots (model checker) ---------------------------------------
 
   std::vector<std::uint8_t> packState() const;
+  /// Allocation-free variant: clears `out` but reuses its capacity. This is
+  /// the model checker's per-transition fast path (one full-netlist snapshot
+  /// per explored edge).
+  void packStateInto(std::vector<std::uint8_t>& out) const;
   void unpackState(const std::vector<std::uint8_t>& bytes);
 
  private:

@@ -16,6 +16,14 @@ namespace esl {
 
 class StateWriter {
  public:
+  StateWriter() = default;
+  /// Fast path for per-transition snapshotting (the model checker packs the
+  /// whole netlist once per explored edge): adopts an existing buffer so its
+  /// capacity is reused instead of reallocated; take() hands it back.
+  explicit StateWriter(std::vector<std::uint8_t> reuse) : bytes_(std::move(reuse)) {
+    bytes_.clear();
+  }
+
   void writeBool(bool b) { bytes_.push_back(b ? 1 : 0); }
 
   void writeU32(std::uint32_t v) {
@@ -84,5 +92,16 @@ class StateReader {
   const std::vector<std::uint8_t>& bytes_;
   std::size_t pos_ = 0;
 };
+
+/// Canonical 64-bit hash of a packed state (FNV-1a). Keys the model checker's
+/// striped visited set; identical bytes hash identically on every thread.
+inline std::uint64_t hashBytes(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
 }  // namespace esl

@@ -339,6 +339,10 @@ SynthSystem build(const SynthConfig& config) {
   return sys;
 }
 
+Netlist buildNetlist(const SynthConfig& config) {
+  return std::move(build(config).nl);
+}
+
 std::string describe(const SynthConfig& config) {
   std::string tag = std::string(topologyName(config.topology)) + "/n" +
                     std::to_string(config.targetNodes) + "/w" +

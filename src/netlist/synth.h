@@ -68,6 +68,12 @@ struct SynthSystem {
 /// Builds the configured system; validates the netlist before returning.
 SynthSystem build(const SynthConfig& config);
 
+/// Netlist-only build for verification recipes: same deterministic
+/// construction as build(), dropping the endpoint bookkeeping. Because equal
+/// configs produce bit-identical netlists, `[cfg] { return buildNetlist(cfg); }`
+/// is a valid verify::NetlistRecipe for the parallel model checker.
+Netlist buildNetlist(const SynthConfig& config);
+
 /// Stable one-line tag for benchmark rows and task labels, e.g.
 /// "pipeline/n10000/w16/seed1/inject64".
 std::string describe(const SynthConfig& config);

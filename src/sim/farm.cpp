@@ -1,7 +1,8 @@
 #include "sim/farm.h"
 
-#include <atomic>
 #include <thread>
+
+#include "base/executor.h"
 
 namespace esl::sim {
 
@@ -41,31 +42,18 @@ SimFarm::TaskResult SimFarm::runOne(const Task& task) const {
 
 std::vector<SimFarm::TaskResult> SimFarm::run(unsigned threads) {
   ESL_CHECK(!tasks_.empty(), "SimFarm::run: no tasks queued");
+  // More lanes than tasks would only spawn threads that find empty ranges.
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
   if (threads > tasks_.size()) threads = static_cast<unsigned>(tasks_.size());
-
+  Executor executor(threads);
+  // Each slot of `results` is written by exactly one lane; runOne already
+  // fences every per-task failure into TaskResult, so the loop body never
+  // throws and scheduling order cannot leak into results.
   std::vector<TaskResult> results(tasks_.size());
-  if (threads == 1) {
-    for (std::size_t i = 0; i < tasks_.size(); ++i) results[i] = runOne(tasks_[i]);
-    return results;
-  }
-
-  // Workers pull the next task index from a shared counter; each slot of
-  // `results` is written by exactly one worker, so no further locking needed.
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([this, &next, &results] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= tasks_.size()) return;
-        results[i] = runOne(tasks_[i]);
-      }
-    });
-  }
-  for (std::thread& w : workers) w.join();
+  executor.parallelFor(tasks_.size(), [this, &results](std::size_t i, unsigned) {
+    results[i] = runOne(tasks_[i]);
+  });
   return results;
 }
 

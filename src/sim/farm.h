@@ -89,10 +89,11 @@ class SimFarm {
                     std::uint64_t config = 0);
   std::size_t taskCount() const { return tasks_.size(); }
 
-  /// Runs every queued task on `threads` workers (0 = hardware concurrency)
-  /// and returns results in task order. Tasks whose recipe or simulation
-  /// throws come back with ok=false and the exception text; the farm itself
-  /// only throws on misuse (no tasks, broken recipe wiring).
+  /// Runs every queued task on `threads` work-stealing executor lanes
+  /// (0 = hardware concurrency; the calling thread is one of the lanes) and
+  /// returns results in task order. Tasks whose recipe or simulation throws
+  /// come back with ok=false and the exception text; the farm itself only
+  /// throws on misuse (no tasks, broken recipe wiring).
   std::vector<TaskResult> run(unsigned threads = 0);
 
   static Merged merge(const std::vector<TaskResult>& results);

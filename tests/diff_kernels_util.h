@@ -1,0 +1,102 @@
+// Shared driver for the event-vs-sweep differential fuzz (PR-fast suite in
+// test_diff_kernels.cpp, large seeded campaign in test_diff_nightly.cpp).
+//
+// One trial builds the same synthetic system twice, runs one instance per
+// settle kernel in lockstep, and asserts identical packed netlist state after
+// EVERY cycle (plus identical sink transfer streams at the end) — a much
+// stronger oracle than end-of-run outputs, since a kernel divergence that
+// later self-corrects still fails. On failure the driver greedily shrinks the
+// offending SynthConfig (fewer nodes, plainer traffic, fewer cycles) while
+// the mismatch reproduces, so the reported seed/config is a minimal repro.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "netlist/synth.h"
+#include "sim/simulator.h"
+
+namespace esl::test {
+
+/// Runs one differential trial; returns a description of the first mismatch,
+/// or nullopt when both kernels agree everywhere.
+inline std::optional<std::string> diffKernelsOnce(const synth::SynthConfig& cfg,
+                                                  std::uint64_t cycles) {
+  synth::SynthSystem sweep = synth::build(cfg);
+  synth::SynthSystem event = synth::build(cfg);
+  sim::SimOptions base;
+  base.checkProtocol = false;  // the oracle is state equality, keep runs lean
+  sim::SimOptions sweepOpts = base, eventOpts = base;
+  sweepOpts.kernel = SimContext::SettleKernel::kSweep;
+  eventOpts.kernel = SimContext::SettleKernel::kEventDriven;
+  sim::Simulator ss(sweep.nl, sweepOpts);
+  sim::Simulator se(event.nl, eventOpts);
+
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    ss.step();
+    se.step();
+    if (ss.ctx().packState() != se.ctx().packState())
+      return "packed state diverged at cycle " + std::to_string(c);
+  }
+  if (sweep.mainSink != nullptr && event.mainSink != nullptr) {
+    const auto& a = sweep.mainSink->transfers();
+    const auto& b = event.mainSink->transfers();
+    if (a.size() != b.size())
+      return "sink transfer counts differ (" + std::to_string(a.size()) + " vs " +
+             std::to_string(b.size()) + ")";
+    for (std::size_t i = 0; i < a.size(); ++i)
+      if (a[i].cycle != b[i].cycle || !(a[i].data == b[i].data))
+        return "sink transfer " + std::to_string(i) + " differs";
+  }
+  return std::nullopt;
+}
+
+struct DiffFailure {
+  synth::SynthConfig config;  ///< minimal failing config
+  std::uint64_t cycles = 0;
+  std::string mismatch;
+  std::string describe() const {
+    return "kernel divergence on " + synth::describe(config) + " (seed " +
+           std::to_string(config.seed) + ", " + std::to_string(cycles) +
+           " cycles): " + mismatch;
+  }
+};
+
+/// Runs the trial and, if it fails, shrinks the config one knob at a time
+/// (keeping each shrink only while the failure reproduces) before reporting.
+inline std::optional<DiffFailure> diffKernelsShrinking(synth::SynthConfig cfg,
+                                                       std::uint64_t cycles) {
+  auto mismatch = diffKernelsOnce(cfg, cycles);
+  if (!mismatch) return std::nullopt;
+
+  const auto stillFails = [&](const synth::SynthConfig& candidate,
+                              std::uint64_t candidateCycles) {
+    return diffKernelsOnce(candidate, candidateCycles).has_value();
+  };
+  // Structural shrinks first (smaller netlist), then traffic, then time.
+  while (cfg.targetNodes > 6) {
+    synth::SynthConfig candidate = cfg;
+    candidate.targetNodes = cfg.targetNodes / 2 < 6 ? 6 : cfg.targetNodes / 2;
+    if (!stillFails(candidate, cycles)) break;
+    cfg = candidate;
+  }
+  for (const auto knob : {0, 1, 2, 3}) {
+    synth::SynthConfig candidate = cfg;
+    switch (knob) {
+      case 0: candidate.vluPermille = 0; break;
+      case 1: candidate.injectPeriod = 1; break;
+      case 2: candidate.bufferCapacity = 2; break;
+      case 3: candidate.width = 1; break;
+    }
+    if (stillFails(candidate, cycles)) cfg = candidate;
+  }
+  while (cycles > 8 && stillFails(cfg, cycles / 2)) cycles /= 2;
+
+  DiffFailure failure;
+  failure.config = cfg;
+  failure.cycles = cycles;
+  failure.mismatch = *diffKernelsOnce(cfg, cycles);
+  return failure;
+}
+
+}  // namespace esl::test

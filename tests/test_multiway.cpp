@@ -112,7 +112,7 @@ TEST(FourWay, LeadsToHoldsWithBoundedFairScheduler) {
   const auto report = verify::checkSchedulerLeadsTo(nl, shared.id());
   EXPECT_EQ(report.propertiesChecked, 4u);
   EXPECT_FALSE(report.explore.truncated);
-  EXPECT_TRUE(report.ok()) << report.violations.front();
+  EXPECT_TRUE(report.ok()) << report.firstViolation();
 }
 
 TEST(ThreeWay, StarvingSchedulerStillCaughtAtK3) {

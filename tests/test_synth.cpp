@@ -293,7 +293,7 @@ TEST(Synth, ModelCheckerPassesSmallInstances) {
     EXPECT_FALSE(report.explore.truncated);
     EXPECT_GT(report.explore.states, 1u);
     EXPECT_TRUE(report.ok())
-        << (report.violations.empty() ? "" : report.violations.front());
+        << report.firstViolation();
   }
 }
 

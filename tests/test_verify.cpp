@@ -26,19 +26,19 @@ TEST(Verify, ElasticBufferSatisfiesSelfProtocol) {
   EXPECT_FALSE(report.explore.truncated);
   EXPECT_GT(report.explore.states, 2u);
   EXPECT_GE(report.propertiesChecked, 8u);
-  EXPECT_TRUE(report.ok()) << report.violations.front();
+  EXPECT_TRUE(report.ok()) << report.firstViolation();
 }
 
 TEST(Verify, ElasticBufferWithAntiTokensSatisfiesSelfProtocol) {
   Netlist nl = bufferHarness<ElasticBuffer>(true);
   const auto report = verify::checkSelfProtocol(nl);
-  EXPECT_TRUE(report.ok()) << report.violations.front();
+  EXPECT_TRUE(report.ok()) << report.firstViolation();
 }
 
 TEST(Verify, ElasticBuffer0SatisfiesSelfProtocol) {
   Netlist nl = bufferHarness<ElasticBuffer0>(true);
   const auto report = verify::checkSelfProtocol(nl);
-  EXPECT_TRUE(report.ok()) << report.violations.front();
+  EXPECT_TRUE(report.ok()) << report.firstViolation();
 }
 
 TEST(Verify, ForkSatisfiesSelfProtocol) {
@@ -53,7 +53,7 @@ TEST(Verify, ForkSatisfiesSelfProtocol) {
   nl.connect(fork, 0, s0, 0, "br0");
   nl.connect(fork, 1, s1, 0, "br1");
   const auto report = verify::checkSelfProtocol(nl);
-  EXPECT_TRUE(report.ok()) << report.violations.front();
+  EXPECT_TRUE(report.ok()) << report.firstViolation();
 }
 
 TEST(Verify, JoinSatisfiesSelfProtocol) {
@@ -69,7 +69,7 @@ TEST(Verify, JoinSatisfiesSelfProtocol) {
   nl.connect(b, 0, join, 1, "inb");
   nl.connect(join, 0, sink, 0, "out");
   const auto report = verify::checkSelfProtocol(nl);
-  EXPECT_TRUE(report.ok()) << report.violations.front();
+  EXPECT_TRUE(report.ok()) << report.firstViolation();
 }
 
 /// The full Fig. 4 composition in its generation-aligned form (as in
@@ -100,7 +100,7 @@ TEST(Verify, SharedModuleWithEeMuxSatisfiesSelfProtocol) {
   Netlist nl = sharedMuxHarness(std::make_unique<sched::BoundedFairScheduler>(2, 1));
   const auto report = verify::checkSelfProtocol(nl);
   EXPECT_FALSE(report.explore.truncated);
-  EXPECT_TRUE(report.ok()) << report.violations.front();
+  EXPECT_TRUE(report.ok()) << report.firstViolation();
 }
 
 TEST(Verify, LeadsToHoldsForBoundedFairScheduler) {
@@ -111,14 +111,14 @@ TEST(Verify, LeadsToHoldsForBoundedFairScheduler) {
   ASSERT_NE(shared, nullptr);
   const auto report = verify::checkSchedulerLeadsTo(nl, shared->id());
   EXPECT_EQ(report.propertiesChecked, 2u);
-  EXPECT_TRUE(report.ok()) << report.violations.front();
+  EXPECT_TRUE(report.ok()) << report.firstViolation();
 }
 
 TEST(Verify, LeadsToHoldsForDemandCorrectingStatic) {
   Netlist nl = sharedMuxHarness(std::make_unique<sched::StaticScheduler>(2, 0));
   Node* shared = nl.findNode("shared");
   const auto report = verify::checkSchedulerLeadsTo(nl, shared->id());
-  EXPECT_TRUE(report.ok()) << report.violations.front();
+  EXPECT_TRUE(report.ok()) << report.firstViolation();
 }
 
 TEST(Verify, StarvingSchedulerViolatesLeadsTo) {
@@ -168,6 +168,18 @@ TEST(Verify, TruncationReported) {
   EXPECT_TRUE(result.truncated);
 }
 
+TEST(Verify, LabelsRegisteredAfterExploreAreRejected) {
+  // The explored graph only stores bits for labels that existed at explore()
+  // time; querying a later registration must throw, not read stale words.
+  Netlist nl = bufferHarness<ElasticBuffer>(false);
+  verify::ModelChecker mc(nl);
+  mc.addLabel("early", [](const SimContext&) { return true; });
+  mc.explore();
+  mc.addLabel("late", [](const SimContext&) { return true; });
+  EXPECT_TRUE(mc.checkNever("early").has_value());  // fires on every edge
+  EXPECT_THROW(mc.checkNever("late"), EslError);
+}
+
 TEST(Verify, TooManyChoiceBitsRejected) {
   Netlist nl;
   auto& src = nl.make<NondetSource>("s", 1, 2, /*dataBits=*/1);
@@ -204,6 +216,107 @@ TEST(Verify, Table1SystemDeterministicExploration) {
   const auto result = mc.explore();
   EXPECT_FALSE(result.truncated);
   EXPECT_EQ(result.transitions, result.states);  // one successor per state
+}
+
+// ---------------------------------------------------------------------------
+// Truncated graphs must not certify liveness-class properties
+// ---------------------------------------------------------------------------
+
+TEST(Verify, TruncatedGraphRefusesToCertifyProperties) {
+  // Regression: checkRecurrence/checkLeadsTo/checkAlwaysReachable used to
+  // run their fixpoints on the partial graph and could return "pass" (or a
+  // phantom dead state) when the missing suffix held the counterexample; the
+  // safety checks could certify a clean prefix the same way.
+  Netlist nl = bufferHarness<ElasticBuffer>(true);
+  verify::CheckerOptions opts;
+  opts.maxStates = 3;
+  verify::ModelChecker mc(nl, opts);
+  mc.addLabel("progress", [](const SimContext&) { return false; });
+  const auto result = mc.explore();
+  ASSERT_TRUE(result.truncated);
+
+  const auto recurrence = mc.checkRecurrence("progress");
+  ASSERT_TRUE(recurrence.has_value());
+  EXPECT_TRUE(recurrence->inconclusive);
+  EXPECT_NE(recurrence->diagnostic.find("inconclusive"), std::string::npos);
+  EXPECT_NE(recurrence->diagnostic.find("truncated"), std::string::npos);
+  EXPECT_TRUE(recurrence->combos.empty());  // no counterexample attached
+
+  const auto leadsTo = mc.checkLeadsTo("progress", "progress");
+  ASSERT_TRUE(leadsTo.has_value());
+  EXPECT_TRUE(leadsTo->inconclusive);
+
+  const auto reachable = mc.checkAlwaysReachable("progress");
+  ASSERT_TRUE(reachable.has_value());
+  EXPECT_TRUE(reachable->inconclusive);
+
+  // Safety checks: a clean explored prefix must NOT read as a pass either
+  // ("progress" never fires, so no violation exists in the prefix).
+  const auto never = mc.checkNever("progress");
+  ASSERT_TRUE(never.has_value());
+  EXPECT_TRUE(never->inconclusive);
+  const auto step = mc.checkStep("progress", "progress");
+  ASSERT_TRUE(step.has_value());
+  EXPECT_TRUE(step->inconclusive);
+}
+
+TEST(Verify, TruncatedSuiteReportsInconclusiveNotOk) {
+  Netlist nl = bufferHarness<ElasticBuffer>(true);
+  verify::ProtocolSuiteOptions opts;
+  opts.maxStates = 3;
+  const auto report = verify::checkSelfProtocol(nl, opts);
+  ASSERT_TRUE(report.explore.truncated);
+  EXPECT_FALSE(report.ok());
+  bool sawInconclusive = false;
+  for (const auto& v : report.violations) sawInconclusive |= v.inconclusive;
+  EXPECT_TRUE(sawInconclusive);
+}
+
+// ---------------------------------------------------------------------------
+// Counterexample traces: replayable paths (and lassos for liveness)
+// ---------------------------------------------------------------------------
+
+TEST(Verify, StarvingSchedulerViolationCarriesReplayableLasso) {
+  Netlist nl = sharedMuxHarness(std::make_unique<sched::StarvingScheduler>(2));
+  Node* shared = nl.findNode("shared");
+  const auto report = verify::checkSchedulerLeadsTo(nl, shared->id());
+  ASSERT_FALSE(report.ok());
+  const verify::Violation& v = report.violations.front();
+  EXPECT_FALSE(v.inconclusive);
+  EXPECT_EQ(v.property.find("G("), 0u);
+  // Path + lasso shape: k combos drive k edges through k+1 states from the
+  // initial state, with the lasso re-entry inside the trace.
+  ASSERT_GE(v.states.size(), 2u);
+  EXPECT_EQ(v.states.size(), v.combos.size() + 1);
+  EXPECT_EQ(v.states.front(), 0u);
+  ASSERT_NE(v.lassoStart, verify::Violation::kNoLasso);
+  EXPECT_LT(v.lassoStart, v.states.size());
+  EXPECT_EQ(v.states[v.lassoStart], v.states.back());  // the cycle closes
+  // checkSchedulerLeadsTo replay-validated the trace before reporting it
+  // (InternalError otherwise), so reaching this point certifies the trace.
+}
+
+TEST(Verify, DeadlockViolationTraceLeadsToDeadState) {
+  Netlist nl;
+  auto& a = nl.make<NondetSource>("env.a", 1);
+  auto& dead = nl.make<TokenSource>(
+      "dead", 1, [](std::uint64_t) -> std::optional<BitVec> { return std::nullopt; });
+  auto& join = nl.make<FuncNode>("join", std::vector<unsigned>{1, 1}, 1,
+                                 [](const std::vector<BitVec>& in) { return in[0]; });
+  auto& sink = nl.make<NondetSink>("env.sink", 1, 2);
+  nl.connect(a, 0, join, 0, "ina");
+  nl.connect(dead, 0, join, 1, "inb");
+  nl.connect(join, 0, sink, 0, "out");
+
+  verify::ProtocolSuiteOptions opts;
+  opts.checkPersistence = false;
+  const auto report = verify::checkSelfProtocol(nl, opts);
+  ASSERT_FALSE(report.ok());
+  for (const auto& v : report.violations) {
+    EXPECT_FALSE(v.inconclusive);
+    EXPECT_EQ(v.states.size(), v.combos.size() + 1);
+    EXPECT_EQ(v.states.front(), 0u);
+  }
 }
 
 }  // namespace
