@@ -27,6 +27,7 @@
 #include "elastic/fork.h"
 #include "elastic/func.h"
 #include "elastic/shared.h"
+#include "frontend/esl_format.h"
 #include "netlist/synth.h"
 #include "verify/checker.h"
 
@@ -174,7 +175,12 @@ FrontierRun exploreOnce(const synth::SynthConfig& cfg, unsigned workers) {
   opts.maxStates = 2000000;
   opts.maxChoiceBits = 16;
   opts.workers = workers;
-  verify::ModelChecker mc([cfg] { return synth::buildNetlist(cfg); }, opts);
+  // The lanes run from the serializable IR, round-tripped through the `.esl`
+  // text form — so the gated fingerprints certify the parsed spec, not just
+  // the C++ builder.
+  const NetlistSpec spec =
+      frontend::parseEsl(frontend::printEsl(synth::spec(cfg)), "<bench_verify>");
+  verify::ModelChecker mc(spec, opts);
   // One representative label so edges carry masks like the real suites do.
   const Netlist& nl = mc.netlist();
   const auto channels = nl.channelIds();

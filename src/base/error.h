@@ -45,6 +45,13 @@ class InternalError : public EslError {
   explicit InternalError(const std::string& what) : EslError(what) {}
 };
 
+/// Syntax error in a textual `.esl` netlist (src/frontend); the message
+/// carries file name and line number.
+class ParseError : public EslError {
+ public:
+  explicit ParseError(const std::string& what) : EslError(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throwInternal(const char* cond, const char* file, int line);
 [[noreturn]] void throwCheck(const std::string& msg, const char* file, int line);

@@ -50,7 +50,9 @@ class ElasticBuffer : public Node {
 
   unsigned width() const { return width_; }
   unsigned capacity() const { return capacity_; }
+  unsigned antiCapacity() const { return antiCapacity_; }
   const std::vector<BitVec>& initTokens() const { return init_; }
+  int initAntiTokens() const { return initAnti_; }
   /// Current token count (negative = stored anti-tokens).
   int occupancy() const { return static_cast<int>(tokens_.size()) - antiTokens_; }
 
@@ -88,6 +90,7 @@ class ElasticBuffer0 : public Node {
   std::string kindName() const override { return "eb0"; }
 
   unsigned width() const { return width_; }
+  const std::optional<BitVec>& initToken() const { return init_; }
 
  private:
   unsigned width_;

@@ -111,6 +111,13 @@ class TokenSink : public Node {
   const std::vector<Transfer>& transfers() const { return transfers_; }
   std::uint64_t received() const { return transfers_.size(); }
 
+  /// True when behaviour depends on gate closures (then the sink can only be
+  /// serialized if it was built from a registry gate spec).
+  bool hasGates() const {
+    return static_cast<bool>(ready_) || static_cast<bool>(antiGate_);
+  }
+  unsigned antiBudget() const { return antiBudget_; }
+
  private:
   unsigned width_;
   Gate ready_;
@@ -145,6 +152,11 @@ class NondetSource : public Node {
   }
   std::string kindName() const override { return "nondet-source"; }
 
+  unsigned width() const { return width_; }
+  unsigned killCreditCap() const { return cap_; }
+  unsigned dataBits() const { return dataBits_; }
+  unsigned maxIdle() const { return maxIdle_; }
+
  private:
   bool offeringNow(SimContext& ctx) const;
   BitVec valueNow(SimContext& ctx) const;
@@ -175,6 +187,10 @@ class NondetSink : public Node {
   void unpackState(StateReader& r) override;
   unsigned choiceCount() const override { return emitsAnti_ ? 2u : 1u; }
   std::string kindName() const override { return "nondet-sink"; }
+
+  unsigned width() const { return width_; }
+  unsigned maxConsecutiveStops() const { return maxStops_; }
+  bool emitsAntiTokens() const { return emitsAnti_; }
 
  private:
   bool stopNow(SimContext& ctx) const;

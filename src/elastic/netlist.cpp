@@ -1,6 +1,7 @@
 #include "elastic/netlist.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace esl {
 
@@ -159,10 +160,33 @@ const Node& Netlist::node(NodeId id) const {
   return *nodes_[id];
 }
 
+void Netlist::rebuildNameIndex() const {
+  nodeByName_.clear();
+  channelByName_.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i]) nodeByName_.emplace(nodes_[i]->name(), static_cast<NodeId>(i));
+  for (std::size_t i = 0; i < channels_.size(); ++i)
+    if (channelLive_[i])
+      channelByName_.emplace(channels_[i].name, static_cast<ChannelId>(i));
+  nameIndexVersion_ = topoVersion_;
+}
+
+const Node* Netlist::findNode(const std::string& name) const {
+  if (nameIndexVersion_ != topoVersion_) rebuildNameIndex();
+  const auto it = nodeByName_.find(name);
+  return it == nodeByName_.end() ? nullptr : nodes_[it->second].get();
+}
+
 Node* Netlist::findNode(const std::string& name) {
-  for (auto& n : nodes_)
-    if (n && n->name() == name) return n.get();
-  return nullptr;
+  return const_cast<Node*>(std::as_const(*this).findNode(name));
+}
+
+void Netlist::renameNode(NodeId id, std::string name) {
+  ESL_CHECK(hasNode(id), "Netlist::renameNode: unknown node");
+  nodes_[id]->rename(std::move(name));
+  // The rename invalidates the name index only, but versions are unified;
+  // renames are rare and never happen mid-simulation.
+  invalidateAdjacency();
 }
 
 bool Netlist::hasChannel(ChannelId ch) const {
@@ -180,9 +204,9 @@ Channel& Netlist::channelMutable(ChannelId ch) {
 }
 
 const Channel* Netlist::findChannel(const std::string& name) const {
-  for (std::size_t i = 0; i < channels_.size(); ++i)
-    if (channelLive_[i] && channels_[i].name == name) return &channels_[i];
-  return nullptr;
+  if (nameIndexVersion_ != topoVersion_) rebuildNameIndex();
+  const auto it = channelByName_.find(name);
+  return it == channelByName_.end() ? nullptr : &channels_[it->second];
 }
 
 std::vector<NodeId> Netlist::nodeIds() const {

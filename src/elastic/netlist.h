@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "elastic/node.h"
@@ -62,13 +63,19 @@ class Netlist {
   bool hasNode(NodeId id) const;
   Node& node(NodeId id);
   const Node& node(NodeId id) const;
-  /// First node with the given name, or nullptr.
+  /// First node with the given name, or nullptr. O(1) amortized: both name
+  /// lookups hit a hash index rebuilt lazily per topologyVersion().
   Node* findNode(const std::string& name);
+  const Node* findNode(const std::string& name) const;
+
+  /// Renames a node, keeping the name index coherent (the reason Node has no
+  /// public rename of its own).
+  void renameNode(NodeId id, std::string name);
 
   bool hasChannel(ChannelId ch) const;
   const Channel& channel(ChannelId ch) const;
   Channel& channelMutable(ChannelId ch);
-  /// First channel with the given name, or nullptr.
+  /// First channel with the given name, or nullptr. Same index as findNode.
   const Channel* findChannel(const std::string& name) const;
 
   /// Live node ids in insertion order.
@@ -118,6 +125,7 @@ class Netlist {
   /// version without updating the cache, forcing a lazy rebuild.
   void invalidateAdjacency() { ++topoVersion_; }
   void rebuildAdjacency() const;
+  void rebuildNameIndex() const;
 
   std::vector<std::unique_ptr<Node>> nodes_;  // nullptr = removed slot
   std::vector<Channel> channels_;             // id == kNoChannel marks removed
@@ -127,6 +135,13 @@ class Netlist {
   // Cache of adjacency(), valid while adjacencyVersion_ == topoVersion_.
   mutable std::vector<std::vector<AdjacentChannel>> adjacency_;
   mutable std::uint64_t adjacencyVersion_ = 0;
+
+  // Name -> id index behind findNode/findChannel, rebuilt lazily whenever
+  // the topology version moves (renameNode bumps it too). Duplicated names
+  // keep first-insertion-wins semantics, matching the old linear scan.
+  mutable std::unordered_map<std::string, NodeId> nodeByName_;
+  mutable std::unordered_map<std::string, ChannelId> channelByName_;
+  mutable std::uint64_t nameIndexVersion_ = ~std::uint64_t{0};
 };
 
 }  // namespace esl

@@ -16,6 +16,7 @@
 
 #include "base/error.h"
 #include "elastic/channel.h"
+#include "elastic/params.h"
 #include "elastic/state_io.h"
 #include "logic/cost.h"
 
@@ -75,8 +76,15 @@ class Node {
   Node& operator=(const Node&) = delete;
 
   const std::string& name() const { return name_; }
-  void rename(std::string name) { name_ = std::move(name); }
   NodeId id() const { return id_; }
+
+  /// Construction attributes of the netlist IR (`.esl` `key=value` list).
+  /// Populated by the NodeRegistry factories (and by C++ builders that are
+  /// IR-aware); nodes created directly around C++ lambdas have none and can
+  /// only be serialized if their kind is derivable from getters alone.
+  const Params& buildParams() const { return buildParams_; }
+  bool hasBuildParams() const { return !buildParams_.entries().empty(); }
+  void setBuildParams(Params params) { buildParams_ = std::move(params); }
 
   unsigned numInputs() const { return static_cast<unsigned>(inputs_.size()); }
   unsigned numOutputs() const { return static_cast<unsigned>(outputs_.size()); }
@@ -212,6 +220,8 @@ class Node {
  private:
   friend class Netlist;
   void setId(NodeId id) { id_ = id; }
+  /// Renaming goes through Netlist::renameNode so the name index stays valid.
+  void rename(std::string name) { name_ = std::move(name); }
   unsigned addInputPort(unsigned width) {
     inputs_.push_back(kNoChannel);
     inputWidths_.push_back(width);
@@ -234,6 +244,7 @@ class Node {
 
   std::string name_;
   NodeId id_ = kNoNode;
+  Params buildParams_;
   std::vector<ChannelId> inputs_;
   std::vector<ChannelId> outputs_;
   std::vector<unsigned> inputWidths_;

@@ -1,0 +1,701 @@
+#include "elastic/registry.h"
+
+#include <unordered_map>
+
+#include "base/rng.h"
+#include "elastic/buffer.h"
+#include "elastic/eemux.h"
+#include "elastic/fork.h"
+#include "elastic/shared.h"
+
+namespace esl {
+
+namespace {
+
+std::vector<unsigned> toWidths(const std::vector<std::uint64_t>& v) {
+  std::vector<unsigned> w;
+  w.reserve(v.size());
+  for (const std::uint64_t x : v) w.push_back(static_cast<unsigned>(x));
+  return w;
+}
+
+/// "delay,area" cost pair attribute.
+logic::Cost costPair(const Params& p, const std::string& key, logic::Cost fallback) {
+  const std::string v = p.str(key, "");
+  if (v.empty()) return fallback;
+  const auto items = Params::splitList(v);
+  if (items.size() != 2)
+    throw NetlistError("attribute '" + key + "': expected delay,area");
+  return {parseReal(items[0], key), parseReal(items[1], key)};
+}
+
+std::string costToken(logic::Cost c) {
+  return realToken(c.delay) + "," + realToken(c.area);
+}
+
+void addPrefixed(Params& dst, const std::string& key, const Params& src) {
+  for (const auto& [k, v] : src.entries()) dst.set(key + "." + k, v);
+}
+
+bool endsWithPortRef(const std::string& name, const std::string& tag) {
+  const std::size_t at = name.rfind(tag);
+  if (at == std::string::npos || at + tag.size() >= name.size()) return false;
+  for (std::size_t i = at + tag.size(); i < name.size(); ++i)
+    if (name[i] < '0' || name[i] > '9') return false;
+  return true;
+}
+
+// --- core named functions ---------------------------------------------------
+
+void requireUnary(const FnSig& sig, const std::string& what, bool sameWidth = true) {
+  if (sig.inWidths.size() != 1)
+    throw NetlistError(what + ": expects exactly one input");
+  if (sameWidth && sig.inWidths[0] != sig.outWidth)
+    throw NetlistError(what + ": input/output width mismatch");
+}
+
+void registerCoreFns(Registry& r) {
+  r.addFn("id", [](const FnSig& sig, const Params&, const std::string&) -> CombFn {
+    requireUnary(sig, "fn id");
+    return [](const std::vector<BitVec>& in) { return in[0]; };
+  });
+  r.addFn("addk", [](const FnSig& sig, const Params& p,
+                     const std::string& pfx) -> CombFn {
+    requireUnary(sig, "fn addk");
+    // k is a plain integer truncated to the datapath width (synth stages
+    // store full 64-bit salted constants), unlike `init=` payloads which
+    // must fit their channel exactly.
+    const BitVec k(sig.outWidth, p.u64(pfx + "k"));
+    return [k](const std::vector<BitVec>& in) { return in[0] + k; };
+  });
+  r.addFn("gray", [](const FnSig& sig, const Params&, const std::string&) -> CombFn {
+    requireUnary(sig, "fn gray");
+    return [](const std::vector<BitVec>& in) { return in[0] ^ (in[0] >> 1); };
+  });
+  r.addFn("permille", [](const FnSig& sig, const Params& p,
+                         const std::string& pfx) -> CombFn {
+    requireUnary(sig, "fn permille", /*sameWidth=*/false);
+    if (sig.outWidth != 1) throw NetlistError("fn permille: output must be 1 bit");
+    const unsigned permille = static_cast<unsigned>(p.u64(pfx + "permille"));
+    const std::uint64_t salt = p.u64(pfx + "salt", 0);
+    return [permille, salt](const std::vector<BitVec>& in) {
+      return BitVec(1, hashChancePermille(in[0].toUint64(), permille, salt) ? 1 : 0);
+    };
+  });
+  r.addFn("xor", [](const FnSig& sig, const Params&, const std::string&) -> CombFn {
+    if (sig.inWidths.empty()) throw NetlistError("fn xor: needs inputs");
+    for (const unsigned w : sig.inWidths)
+      if (w != sig.outWidth) throw NetlistError("fn xor: width mismatch");
+    return [](const std::vector<BitVec>& in) {
+      BitVec acc = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) acc = acc ^ in[i];
+      return acc;
+    };
+  });
+  r.addFn("add", [](const FnSig& sig, const Params&, const std::string&) -> CombFn {
+    if (sig.inWidths.size() != 2 || sig.inWidths[0] != sig.outWidth ||
+        sig.inWidths[1] != sig.outWidth)
+      throw NetlistError("fn add: expects two inputs of the output width");
+    return [](const std::vector<BitVec>& in) { return in[0] + in[1]; };
+  });
+  r.addFn("concat", [](const FnSig& sig, const Params&, const std::string&) -> CombFn {
+    if (sig.inWidths.size() != 2 ||
+        sig.inWidths[0] + sig.inWidths[1] != sig.outWidth)
+      throw NetlistError("fn concat: output width must be the sum of the inputs");
+    return [](const std::vector<BitVec>& in) { return in[0].concat(in[1]); };
+  });
+  // Conventional join multiplexer: input 0 selects among inputs 1..n.
+  r.addFn("joinmux", [](const FnSig& sig, const Params&, const std::string&) -> CombFn {
+    if (sig.inWidths.size() < 3)
+      throw NetlistError("fn joinmux: needs a select and >=2 data inputs");
+    const std::uint64_t dataInputs = sig.inWidths.size() - 1;
+    for (std::size_t i = 1; i < sig.inWidths.size(); ++i)
+      if (sig.inWidths[i] != sig.outWidth)
+        throw NetlistError("fn joinmux: data width mismatch");
+    return [dataInputs](const std::vector<BitVec>& in) {
+      const std::uint64_t sel = in[0].toUint64();
+      ESL_CHECK(sel < dataInputs, "join mux: select out of range");
+      return in[1 + sel];
+    };
+  });
+}
+
+// --- core generators / gates / schedulers -----------------------------------
+
+void registerCoreGensGates(Registry& r) {
+  r.addGen("counting",
+           [](unsigned width, const Params& p, const std::string& pfx) {
+             return TokenSource::counting(width, p.u64(pfx + "base", 0));
+           });
+  r.addGen("list", [](unsigned width, const Params& p, const std::string& pfx) {
+    return TokenSource::listOf(p.u64List(pfx + "values"), width);
+  });
+  r.addGen("hash", [](unsigned width, const Params& p, const std::string& pfx) {
+    const std::uint64_t salt = p.u64(pfx + "salt", 0);
+    return [width, salt](std::uint64_t i) -> std::optional<BitVec> {
+      return BitVec(width, mix64(i, salt));
+    };
+  });
+
+  // The next token may first be offered on cycles == phase (mod period).
+  r.addGate("period", [](const Params& p, const std::string& pfx) {
+    const std::uint64_t period = p.u64(pfx + "period");
+    const std::uint64_t phase = p.u64(pfx + "phase", 0);
+    if (period <= 1) return TokenSource::Gate{};
+    return TokenSource::Gate{
+        [period, phase](std::uint64_t c) { return (c + phase) % period == 0; }};
+  });
+}
+
+void registerCoreScheds(Registry& r) {
+  r.addSched("static", [](unsigned k, const Params& p, const std::string& pfx) {
+    return std::make_unique<sched::StaticScheduler>(
+        k, static_cast<unsigned>(p.u64(pfx + "pick", 0)));
+  });
+  r.addSched("rr", [](unsigned k, const Params&, const std::string&) {
+    return std::make_unique<sched::RoundRobinScheduler>(k);
+  });
+  r.addSched("last", [](unsigned k, const Params&, const std::string&) {
+    return std::make_unique<sched::LastServedScheduler>(k);
+  });
+  r.addSched("2bit", [](unsigned k, const Params&, const std::string&)
+                 -> std::unique_ptr<sched::Scheduler> {
+    if (k != 2) throw NetlistError("sched 2bit: arbitrates exactly 2 channels");
+    return std::make_unique<sched::TwoBitScheduler>();
+  });
+  r.addSched("timeout", [](unsigned k, const Params& p, const std::string& pfx) {
+    return std::make_unique<sched::TimeoutScheduler>(
+        k, static_cast<unsigned>(p.u64(pfx + "timeout", 1)));
+  });
+  r.addSched("bounded-fair", [](unsigned k, const Params& p, const std::string& pfx) {
+    return std::make_unique<sched::BoundedFairScheduler>(
+        k, static_cast<unsigned>(p.u64(pfx + "defer", 1)));
+  });
+  r.addSched("starving", [](unsigned k, const Params&, const std::string&) {
+    return std::make_unique<sched::StarvingScheduler>(k);
+  });
+}
+
+// --- core node kinds --------------------------------------------------------
+
+void registerCoreKinds(Registry& r) {
+  r.addKind(
+      "eb",
+      [](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        const unsigned width = static_cast<unsigned>(p.u64("width"));
+        return nl.make<ElasticBuffer>(
+            name, width, static_cast<unsigned>(p.u64("cap", 2)),
+            p.bitsList("init", width), static_cast<unsigned>(p.u64("acap", 2)),
+            static_cast<int>(p.i64("ainit", 0)));
+      },
+      [](const Node& n) {
+        const auto& eb = static_cast<const ElasticBuffer&>(n);
+        Params p;
+        p.setU64("width", eb.width());
+        if (eb.capacity() != 2) p.setU64("cap", eb.capacity());
+        if (!eb.initTokens().empty()) p.setBitsList("init", eb.initTokens());
+        if (eb.antiCapacity() != 2) p.setU64("acap", eb.antiCapacity());
+        if (eb.initAntiTokens() != 0) p.setI64("ainit", eb.initAntiTokens());
+        return p;
+      });
+
+  r.addKind(
+      "eb0",
+      [](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        const unsigned width = static_cast<unsigned>(p.u64("width"));
+        std::optional<BitVec> init;
+        if (p.has("init")) init = p.bits("init", width);
+        return nl.make<ElasticBuffer0>(name, width, init);
+      },
+      [](const Node& n) {
+        const auto& eb = static_cast<const ElasticBuffer0&>(n);
+        Params p;
+        p.setU64("width", eb.width());
+        if (eb.initToken()) p.setBits("init", *eb.initToken());
+        return p;
+      });
+
+  r.addKind(
+      "broken-eb",
+      [](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        return nl.make<BrokenBuffer>(name, static_cast<unsigned>(p.u64("width")));
+      },
+      [](const Node& n) {
+        Params p;
+        p.setU64("width", n.inputWidth(0));
+        return p;
+      });
+
+  r.addKind(
+      "fork",
+      [](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        return nl.make<ForkNode>(name, static_cast<unsigned>(p.u64("width")),
+                                 static_cast<unsigned>(p.u64("branches")));
+      },
+      [](const Node& n) {
+        Params p;
+        p.setU64("width", n.inputWidth(0));
+        p.setU64("branches", static_cast<const ForkNode&>(n).branches());
+        return p;
+      });
+
+  r.addKind(
+      "ee-mux",
+      [](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        return nl.make<EarlyEvalMux>(name, static_cast<unsigned>(p.u64("n")),
+                                     static_cast<unsigned>(p.u64("selw", 1)),
+                                     static_cast<unsigned>(p.u64("width")));
+      },
+      [](const Node& n) {
+        const auto& mux = static_cast<const EarlyEvalMux&>(n);
+        Params p;
+        p.setU64("n", mux.dataInputs());
+        if (n.inputWidth(0) != 1) p.setU64("selw", n.inputWidth(0));
+        p.setU64("width", n.outputWidth(0));
+        return p;
+      });
+
+  r.addKind(
+      "func",
+      [&r](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        FnSig sig;
+        sig.inWidths = toWidths(p.u64List("in"));
+        sig.outWidth = static_cast<unsigned>(p.u64("out"));
+        if (sig.inWidths.empty())
+          throw NetlistError("func '" + name + "': needs at least one input");
+        CombFn fn = r.makeFn(sig, p, "fn");
+        auto& f = nl.make<FuncNode>(
+            name, sig.inWidths, sig.outWidth, std::move(fn),
+            logic::Cost{p.real("delay", 1.0), p.real("area", 1.0)});
+        const std::string role = p.str("role", "");
+        if (!role.empty()) f.setRole(role);
+        return f;
+      },
+      [](const Node& n) {
+        // Raw lambda FuncNodes are opaque — except the join mux, whose
+        // behaviour is fully determined by its role tag and port widths
+        // (transforms create them via makeJoinMux without attributes).
+        const auto& f = static_cast<const FuncNode&>(n);
+        if (f.role() != "mux")
+          throw NetlistError("func '" + n.name() +
+                             "': built from a raw C++ lambda; construct via "
+                             "makeFuncNode/the registry to serialize it");
+        Params p;
+        std::vector<std::uint64_t> in;
+        for (unsigned i = 0; i < n.numInputs(); ++i) in.push_back(n.inputWidth(i));
+        p.setU64List("in", in);
+        p.setU64("out", n.outputWidth(0));
+        p.set("fn", "joinmux");
+        p.setReal("delay", f.datapathCost().delay);
+        p.setReal("area", f.datapathCost().area);
+        p.set("role", "mux");
+        return p;
+      });
+
+  r.addKind(
+      "source",
+      [&r](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        const unsigned width = static_cast<unsigned>(p.u64("width"));
+        return nl.make<TokenSource>(name, width, r.makeGen(width, p, "gen"),
+                                    r.makeGate(p, "gate"));
+      });
+
+  r.addKind(
+      "sink",
+      [&r](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        return nl.make<TokenSink>(name, static_cast<unsigned>(p.u64("width")),
+                                  r.makeGate(p, "ready"),
+                                  static_cast<unsigned>(p.u64("anti", 0)),
+                                  r.makeGate(p, "antigate"));
+      },
+      [](const Node& n) {
+        const auto& sink = static_cast<const TokenSink&>(n);
+        if (sink.hasGates())
+          throw NetlistError("sink '" + n.name() +
+                             "': gate closures are opaque; construct via the "
+                             "registry to serialize them");
+        Params p;
+        p.setU64("width", n.inputWidth(0));
+        if (sink.antiBudget() != 0) p.setU64("anti", sink.antiBudget());
+        return p;
+      });
+
+  r.addKind(
+      "nondet-source",
+      [](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        return nl.make<NondetSource>(name, static_cast<unsigned>(p.u64("width")),
+                                     static_cast<unsigned>(p.u64("killcap", 2)),
+                                     static_cast<unsigned>(p.u64("databits", 0)),
+                                     static_cast<unsigned>(p.u64("maxidle", 2)));
+      },
+      [](const Node& n) {
+        const auto& src = static_cast<const NondetSource&>(n);
+        Params p;
+        p.setU64("width", src.width());
+        if (src.killCreditCap() != 2) p.setU64("killcap", src.killCreditCap());
+        if (src.dataBits() != 0) p.setU64("databits", src.dataBits());
+        if (src.maxIdle() != 2) p.setU64("maxidle", src.maxIdle());
+        return p;
+      });
+
+  r.addKind(
+      "nondet-sink",
+      [](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        return nl.make<NondetSink>(name, static_cast<unsigned>(p.u64("width")),
+                                   static_cast<unsigned>(p.u64("maxstops", 2)),
+                                   p.u64("anti", 0) != 0);
+      },
+      [](const Node& n) {
+        const auto& sink = static_cast<const NondetSink&>(n);
+        Params p;
+        p.setU64("width", sink.width());
+        if (sink.maxConsecutiveStops() != 2)
+          p.setU64("maxstops", sink.maxConsecutiveStops());
+        if (sink.emitsAntiTokens()) p.setU64("anti", 1);
+        return p;
+      });
+
+  r.addKind(
+      "shared",
+      [&r](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        const unsigned k = static_cast<unsigned>(p.u64("k"));
+        const unsigned inW = static_cast<unsigned>(p.u64("in"));
+        const unsigned outW = static_cast<unsigned>(p.u64("out"));
+        return nl.make<SharedModule>(
+            name, k, inW, outW, unaryAdapter(r.makeFn({{inW}, outW}, p, "fn")),
+            r.makeSched(k, p, "sched"),
+            logic::Cost{p.real("delay", 1.0), p.real("area", 1.0)});
+      });
+
+  r.addKind(
+      "stalling-vlu",
+      [&r](Netlist& nl, const std::string& name, const Params& p) -> Node& {
+        const unsigned inW = static_cast<unsigned>(p.u64("in"));
+        const unsigned outW = static_cast<unsigned>(p.u64("out"));
+        return nl.make<StallingVLU>(
+            name, inW, outW, unaryAdapter(r.makeFn({{inW}, outW}, p, "exact")),
+            [err = unaryAdapter(r.makeFn({{inW}, 1}, p, "err"))](
+                const BitVec& x) mutable { return err(x).bit(0); },
+            costPair(p, "acost", {1.0, 1.0}), costPair(p, "ecost", {1.0, 1.0}),
+            costPair(p, "rcost", {1.0, 1.0}));
+      });
+}
+
+}  // namespace
+
+std::function<BitVec(const BitVec&)> unaryAdapter(CombFn fn) {
+  return [fn = std::move(fn),
+          args = std::vector<BitVec>(1)](const BitVec& x) mutable {
+    args[0] = x;
+    return fn(args);
+  };
+}
+
+Registry::Registry() {
+  registerCoreFns(*this);
+  registerCoreGensGates(*this);
+  registerCoreScheds(*this);
+  registerCoreKinds(*this);
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::addKind(const std::string& kind, NodeFactory factory,
+                       NodeDescriber describer) {
+  ESL_CHECK(kinds_.emplace(kind, Kind{std::move(factory), std::move(describer)}).second,
+            "Registry: duplicate node kind '" + kind + "'");
+}
+
+void Registry::addFn(const std::string& name, FnFactory factory) {
+  ESL_CHECK(fns_.emplace(name, std::move(factory)).second,
+            "Registry: duplicate fn '" + name + "'");
+}
+
+void Registry::addGen(const std::string& name, GenFactory factory) {
+  ESL_CHECK(gens_.emplace(name, std::move(factory)).second,
+            "Registry: duplicate gen '" + name + "'");
+}
+
+void Registry::addGate(const std::string& name, GateFactory factory) {
+  ESL_CHECK(gates_.emplace(name, std::move(factory)).second,
+            "Registry: duplicate gate '" + name + "'");
+}
+
+void Registry::addSched(const std::string& name, SchedFactory factory) {
+  ESL_CHECK(scheds_.emplace(name, std::move(factory)).second,
+            "Registry: duplicate sched '" + name + "'");
+}
+
+bool Registry::hasKind(const std::string& kind) const {
+  return kinds_.count(kind) != 0;
+}
+
+std::vector<std::string> Registry::kindNames() const {
+  std::vector<std::string> names;
+  for (const auto& [k, v] : kinds_) names.push_back(k);
+  return names;
+}
+
+Node& Registry::makeNode(Netlist& nl, const NodeSpec& spec) const {
+  validateIrName(spec.name, "node name");
+  const auto it = kinds_.find(spec.kind);
+  if (it == kinds_.end())
+    throw NetlistError("unknown node kind '" + spec.kind + "' for node '" +
+                       spec.name + "'");
+  // The factory runs against a private copy: Params tracks reads through
+  // mutable state for checkConsumed(), and one spec may be built from many
+  // threads at once (SimFarm::specRecipe, parallel checker lanes).
+  const Params params = spec.params;
+  Node& n = it->second.factory(nl, spec.name, params);
+  params.checkConsumed("node '" + spec.name + "' (" + spec.kind + ")");
+  n.setBuildParams(spec.params);
+  return n;
+}
+
+NodeSpec Registry::describeNode(const Node& node) const {
+  NodeSpec spec;
+  spec.kind = node.kindName();
+  spec.name = node.name();
+  if (node.hasBuildParams()) {
+    spec.params = node.buildParams();
+    return spec;
+  }
+  const auto it = kinds_.find(spec.kind);
+  if (it == kinds_.end() || !it->second.describer)
+    throw NetlistError("node '" + node.name() + "' of kind '" + spec.kind +
+                       "' is not serializable (no attributes, no describer)");
+  spec.params = it->second.describer(node);
+  return spec;
+}
+
+CombFn Registry::makeFn(const FnSig& sig, const Params& p,
+                        const std::string& key) const {
+  const std::string name = p.str(key);
+  const auto it = fns_.find(name);
+  if (it == fns_.end()) throw NetlistError("unknown fn '" + name + "'");
+  return it->second(sig, p, key + ".");
+}
+
+TokenSource::Generator Registry::makeGen(unsigned width, const Params& p,
+                                         const std::string& key) const {
+  const std::string name = p.str(key);
+  const auto it = gens_.find(name);
+  if (it == gens_.end()) throw NetlistError("unknown gen '" + name + "'");
+  return it->second(width, p, key + ".");
+}
+
+TokenSource::Gate Registry::makeGate(const Params& p, const std::string& key) const {
+  if (!p.has(key)) return {};
+  const std::string name = p.str(key);
+  const auto it = gates_.find(name);
+  if (it == gates_.end()) throw NetlistError("unknown gate '" + name + "'");
+  return it->second(p, key + ".");
+}
+
+std::unique_ptr<sched::Scheduler> Registry::makeSched(unsigned channels,
+                                                      const Params& p,
+                                                      const std::string& key) const {
+  const std::string name = p.str(key);
+  const auto it = scheds_.find(name);
+  if (it == scheds_.end()) throw NetlistError("unknown sched '" + name + "'");
+  return it->second(channels, p, key + ".");
+}
+
+bool Registry::describeScheduler(const sched::Scheduler& s, Params& out,
+                                 const std::string& key) {
+  if (const auto* st = dynamic_cast<const sched::StaticScheduler*>(&s)) {
+    out.set(key, "static");
+    if (st->pick() != 0) out.setU64(key + ".pick", st->pick());
+    return true;
+  }
+  if (dynamic_cast<const sched::RoundRobinScheduler*>(&s) != nullptr) {
+    out.set(key, "rr");
+    return true;
+  }
+  if (dynamic_cast<const sched::LastServedScheduler*>(&s) != nullptr) {
+    out.set(key, "last");
+    return true;
+  }
+  if (dynamic_cast<const sched::TwoBitScheduler*>(&s) != nullptr) {
+    out.set(key, "2bit");
+    return true;
+  }
+  if (const auto* t = dynamic_cast<const sched::TimeoutScheduler*>(&s)) {
+    out.set(key, "timeout");
+    if (t->timeout() != 1) out.setU64(key + ".timeout", t->timeout());
+    return true;
+  }
+  if (const auto* b = dynamic_cast<const sched::BoundedFairScheduler*>(&s)) {
+    out.set(key, "bounded-fair");
+    if (b->maxDefer() != 1) out.setU64(key + ".defer", b->maxDefer());
+    return true;
+  }
+  if (dynamic_cast<const sched::StarvingScheduler*>(&s) != nullptr) {
+    out.set(key, "starving");
+    return true;
+  }
+  return false;  // oracle and custom policies close over C++ state
+}
+
+void validateIrToken(const std::string& name, const std::string& what) {
+  if (name.empty()) throw NetlistError(what + ": empty");
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-' ||
+                    c == '@';
+    if (!ok)
+      throw NetlistError(what + " '" + name + "': illegal character '" +
+                         std::string(1, c) + "'");
+  }
+}
+
+void validateIrName(const std::string& name, const std::string& what) {
+  validateIrToken(name, what);
+  if (endsWithPortRef(name, ".out") || endsWithPortRef(name, ".in"))
+    throw NetlistError(what + " '" + name +
+                       "': must not end in .out<N>/.in<N> (reserved for "
+                       "channel endpoint references)");
+}
+
+// ---------------------------------------------------------------------------
+// NetlistSpec
+// ---------------------------------------------------------------------------
+
+Netlist NetlistSpec::build() const {
+  Netlist nl;
+  const Registry& reg = Registry::instance();
+  std::unordered_map<std::string, NodeId> byName;
+  for (const NodeSpec& spec : nodes) {
+    Node& n = reg.makeNode(nl, spec);
+    if (!byName.emplace(spec.name, n.id()).second)
+      throw NetlistError("duplicate node name '" + spec.name + "'");
+  }
+  for (const ChannelSpec& ch : channels) {
+    const auto findEnd = [&](const std::string& name) -> Node& {
+      const auto it = byName.find(name);
+      if (it == byName.end())
+        throw NetlistError("channel references unknown node '" + name + "'");
+      return nl.node(it->second);
+    };
+    Node& prod = findEnd(ch.producer);
+    Node& cons = findEnd(ch.consumer);
+    if (ch.producerPort >= prod.numOutputs())
+      throw NetlistError("channel: no output port " +
+                         std::to_string(ch.producerPort) + " on '" + ch.producer +
+                         "'");
+    if (ch.consumerPort >= cons.numInputs())
+      throw NetlistError("channel: no input port " +
+                         std::to_string(ch.consumerPort) + " on '" + ch.consumer +
+                         "'");
+    nl.connect(prod, ch.producerPort, cons, ch.consumerPort, ch.name);
+  }
+  nl.validate();
+  return nl;
+}
+
+NetlistSpec NetlistSpec::fromNetlist(const Netlist& nl) {
+  NetlistSpec spec;
+  const Registry& reg = Registry::instance();
+  std::unordered_map<std::string, NodeId> byName;
+  for (const NodeId id : nl.nodeIds()) {
+    const Node& n = nl.node(id);
+    validateIrName(n.name(), "node name");
+    if (!byName.emplace(n.name(), id).second)
+      throw NetlistError("netlist not serializable: duplicate node name '" +
+                         n.name() + "'");
+    spec.nodes.push_back(reg.describeNode(n));
+  }
+  for (const ChannelId id : nl.channelIds()) {
+    const Channel& ch = nl.channel(id);
+    // A name the format cannot represent must fail here (at save time), not
+    // when the printed file is reloaded.
+    if (!ch.name.empty()) validateIrToken(ch.name, "channel name");
+    spec.channels.push_back({nl.node(ch.producer).name(), ch.producerPort,
+                             nl.node(ch.consumer).name(), ch.consumerPort,
+                             ch.name});
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// IR-aware construction helpers
+// ---------------------------------------------------------------------------
+
+FuncNode& makeFuncNode(Netlist& nl, const std::string& name,
+                       const std::vector<unsigned>& inWidths, unsigned outWidth,
+                       const std::string& fnName, const Params& fnParams,
+                       logic::Cost cost, const std::string& role) {
+  NodeSpec spec;
+  spec.kind = "func";
+  spec.name = name;
+  std::vector<std::uint64_t> in(inWidths.begin(), inWidths.end());
+  spec.params.setU64List("in", in);
+  spec.params.setU64("out", outWidth);
+  spec.params.set("fn", fnName);
+  addPrefixed(spec.params, "fn", fnParams);
+  spec.params.setReal("delay", cost.delay);
+  spec.params.setReal("area", cost.area);
+  if (!role.empty()) spec.params.set("role", role);
+  return static_cast<FuncNode&>(Registry::instance().makeNode(nl, spec));
+}
+
+TokenSource& makeSourceNode(Netlist& nl, const std::string& name, unsigned width,
+                            const std::string& genName, const Params& genParams,
+                            const std::string& gateName, const Params& gateParams) {
+  NodeSpec spec;
+  spec.kind = "source";
+  spec.name = name;
+  spec.params.setU64("width", width);
+  spec.params.set("gen", genName);
+  addPrefixed(spec.params, "gen", genParams);
+  if (!gateName.empty()) {
+    spec.params.set("gate", gateName);
+    addPrefixed(spec.params, "gate", gateParams);
+  }
+  return static_cast<TokenSource&>(Registry::instance().makeNode(nl, spec));
+}
+
+SharedModule& makeSharedNode(Netlist& nl, const std::string& name, unsigned channels,
+                             unsigned inWidth, unsigned outWidth,
+                             const std::string& fnName, const Params& fnParams,
+                             const std::string& schedName, const Params& schedParams,
+                             logic::Cost fnCost) {
+  NodeSpec spec;
+  spec.kind = "shared";
+  spec.name = name;
+  spec.params.setU64("k", channels);
+  spec.params.setU64("in", inWidth);
+  spec.params.setU64("out", outWidth);
+  spec.params.set("fn", fnName);
+  addPrefixed(spec.params, "fn", fnParams);
+  spec.params.set("sched", schedName);
+  addPrefixed(spec.params, "sched", schedParams);
+  spec.params.setReal("delay", fnCost.delay);
+  spec.params.setReal("area", fnCost.area);
+  return static_cast<SharedModule&>(Registry::instance().makeNode(nl, spec));
+}
+
+StallingVLU& makeVluNode(Netlist& nl, const std::string& name, unsigned inWidth,
+                         unsigned outWidth, const std::string& exactName,
+                         const Params& exactParams, const std::string& errName,
+                         const Params& errParams, logic::Cost approxCost,
+                         logic::Cost exactCost, logic::Cost errCost) {
+  NodeSpec spec;
+  spec.kind = "stalling-vlu";
+  spec.name = name;
+  spec.params.setU64("in", inWidth);
+  spec.params.setU64("out", outWidth);
+  spec.params.set("exact", exactName);
+  addPrefixed(spec.params, "exact", exactParams);
+  spec.params.set("err", errName);
+  addPrefixed(spec.params, "err", errParams);
+  spec.params.set("acost", costToken(approxCost));
+  spec.params.set("ecost", costToken(exactCost));
+  spec.params.set("rcost", costToken(errCost));
+  return static_cast<StallingVLU&>(Registry::instance().makeNode(nl, spec));
+}
+
+}  // namespace esl

@@ -1,0 +1,195 @@
+#include "frontend/esl_format.h"
+
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+#include "netlist/stdlib.h"
+
+namespace esl::frontend {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& origin, std::size_t line,
+                       const std::string& msg) {
+  throw ParseError(origin + ":" + std::to_string(line) + ": " + msg);
+}
+
+std::vector<std::string> tokenizeStatement(const std::string& stmt) {
+  std::vector<std::string> tokens;
+  std::istringstream is(stmt);
+  std::string t;
+  while (is >> t) {
+    // "a.out0->b.in1" splits into three tokens.
+    std::size_t start = 0;
+    for (std::size_t arrow = t.find("->", start); arrow != std::string::npos;
+         arrow = t.find("->", start)) {
+      if (arrow > start) tokens.push_back(t.substr(start, arrow - start));
+      tokens.push_back("->");
+      start = arrow + 2;
+    }
+    if (start < t.size()) tokens.push_back(t.substr(start));
+  }
+  return tokens;
+}
+
+/// Splits "name.out3" / "name.in0" into (name, port).
+std::pair<std::string, unsigned> parseEndpoint(const std::string& token,
+                                               const std::string& tag,
+                                               const std::string& origin,
+                                               std::size_t line) {
+  const std::size_t at = token.rfind(tag);
+  if (at != std::string::npos && at > 0 && at + tag.size() < token.size()) {
+    unsigned port = 0;
+    bool digits = true;
+    for (std::size_t i = at + tag.size(); i < token.size(); ++i) {
+      if (token[i] < '0' || token[i] > '9') {
+        digits = false;
+        break;
+      }
+      port = port * 10 + static_cast<unsigned>(token[i] - '0');
+    }
+    if (digits) return {token.substr(0, at), port};
+  }
+  fail(origin, line,
+       "expected endpoint '<node>" + tag + "<port>', got '" + token + "'");
+}
+
+void parseAttrs(const std::vector<std::string>& tokens, std::size_t first,
+                Params& out, const std::string& origin, std::size_t line) {
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0)
+      fail(origin, line, "expected key=value attribute, got '" + tokens[i] + "'");
+    out.set(tokens[i].substr(0, eq), tokens[i].substr(eq + 1));
+  }
+}
+
+}  // namespace
+
+NetlistSpec parseEsl(const std::string& text, const std::string& origin) {
+  stdlib::ensureRegistered();
+  NetlistSpec spec;
+  std::istringstream is(text);
+  std::string rawLine;
+  std::size_t lineNo = 0;
+  bool sawHeader = false;
+
+  while (std::getline(is, rawLine)) {
+    ++lineNo;
+    std::string stmt = rawLine;
+    const std::size_t hash = stmt.find('#');
+    if (hash != std::string::npos) stmt.resize(hash);
+    const auto tokens = tokenizeStatement(stmt);
+    if (tokens.empty()) continue;
+
+    std::string last = tokens.back();
+    std::vector<std::string> t = tokens;
+    if (last == ";") {
+      t.pop_back();
+    } else if (!last.empty() && last.back() == ';') {
+      t.back().pop_back();
+    } else {
+      fail(origin, lineNo, "statement does not end with ';'");
+    }
+    if (t.empty()) fail(origin, lineNo, "empty statement");
+
+    if (!sawHeader) {
+      if (t.size() != 2 || t[0] != "esl")
+        fail(origin, lineNo, "expected 'esl 1;' header first");
+      if (t[1] != "1")
+        fail(origin, lineNo, "unsupported format version '" + t[1] + "'");
+      sawHeader = true;
+      continue;
+    }
+
+    if (t[0] == "node") {
+      if (t.size() < 3) fail(origin, lineNo, "usage: node <kind> <name> [k=v...]");
+      NodeSpec node;
+      node.kind = t[1];
+      node.name = t[2];
+      try {
+        validateIrName(node.name, "node name");
+      } catch (const NetlistError& e) {
+        fail(origin, lineNo, e.what());
+      }
+      parseAttrs(t, 3, node.params, origin, lineNo);
+      spec.nodes.push_back(std::move(node));
+      continue;
+    }
+
+    if (t[0] == "channel") {
+      if (t.size() < 4 || t[2] != "->")
+        fail(origin, lineNo,
+             "usage: channel <prod>.out<P> -> <cons>.in<Q> [name=...]");
+      ChannelSpec ch;
+      std::tie(ch.producer, ch.producerPort) =
+          parseEndpoint(t[1], ".out", origin, lineNo);
+      std::tie(ch.consumer, ch.consumerPort) =
+          parseEndpoint(t[3], ".in", origin, lineNo);
+      Params attrs;
+      parseAttrs(t, 4, attrs, origin, lineNo);
+      ch.name = attrs.str("name", "");
+      attrs.checkConsumed("channel statement");
+      spec.channels.push_back(std::move(ch));
+      continue;
+    }
+
+    fail(origin, lineNo, "unknown statement '" + t[0] + "'");
+  }
+
+  if (!sawHeader) fail(origin, lineNo, "missing 'esl 1;' header");
+  return spec;
+}
+
+std::string printEsl(const NetlistSpec& spec) {
+  std::ostringstream os;
+  os << "esl 1;\n";
+  for (const NodeSpec& n : spec.nodes) {
+    os << "node " << n.kind << " " << n.name;
+    for (const auto& [key, value] : n.params.entries())
+      os << " " << key << "=" << value;
+    os << ";\n";
+  }
+  for (const ChannelSpec& ch : spec.channels) {
+    os << "channel " << ch.producer << ".out" << ch.producerPort << " -> "
+       << ch.consumer << ".in" << ch.consumerPort;
+    if (!ch.name.empty()) os << " name=" << ch.name;
+    os << ";\n";
+  }
+  return os.str();
+}
+
+NetlistSpec parseEslFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw EslError("cannot read '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parseEsl(text.str(), path);
+}
+
+Netlist buildEslFile(const std::string& path) {
+  return parseEslFile(path).build();
+}
+
+std::string checkRoundTrip(const NetlistSpec& spec) {
+  const std::string once = printEsl(spec);
+  const std::string twice = printEsl(parseEsl(once, "<roundtrip>"));
+  if (once == twice) return once;
+  std::istringstream a(once), b(twice);
+  std::string la, lb;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool ha = static_cast<bool>(std::getline(a, la));
+    const bool hb = static_cast<bool>(std::getline(b, lb));
+    if (!ha && !hb) break;
+    if (!ha || !hb || la != lb)
+      throw InternalError("esl round-trip drift at line " + std::to_string(line) +
+                          ": '" + (ha ? la : "<eof>") + "' vs '" +
+                          (hb ? lb : "<eof>") + "'");
+  }
+  throw InternalError("esl round-trip drift (texts differ)");
+}
+
+}  // namespace esl::frontend

@@ -1,23 +1,55 @@
 #include "netlist/patterns.h"
 
 #include "base/rng.h"
+#include "elastic/registry.h"
 #include "logic/alu.h"
 #include "logic/cost.h"
 #include "logic/secded.h"
+#include "netlist/stdlib.h"
 
 namespace esl::patterns {
 
 namespace {
 
-/// F of the Fig. 1 loop: any pure unary transform works for Shannon
-/// decomposition; this one mixes bits so data streams are distinguishable.
-BitVec fig1F(const BitVec& x) {
-  const unsigned w = x.width();
-  return ((x << 2) ^ x) + BitVec(w, 7);
-}
+/// Salt of the Fig. 1 branch predicate (the registered `permille` fn).
+constexpr std::uint64_t kFig1BranchSalt = 0xb2a7c3;
 
 bool fig1Branch(const BitVec& pc, unsigned takenPermille) {
-  return hashChancePermille(pc.toUint64(), takenPermille, /*salt=*/0xb2a7c3);
+  return hashChancePermille(pc.toUint64(), takenPermille, kFig1BranchSalt);
+}
+
+/// Shared module around a caller-built scheduler: constructed through the
+/// registry (and thus serializable) when the scheduling policy is describable
+/// as data — the instance is rebuilt from its spec; oracle-style policies
+/// that close over C++ state fall back to direct construction.
+SharedModule& makeSharedWithScheduler(Netlist& nl, const std::string& name,
+                                      unsigned k, unsigned inW, unsigned outW,
+                                      const std::string& fnName,
+                                      const Params& fnParams,
+                                      std::unique_ptr<sched::Scheduler> scheduler,
+                                      logic::Cost fnCost) {
+  Params schedSpec;
+  const bool serializable = Registry::describeScheduler(*scheduler, schedSpec, "sched");
+
+  NodeSpec spec;
+  spec.kind = "shared";
+  spec.name = name;
+  spec.params.setU64("k", k).setU64("in", inW).setU64("out", outW);
+  spec.params.set("fn", fnName);
+  for (const auto& [key, value] : fnParams.entries())
+    spec.params.set("fn." + key, value);
+  for (const auto& [key, value] : schedSpec.entries())
+    spec.params.set(key, value);  // describeScheduler keys are already prefixed
+  spec.params.setReal("delay", fnCost.delay).setReal("area", fnCost.area);
+
+  if (serializable)
+    return static_cast<SharedModule&>(Registry::instance().makeNode(nl, spec));
+  // Oracle-style policies close over C++ state: construct directly (the fn
+  // still resolves through the catalog; the node just carries no attributes).
+  return nl.make<SharedModule>(
+      name, k, inW, outW,
+      unaryAdapter(Registry::instance().makeFn({{inW}, outW}, spec.params, "fn")),
+      std::move(scheduler), fnCost);
 }
 
 }  // namespace
@@ -29,19 +61,19 @@ bool fig1Branch(const BitVec& pc, unsigned takenPermille) {
 Table1System buildTable1(std::vector<std::uint64_t> selStream, std::uint64_t base0,
                          std::uint64_t base1,
                          std::unique_ptr<sched::Scheduler> scheduler) {
+  stdlib::ensureRegistered();
   Table1System s;
   Netlist& nl = s.nl;
   const unsigned w = 8;
 
-  s.src0 = &nl.make<TokenSource>("src0", w, TokenSource::counting(w, base0));
-  s.src1 = &nl.make<TokenSource>("src1", w, TokenSource::counting(w, base1));
+  s.src0 = &makeSourceNode(nl, "src0", w, "counting", Params{}.setU64("base", base0));
+  s.src1 = &makeSourceNode(nl, "src1", w, "counting", Params{}.setU64("base", base1));
   s.selSrc =
-      &nl.make<TokenSource>("selSrc", 1, TokenSource::listOf(std::move(selStream), 1));
+      &makeSourceNode(nl, "selSrc", 1, "list", Params{}.setU64List("values", selStream));
 
   if (!scheduler) scheduler = std::make_unique<sched::RoundRobinScheduler>(2);
-  s.shared = &nl.make<SharedModule>(
-      "F", 2, w, w, [](const BitVec& x) { return x; }, std::move(scheduler),
-      logic::Cost{4.0, 30.0});
+  s.shared = &makeSharedWithScheduler(nl, "F", 2, w, w, "id", {},
+                                      std::move(scheduler), logic::Cost{4.0, 30.0});
   s.mux = &nl.make<EarlyEvalMux>("mux", 2, 1, w);
   s.sink = &nl.make<TokenSink>("sink", w);
 
@@ -67,7 +99,7 @@ std::vector<std::uint64_t> fig1PcSequence(const Fig1Config& c, std::size_t n) {
     seq.push_back(pc.toUint64());
     const bool taken = fig1Branch(pc, c.takenPermille);
     const BitVec step(c.width, taken ? c.takenStep : c.notTakenStep);
-    pc = fig1F(pc + step);
+    pc = stdlib::fig1Mix(pc + step);
   }
   return seq;
 }
@@ -104,6 +136,7 @@ std::unique_ptr<sched::Scheduler> makeFig1Scheduler(const Fig1Config& c) {
 }  // namespace
 
 Fig1System buildFig1(Fig1Variant variant, const Fig1Config& c) {
+  stdlib::ensureRegistered();
   Fig1System s;
   Netlist& nl = s.nl;
   const unsigned w = c.width;
@@ -112,20 +145,15 @@ Fig1System buildFig1(Fig1Variant variant, const Fig1Config& c) {
   auto& fork = nl.make<ForkNode>("fork", w, 4);
   s.observer = &nl.make<TokenSink>("observer", w);
 
-  auto& g = makeUnary(
-      nl, "G", w, 1,
-      [c](const BitVec& pc) {
-        return BitVec(1, fig1Branch(pc, c.takenPermille) ? 1 : 0);
-      },
+  auto& g = makeFuncNode(
+      nl, "G", {w}, 1, "permille",
+      Params{}.setU64("permille", c.takenPermille).setU64("salt", kFig1BranchSalt),
       logic::Cost{c.delayG, 60.0});
-  auto& w0 = makeUnary(
-      nl, "nextpc", w, w,
-      [c, w](const BitVec& pc) { return pc + BitVec(w, c.notTakenStep); },
-      logic::Cost{2.0, 18.0});
-  auto& w1 = makeUnary(
-      nl, "target", w, w,
-      [c, w](const BitVec& pc) { return pc + BitVec(w, c.takenStep); },
-      logic::Cost{2.0, 18.0});
+  auto& w0 = makeFuncNode(nl, "nextpc", {w}, w, "addk",
+                          Params{}.setU64("k", c.notTakenStep),
+                          logic::Cost{2.0, 18.0});
+  auto& w1 = makeFuncNode(nl, "target", {w}, w, "addk",
+                          Params{}.setU64("k", c.takenStep), logic::Cost{2.0, 18.0});
 
   s.loopChannel = nl.connect(eb, 0, fork, 0, "pc.out");
   nl.connect(fork, 0, g, 0, "pc.g");
@@ -139,7 +167,7 @@ Fig1System buildFig1(Fig1Variant variant, const Fig1Config& c) {
     case Fig1Variant::kNonSpeculative:
     case Fig1Variant::kBubble: {
       auto& mux = makeJoinMux(nl, "mux", 2, 1, w);
-      auto& f = makeUnary(nl, "F", w, w, fig1F, fCost);
+      auto& f = makeFuncNode(nl, "F", {w}, w, "fig1.f", {}, fCost);
       nl.connect(g, 0, mux, 0, "sel");
       nl.connect(w0, 0, mux, 1, "d0");
       nl.connect(w1, 0, mux, 2, "d1");
@@ -152,8 +180,8 @@ Fig1System buildFig1(Fig1Variant variant, const Fig1Config& c) {
       break;
     }
     case Fig1Variant::kShannon: {
-      auto& f0 = makeUnary(nl, "F0", w, w, fig1F, fCost);
-      auto& f1 = makeUnary(nl, "F1", w, w, fig1F, fCost);
+      auto& f0 = makeFuncNode(nl, "F0", {w}, w, "fig1.f", {}, fCost);
+      auto& f1 = makeFuncNode(nl, "F1", {w}, w, "fig1.f", {}, fCost);
       auto& mux = makeJoinMux(nl, "mux", 2, 1, w);
       nl.connect(w0, 0, f0, 0, "w0.f");
       nl.connect(w1, 0, f1, 0, "w1.f");
@@ -164,7 +192,8 @@ Fig1System buildFig1(Fig1Variant variant, const Fig1Config& c) {
       break;
     }
     case Fig1Variant::kSpeculative: {
-      s.shared = &nl.make<SharedModule>("F", 2, w, w, fig1F, makeFig1Scheduler(c), fCost);
+      s.shared = &makeSharedWithScheduler(nl, "F", 2, w, w, "fig1.f", {},
+                                          makeFig1Scheduler(c), fCost);
       auto& mux = nl.make<EarlyEvalMux>("mux", 2, 1, w);
       nl.connect(w0, 0, *s.shared, 0, "Fin0");
       nl.connect(w1, 0, *s.shared, 1, "Fin1");
@@ -185,45 +214,28 @@ Fig1System buildFig1(Fig1Variant variant, const Fig1Config& c) {
 
 namespace {
 
-/// Mask clearing the MSB of every `segment`-bit group: operands under this
-/// mask can never carry across a segment boundary.
-std::uint64_t noCarryMask(unsigned width, unsigned segment) {
-  std::uint64_t mask = 0;
-  for (unsigned i = 0; i < width; ++i)
-    if (i % segment != segment - 1) mask |= 1ULL << i;
-  return mask;
+Params vluGenParams(const VluConfig& c) {
+  return Params{}
+      .setU64("width", c.width)
+      .setU64("segment", c.segment)
+      .setU64("permille", c.errPermille)
+      .setU64("seed", c.seed);
 }
 
-/// Operand-pair generator with a controlled error (2-cycle) rate.
-TokenSource::Generator vluOperandGen(const VluConfig& c) {
-  const std::uint64_t clean = noCarryMask(c.width, c.segment);
-  const std::uint64_t segMask = (1ULL << c.segment) - 1;
-  const std::uint64_t widthMask =
-      c.width >= 64 ? ~0ULL : ((1ULL << c.width) - 1);
-  return [c, clean, segMask, widthMask](std::uint64_t i) -> std::optional<BitVec> {
-    const std::uint64_t r1 = mix64(i, c.seed * 3 + 1);
-    const std::uint64_t r2 = mix64(i, c.seed * 3 + 2);
-    std::uint64_t a, b;
-    if (hashChancePermille(i, c.errPermille, c.seed)) {
-      // Force a carry out of the lowest segment: a_low = all ones, b_low = 1.
-      a = ((r1 & ~segMask) | segMask) & widthMask;
-      b = ((r2 & ~segMask) | 1ULL) & widthMask;
-    } else {
-      a = r1 & clean & widthMask;
-      b = r2 & clean & widthMask;
-    }
-    return logic::packAluOperands(BitVec(c.width, a), BitVec(c.width, b),
-                                  logic::AluOp::kAdd);
-  };
+Params aluParams(const VluConfig& c, bool withSegment) {
+  Params p;
+  p.setU64("width", c.width);
+  if (withSegment) p.setU64("segment", c.segment);
+  return p;
 }
 
-/// Downstream consumer stage G of Fig. 6 (any pure transform).
+/// Downstream consumer stage G of Fig. 6 (x ^ (x >> 1), the `gray` fn).
 BitVec vluG(const BitVec& x) { return x ^ (x >> 1); }
 
 }  // namespace
 
 std::vector<std::uint64_t> vluGolden(const VluConfig& c, std::size_t n) {
-  const auto gen = vluOperandGen(c);
+  const auto gen = stdlib::vluOperandGen(c.width, c.segment, c.errPermille, c.seed);
   std::vector<std::uint64_t> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -234,18 +246,19 @@ std::vector<std::uint64_t> vluGolden(const VluConfig& c, std::size_t n) {
 }
 
 VluSystem buildStallingVlu(const VluConfig& c) {
+  stdlib::ensureRegistered();
   VluSystem s;
   Netlist& nl = s.nl;
   const unsigned packedW = 2 * c.width + 2;
 
-  s.src = &nl.make<TokenSource>("src", packedW, vluOperandGen(c));
-  s.vlu = &nl.make<StallingVLU>(
-      "vlu", packedW, c.width,
-      [c](const BitVec& x) { return logic::aluExact(x, c.width); },
-      [c](const BitVec& x) { return logic::aluApproxError(x, c.width, c.segment); },
-      logic::aluApproxCost(c.width, c.segment), logic::aluExactCost(c.width),
-      logic::aluErrorPredictorCost(c.width, c.segment));
-  auto& g = makeUnary(nl, "G", c.width, c.width, vluG, logic::Cost{c.delayG, 40.0});
+  s.src = &makeSourceNode(nl, "src", packedW, "vlu.ops", vluGenParams(c));
+  s.vlu = &makeVluNode(nl, "vlu", packedW, c.width, "alu.exact",
+                       aluParams(c, false), "alu.err", aluParams(c, true),
+                       logic::aluApproxCost(c.width, c.segment),
+                       logic::aluExactCost(c.width),
+                       logic::aluErrorPredictorCost(c.width, c.segment));
+  auto& g = makeFuncNode(nl, "G", {c.width}, c.width, "gray", {},
+                         logic::Cost{c.delayG, 40.0});
   auto& outEb = nl.make<ElasticBuffer>("out", c.width);
   s.sink = &nl.make<TokenSink>("sink", c.width);
 
@@ -265,43 +278,35 @@ VluSystem buildSpeculativeVlu(const VluConfig& c) {
   // token reaches the early-eval mux in the same cycle as the approximate
   // result. Error-free tokens finish in one effective cycle; a flagged
   // operand replays through the exact channel one cycle later.
+  stdlib::ensureRegistered();
   VluSystem s;
   Netlist& nl = s.nl;
   const unsigned packedW = 2 * c.width + 2;
   const unsigned w = c.width;
   const logic::Cost exactCost = logic::aluExactCost(c.width);
+  const logic::Cost halfExact{exactCost.delay / 2.0, exactCost.area / 2.0};
 
-  s.src = &nl.make<TokenSource>("src", packedW, vluOperandGen(c));
+  s.src = &makeSourceNode(nl, "src", packedW, "vlu.ops", vluGenParams(c));
   auto& fork = nl.make<ForkNode>("fork", packedW, 3);
 
-  auto& fApprox = makeUnary(
-      nl, "Fapprox", packedW, w,
-      [c](const BitVec& x) { return logic::aluApprox(x, c.width, c.segment); },
-      logic::aluApproxCost(c.width, c.segment));
+  auto& fApprox = makeFuncNode(nl, "Fapprox", {packedW}, w, "alu.approx",
+                               aluParams(c, true),
+                               logic::aluApproxCost(c.width, c.segment));
   auto& ebA = nl.make<ElasticBuffer>("ebA", w);
   // F_exact stage 1: first half of the carry chain (timing only; the packed
   // operands pass through so stage 2 can finish the computation).
-  auto& fExact1 = makeUnary(
-      nl, "Fexact1", packedW, packedW, [](const BitVec& x) { return x; },
-      logic::Cost{exactCost.delay / 2.0, exactCost.area / 2.0});
+  auto& fExact1 = makeFuncNode(nl, "Fexact1", {packedW}, packedW, "id", {}, halfExact);
   auto& bubble = nl.make<ElasticBuffer>("bubble", packedW);
-  auto& fExact2 = makeUnary(
-      nl, "Fexact2", packedW, w,
-      [c](const BitVec& x) { return logic::aluExact(x, c.width); },
-      logic::Cost{exactCost.delay / 2.0, exactCost.area / 2.0});
+  auto& fExact2 = makeFuncNode(nl, "Fexact2", {packedW}, w, "alu.exact",
+                               aluParams(c, false), halfExact);
   auto& ebX = nl.make<ElasticBuffer>("ebX", w);
 
-  auto& fErr = makeUnary(
-      nl, "Ferr", packedW, 1,
-      [c](const BitVec& x) {
-        return BitVec(1, logic::aluApproxError(x, c.width, c.segment) ? 1 : 0);
-      },
-      logic::aluErrorPredictorCost(c.width, c.segment));
+  auto& fErr = makeFuncNode(nl, "Ferr", {packedW}, 1, "alu.err", aluParams(c, true),
+                            logic::aluErrorPredictorCost(c.width, c.segment));
   auto& ebE = nl.make<ElasticBuffer>("ebE", 1);
 
-  s.shared = &nl.make<SharedModule>("G", 2, w, w, vluG,
-                                    std::make_unique<sched::StaticScheduler>(2, 0),
-                                    logic::Cost{c.delayG, 40.0});
+  s.shared = &makeSharedNode(nl, "G", 2, w, w, "gray", {}, "static", {},
+                             logic::Cost{c.delayG, 40.0});
   auto& mux = nl.make<EarlyEvalMux>("mux", 2, 1, w);
   auto& outEb = nl.make<ElasticBuffer>("out", w);
   s.sink = &nl.make<TokenSink>("sink", w);
@@ -332,41 +337,20 @@ VluSystem buildSpeculativeVlu(const VluConfig& c) {
 
 namespace {
 
-/// Code-word source with seeded single/double bit-flip injection.
-TokenSource::Generator secdedCodeGen(const SecdedConfig& c, std::uint64_t stream) {
-  return [c, stream](std::uint64_t i) -> std::optional<BitVec> {
-    const BitVec data(64, mix64(i, c.seed * 97 + stream));
-    BitVec code = logic::secdedEncode(data);
-    const std::uint64_t sel = mix64(i, c.seed * 131 + stream + 5);
-    if (hashChancePermille(i, c.doublePermille, c.seed + stream + 17)) {
-      const unsigned p1 = sel % logic::kSecdedCodeBits;
-      const unsigned p2 = (p1 + 1 + (sel >> 8) % (logic::kSecdedCodeBits - 1)) %
-                          logic::kSecdedCodeBits;
-      code.setBit(p1, !code.bit(p1));
-      code.setBit(p2, !code.bit(p2));
-    } else if (hashChancePermille(i, c.flipPermille, c.seed + stream)) {
-      const unsigned p = sel % logic::kSecdedCodeBits;
-      code.setBit(p, !code.bit(p));
-    }
-    return code;
-  };
-}
-
-BitVec secdedCorrectWord(const BitVec& code) {
-  return logic::secdedEncode(logic::secdedDecode(code).data);
-}
-
-BitVec secdedPairSum(const BitVec& pair) {
-  const BitVec a = logic::secdedPayload(pair.slice(0, 72));
-  const BitVec b = logic::secdedPayload(pair.slice(72, 72));
-  return a + b;
+Params secdedGenParams(const SecdedConfig& c, std::uint64_t stream) {
+  Params p;
+  p.setU64("flip", c.flipPermille);
+  if (c.doublePermille != 0) p.setU64("double", c.doublePermille);
+  p.setU64("seed", c.seed);
+  p.setU64("stream", stream);
+  return p;
 }
 
 }  // namespace
 
 std::vector<std::uint64_t> secdedGolden(const SecdedConfig& c, std::size_t n) {
-  const auto genA = secdedCodeGen(c, 1);
-  const auto genB = secdedCodeGen(c, 2);
+  const auto genA = stdlib::secdedCodeGen(c.flipPermille, c.doublePermille, c.seed, 1);
+  const auto genB = stdlib::secdedCodeGen(c.flipPermille, c.doublePermille, c.seed, 2);
   std::vector<std::uint64_t> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -378,25 +362,20 @@ std::vector<std::uint64_t> secdedGolden(const SecdedConfig& c, std::size_t n) {
 }
 
 SecdedSystem buildSecdedPipeline(const SecdedConfig& c) {
+  stdlib::ensureRegistered();
   SecdedSystem s;
   Netlist& nl = s.nl;
 
-  auto& srcA = nl.make<TokenSource>("srcA", 72, secdedCodeGen(c, 1));
-  auto& srcB = nl.make<TokenSource>("srcB", 72, secdedCodeGen(c, 2));
-  auto& fixA = makeUnary(
-      nl, "secdedA", 72, 64,
-      [](const BitVec& x) { return logic::secdedDecode(x).data; },
-      logic::secdedDecoderCost());
-  auto& fixB = makeUnary(
-      nl, "secdedB", 72, 64,
-      [](const BitVec& x) { return logic::secdedDecode(x).data; },
-      logic::secdedDecoderCost());
+  auto& srcA = makeSourceNode(nl, "srcA", 72, "secded.code", secdedGenParams(c, 1));
+  auto& srcB = makeSourceNode(nl, "srcB", 72, "secded.code", secdedGenParams(c, 2));
+  auto& fixA = makeFuncNode(nl, "secdedA", {72}, 64, "secded.decode", {},
+                            logic::secdedDecoderCost());
+  auto& fixB = makeFuncNode(nl, "secdedB", {72}, 64, "secded.decode", {},
+                            logic::secdedDecoderCost());
   auto& ebA = nl.make<ElasticBuffer>("ebA", 64);
   auto& ebB = nl.make<ElasticBuffer>("ebB", 64);
-  auto& add = makeBinary(
-      nl, "add", 64, 64, 64,
-      [](const BitVec& a, const BitVec& b) { return a + b; },
-      logic::koggeStoneAdderCost(64));
+  auto& add = makeFuncNode(nl, "add", {64, 64}, 64, "add", {},
+                           logic::koggeStoneAdderCost(64));
   auto& outEb = nl.make<ElasticBuffer>("out", 64);
   s.sink = &nl.make<TokenSink>("sink", 64);
 
@@ -413,41 +392,26 @@ SecdedSystem buildSecdedPipeline(const SecdedConfig& c) {
 }
 
 SecdedSystem buildSecdedSpeculative(const SecdedConfig& c) {
+  stdlib::ensureRegistered();
   SecdedSystem s;
   Netlist& nl = s.nl;
 
-  auto& srcA = nl.make<TokenSource>("srcA", 72, secdedCodeGen(c, 1));
-  auto& srcB = nl.make<TokenSource>("srcB", 72, secdedCodeGen(c, 2));
-  auto& pair = makeBinary(
-      nl, "pair", 72, 72, 144,
-      [](const BitVec& a, const BitVec& b) { return a.concat(b); },
-      logic::Cost{0.0, 0.0});
+  auto& srcA = makeSourceNode(nl, "srcA", 72, "secded.code", secdedGenParams(c, 1));
+  auto& srcB = makeSourceNode(nl, "srcB", 72, "secded.code", secdedGenParams(c, 2));
+  auto& pair = makeFuncNode(nl, "pair", {72, 72}, 144, "concat", {},
+                            logic::Cost{0.0, 0.0});
   auto& fork = nl.make<ForkNode>("fork", 144, 3);
 
-  auto& raw = makeWire(nl, "raw", 144);
-  auto& fix = makeUnary(
-      nl, "secded", 144, 144,
-      [](const BitVec& p) {
-        return secdedCorrectWord(p.slice(0, 72))
-            .concat(secdedCorrectWord(p.slice(72, 72)));
-      },
-      logic::Cost{logic::secdedDecoderCost().delay,
-                  2.0 * logic::secdedDecoderCost().area});
-  auto& err = makeUnary(
-      nl, "errdet", 144, 1,
-      [](const BitVec& p) {
-        const bool e0 =
-            logic::secdedDecode(p.slice(0, 72)).status != logic::SecdedStatus::kOk;
-        const bool e1 =
-            logic::secdedDecode(p.slice(72, 72)).status != logic::SecdedStatus::kOk;
-        return BitVec(1, (e0 || e1) ? 1 : 0);
-      },
-      logic::Cost{logic::secdedDecoderCost().delay + 1.0, 30.0});
+  auto& raw = makeFuncNode(nl, "raw", {144}, 144, "id", {}, logic::Cost{0.0, 0.0});
+  auto& fix = makeFuncNode(nl, "secded", {144}, 144, "secded.fixpair", {},
+                           logic::Cost{logic::secdedDecoderCost().delay,
+                                       2.0 * logic::secdedDecoderCost().area});
+  auto& err = makeFuncNode(nl, "errdet", {144}, 1, "secded.errpair", {},
+                           logic::Cost{logic::secdedDecoderCost().delay + 1.0, 30.0});
   auto& bubble = nl.make<ElasticBuffer>("bubble", 144);
 
-  s.shared = &nl.make<SharedModule>("add", 2, 144, 64, secdedPairSum,
-                                    std::make_unique<sched::StaticScheduler>(2, 0),
-                                    logic::koggeStoneAdderCost(64));
+  s.shared = &makeSharedNode(nl, "add", 2, 144, 64, "secded.pairsum", {}, "static",
+                             {}, logic::koggeStoneAdderCost(64));
   auto& mux = nl.make<EarlyEvalMux>("mux", 2, 1, 64);
   auto& outEb = nl.make<ElasticBuffer>("out", 64);
   s.sink = &nl.make<TokenSink>("sink", 64);
@@ -468,6 +432,32 @@ SecdedSystem buildSecdedSpeculative(const SecdedConfig& c) {
   s.outChannel = nl.connect(outEb, 0, *s.sink, 0, "result");
   nl.validate();
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Named paper designs
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> designNames() {
+  return {"fig1a",    "fig1b",    "fig1c",       "fig1d",      "table1",
+          "vlu-stall", "vlu-spec", "secded-pipe", "secded-spec"};
+}
+
+Netlist buildDesign(const std::string& name) {
+  if (name == "fig1a") return std::move(buildFig1(Fig1Variant::kNonSpeculative).nl);
+  if (name == "fig1b") return std::move(buildFig1(Fig1Variant::kBubble).nl);
+  if (name == "fig1c") return std::move(buildFig1(Fig1Variant::kShannon).nl);
+  if (name == "fig1d") return std::move(buildFig1(Fig1Variant::kSpeculative).nl);
+  if (name == "table1") return std::move(buildTable1({0, 1, 1, 0, 0}).nl);
+  if (name == "vlu-stall") return std::move(buildStallingVlu().nl);
+  if (name == "vlu-spec") return std::move(buildSpeculativeVlu().nl);
+  if (name == "secded-pipe") return std::move(buildSecdedPipeline().nl);
+  if (name == "secded-spec") return std::move(buildSecdedSpeculative().nl);
+  throw EslError("unknown design '" + name + "'");
+}
+
+NetlistSpec designSpec(const std::string& name) {
+  return NetlistSpec::fromNetlist(buildDesign(name));
 }
 
 }  // namespace esl::patterns

@@ -21,11 +21,27 @@
 #include "elastic/fork.h"
 #include "elastic/func.h"
 #include "elastic/netlist.h"
+#include "elastic/registry.h"
 #include "elastic/shared.h"
 #include "elastic/vlu.h"
 #include "sched/scheduler.h"
 
 namespace esl::patterns {
+
+// ---------------------------------------------------------------------------
+// Named paper designs (the shell's `build`, the esl CLI, golden .esl files)
+// ---------------------------------------------------------------------------
+
+/// Names accepted by buildDesign: fig1a..fig1d, table1, vlu-stall, vlu-spec,
+/// secded-pipe, secded-spec (default configurations).
+std::vector<std::string> designNames();
+
+/// Builds the named design; throws EslError on unknown names.
+Netlist buildDesign(const std::string& name);
+
+/// Serializable IR of the named design. All builders construct through the
+/// NodeRegistry, so spec.build() reproduces buildDesign(name) bit for bit.
+NetlistSpec designSpec(const std::string& name);
 
 // ---------------------------------------------------------------------------
 // Table 1: open shared-module + early-evaluation mux system

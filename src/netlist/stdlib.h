@@ -1,0 +1,35 @@
+// Paper-domain entries for the netlist IR catalogs.
+//
+// The Registry (src/elastic/registry.h) ships only generic functions (id,
+// addk, xor, joinmux, ...). The systems evaluated in the paper additionally
+// need the Fig. 1 datapath mix, the §5.1 segmented ALU (exact / approximate /
+// error predictor), the §5.2 SECDED codec blocks and the matching operand
+// generators. This module registers them under stable names ("fig1.f",
+// "alu.exact", "secded.code", ...) so the `.esl` frontend can reconstruct
+// every paper pattern, and exports the raw helpers the golden models in
+// patterns.cpp share with the registered closures.
+#pragma once
+
+#include <cstdint>
+
+#include "elastic/endpoints.h"
+
+namespace esl::stdlib {
+
+/// Registers the domain fns/gens in Registry::instance(). Idempotent and
+/// cheap; every builder/parser entry point calls it.
+void ensureRegistered();
+
+/// F of the Fig. 1 loop: ((x << 2) ^ x) + 7 (any bit-mixing unary works).
+BitVec fig1Mix(const BitVec& x);
+
+/// §5.1 operand-pair stream with a controlled 2-cycle (carry-error) rate;
+/// yields packAluOperands(a, b, kAdd) words of width 2*width+2.
+TokenSource::Generator vluOperandGen(unsigned width, unsigned segment,
+                                     unsigned errPermille, std::uint64_t seed);
+
+/// §5.2 SECDED code-word stream with seeded single/double bit-flip injection.
+TokenSource::Generator secdedCodeGen(unsigned flipPermille, unsigned doublePermille,
+                                     std::uint64_t seed, std::uint64_t stream);
+
+}  // namespace esl::stdlib

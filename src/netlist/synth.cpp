@@ -7,6 +7,7 @@
 #include "elastic/eemux.h"
 #include "elastic/fork.h"
 #include "elastic/func.h"
+#include "elastic/registry.h"
 #include "elastic/vlu.h"
 
 namespace esl::synth {
@@ -19,26 +20,12 @@ struct OpenPort {
   unsigned port = 0;
 };
 
-/// Pure pseudo-random payload stream (safe to re-evaluate, memo-friendly).
-TokenSource::Generator payloadGen(unsigned width, std::uint64_t salt) {
-  return [width, salt](std::uint64_t i) -> std::optional<BitVec> {
-    return BitVec(width, mix64(i, salt));
-  };
-}
-
-/// Sparse-injection gate: the next token may first be offered on cycles
-/// congruent to `phase` modulo `period`. Empty gate when saturated.
-TokenSource::Gate injectGate(unsigned period, std::uint64_t phase) {
-  if (period <= 1) return {};
-  return [period, phase](std::uint64_t c) { return (c + phase) % period == 0; };
-}
-
-/// Unary stage function x -> x + salt-derived constant.
+/// Unary stage function x -> x + salt-derived constant. Built through the
+/// registry (`fn=addk`) so generated systems serialize to `.esl` as-is.
 FuncNode& addStageFunc(Netlist& nl, const std::string& name, unsigned width,
                        std::uint64_t salt) {
-  const std::uint64_t k = mix64(salt) | 1;
-  return makeUnary(nl, name, width, width,
-                   [width, k](const BitVec& x) { return x + BitVec(width, k); });
+  return makeFuncNode(nl, name, {width}, width, "addk",
+                      Params{}.setU64("k", mix64(salt) | 1));
 }
 
 struct Builder {
@@ -60,8 +47,16 @@ struct Builder {
   /// Data-token source (deterministic or nondet); `salt` keys the stream.
   OpenPort addSource(const std::string& name, std::uint64_t salt) {
     if (cfg.nondetEnv) return {&make<NondetSource>(name, cfg.width), 0};
-    auto& src = make<TokenSource>(name, cfg.width, payloadGen(cfg.width, salt),
-                                  injectGate(cfg.injectPeriod, salt % 97));
+    ++nodes;
+    auto& src =
+        cfg.injectPeriod > 1
+            ? makeSourceNode(nl, name, cfg.width, "hash",
+                             Params{}.setU64("salt", salt), "period",
+                             Params{}
+                                 .setU64("period", cfg.injectPeriod)
+                                 .setU64("phase", salt % 97))
+            : makeSourceNode(nl, name, cfg.width, "hash",
+                             Params{}.setU64("salt", salt));
     sys.sources.push_back(&src);
     return {&src, 0};
   }
@@ -99,14 +94,11 @@ struct Builder {
       tail = addBuffer("s" + tag + ".eb", tail);
       if (cfg.vluPermille > 0 && rng.chancePermille(cfg.vluPermille)) {
         const std::uint64_t salt = cfg.seed + i;
-        auto& vlu = make<StallingVLU>(
-            "s" + tag + ".vlu", cfg.width, cfg.width,
-            [w = cfg.width, salt](const BitVec& x) {
-              return x + BitVec(w, mix64(salt) | 1);
-            },
-            [salt](const BitVec& x) {
-              return hashChancePermille(x.toUint64(), 150, salt);
-            },
+        ++nodes;
+        auto& vlu = makeVluNode(
+            nl, "s" + tag + ".vlu", cfg.width, cfg.width, "addk",
+            Params{}.setU64("k", mix64(salt) | 1), "permille",
+            Params{}.setU64("permille", 150).setU64("salt", salt),
             logic::Cost{1.0, 8.0}, logic::Cost{2.0, 16.0}, logic::Cost{1.0, 4.0});
         nl.connect(*tail.node, tail.port, vlu, 0);
         tail = {&vlu, 0};
@@ -166,14 +158,10 @@ struct Builder {
     while (layer.size() > 1) {
       std::vector<OpenPort> next;
       for (std::size_t g = 0; g < layer.size(); g += a) {
-        auto& join = make<FuncNode>(
-            "join" + std::to_string(level) + "." + std::to_string(g / a),
-            std::vector<unsigned>(a, cfg.width), cfg.width,
-            [](const std::vector<BitVec>& in) {
-              BitVec acc = in[0];
-              for (std::size_t i = 1; i < in.size(); ++i) acc = acc ^ in[i];
-              return acc;
-            });
+        ++nodes;
+        auto& join = makeFuncNode(
+            nl, "join" + std::to_string(level) + "." + std::to_string(g / a),
+            std::vector<unsigned>(a, cfg.width), cfg.width, "xor");
         for (unsigned i = 0; i < a; ++i)
           nl.connect(*layer[g + i].node, layer[g + i].port, join, i);
         next.push_back({&join, 0});
@@ -191,10 +179,8 @@ struct Builder {
   OpenPort addSelectSource(const std::string& name, std::uint64_t salt) {
     if (cfg.nondetEnv)
       return {&make<NondetSource>(name, 1, /*killCreditCap=*/1, /*dataBits=*/1), 0};
-    auto& src = make<TokenSource>(
-        name, 1, [salt](std::uint64_t i) -> std::optional<BitVec> {
-          return BitVec(1, mix64(i, salt) & 1);
-        });
+    ++nodes;
+    auto& src = makeSourceNode(nl, name, 1, "hash", Params{}.setU64("salt", salt));
     return {&src, 0};
   }
 
@@ -285,8 +271,8 @@ struct Builder {
       if (act == Act::kJoin) {
         const OpenPort x = takeOpen();
         const OpenPort y = takeOpen();
-        auto& join = makeBinary(nl, tag + ".join", cfg.width, cfg.width, cfg.width,
-                                [](const BitVec& p, const BitVec& q) { return p ^ q; });
+        auto& join = makeFuncNode(nl, tag + ".join", {cfg.width, cfg.width},
+                                  cfg.width, "xor");
         ++nodes;
         nl.connect(*x.node, x.port, join, 0);
         nl.connect(*y.node, y.port, join, 1);
@@ -341,6 +327,10 @@ SynthSystem build(const SynthConfig& config) {
 
 Netlist buildNetlist(const SynthConfig& config) {
   return std::move(build(config).nl);
+}
+
+NetlistSpec spec(const SynthConfig& config) {
+  return NetlistSpec::fromNetlist(buildNetlist(config));
 }
 
 std::string describe(const SynthConfig& config) {

@@ -19,6 +19,7 @@
 
 #include "elastic/endpoints.h"
 #include "elastic/netlist.h"
+#include "elastic/registry.h"
 
 namespace esl::synth {
 
@@ -73,6 +74,12 @@ SynthSystem build(const SynthConfig& config);
 /// configs produce bit-identical netlists, `[cfg] { return buildNetlist(cfg); }`
 /// is a valid verify::NetlistRecipe for the parallel model checker.
 Netlist buildNetlist(const SynthConfig& config);
+
+/// Serializable IR of the generated system. The generator constructs every
+/// node through the NodeRegistry, so spec(cfg).build() is bit-identical to
+/// buildNetlist(cfg) — this is the data form handed to ModelChecker lanes,
+/// SimFarm sweeps and the `.esl` printer.
+NetlistSpec spec(const SynthConfig& config);
 
 /// Stable one-line tag for benchmark rows and task labels, e.g.
 /// "pipeline/n10000/w16/seed1/inject64".

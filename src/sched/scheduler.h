@@ -106,6 +106,7 @@ class StaticScheduler : public CorrectingScheduler {
  public:
   StaticScheduler(unsigned channels, unsigned pick);
   unsigned channels() const override { return channels_; }
+  unsigned pick() const { return pick_; }
   std::string name() const override { return "static"; }
 
  protected:
@@ -213,6 +214,7 @@ class TimeoutScheduler : public CorrectingScheduler {
  public:
   TimeoutScheduler(unsigned channels, unsigned timeout = 1);
   unsigned channels() const override { return channels_; }
+  unsigned timeout() const { return timeout_; }
   std::string name() const override { return "timeout"; }
 
  protected:
@@ -248,6 +250,7 @@ class BoundedFairScheduler : public CorrectingScheduler {
  public:
   explicit BoundedFairScheduler(unsigned channels, unsigned maxDefer = 1);
   unsigned channels() const override { return channels_; }
+  unsigned maxDefer() const { return maxDefer_; }
   unsigned choiceBits() const override;
   std::string name() const override { return "bounded-fair"; }
 

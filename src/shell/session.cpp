@@ -1,11 +1,13 @@
 #include "shell/session.h"
 
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
 #include "backend/blif.h"
 #include "backend/smv.h"
 #include "backend/verilog.h"
+#include "frontend/esl_format.h"
 #include "netlist/dot.h"
 #include "netlist/patterns.h"
 #include "perf/area.h"
@@ -30,29 +32,22 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
-std::unique_ptr<Netlist> buildDesign(const std::string& name) {
-  using namespace patterns;
-  auto lift = [](Netlist&& nl) { return std::make_unique<Netlist>(std::move(nl)); };
-  if (name == "fig1a") return lift(std::move(buildFig1(Fig1Variant::kNonSpeculative).nl));
-  if (name == "fig1b") return lift(std::move(buildFig1(Fig1Variant::kBubble).nl));
-  if (name == "fig1c") return lift(std::move(buildFig1(Fig1Variant::kShannon).nl));
-  if (name == "fig1d") return lift(std::move(buildFig1(Fig1Variant::kSpeculative).nl));
-  if (name == "table1") return lift(std::move(buildTable1({0, 1, 1, 0, 0}).nl));
-  if (name == "vlu-stall") return lift(std::move(buildStallingVlu().nl));
-  if (name == "vlu-spec") return lift(std::move(buildSpeculativeVlu().nl));
-  if (name == "secded-pipe") return lift(std::move(buildSecdedPipeline().nl));
-  if (name == "secded-spec") return lift(std::move(buildSecdedSpeculative().nl));
-  throw EslError("unknown design '" + name + "'");
-}
-
+/// Resolves the scheduler through the Registry catalog (one source of truth
+/// with `.esl` `sched=` attributes); `staticN` maps to `static` + pick.
 std::unique_ptr<sched::Scheduler> makeSched(const std::string& name, unsigned k) {
-  if (name == "static0" || name.empty())
-    return std::make_unique<sched::StaticScheduler>(k, 0);
-  if (name == "static1") return std::make_unique<sched::StaticScheduler>(k, 1);
-  if (name == "rr") return std::make_unique<sched::RoundRobinScheduler>(k);
-  if (name == "last") return std::make_unique<sched::LastServedScheduler>(k);
-  if (name == "2bit") return std::make_unique<sched::TwoBitScheduler>();
-  throw EslError("unknown scheduler '" + name + "' (static0|static1|rr|last|2bit)");
+  Params p;
+  if (name.empty() || name.rfind("static", 0) == 0) {
+    p.set("sched", "static");
+    if (name.size() > 6) p.set("sched.pick", name.substr(6));
+  } else {
+    p.set("sched", name);
+  }
+  try {
+    return Registry::instance().makeSched(k, p, "sched");
+  } catch (const NetlistError&) {
+    throw EslError("unknown scheduler '" + name +
+                   "' (static0|static1|rr|last|2bit|timeout|bounded-fair|starving)");
+  }
 }
 
 Node& findNodeOrThrow(Netlist& nl, const std::string& name) {
@@ -78,15 +73,20 @@ bool isMutating(const std::string& verb) {
 
 Session::Session() = default;
 
-std::vector<std::string> Session::designNames() {
-  return {"fig1a", "fig1b", "fig1c", "fig1d", "table1",
-          "vlu-stall", "vlu-spec", "secded-pipe", "secded-spec"};
+std::vector<std::string> Session::designNames() { return patterns::designNames(); }
+
+std::unique_ptr<Netlist> Session::buildBase() const {
+  if (baseSpec_) return std::make_unique<Netlist>(baseSpec_->build());
+  return std::make_unique<Netlist>(patterns::buildDesign(baseDesign_));
 }
 
 std::string Session::helpText() {
   return
       "commands:\n"
       "  build <design>            load a base design (see `designs`)\n"
+      "  load <file.esl>           load a design from a textual netlist file\n"
+      "  save <file.esl>           write the current design as .esl\n"
+      "  print                     print the current design as .esl text\n"
       "  designs                   list base designs\n"
       "  nodes | channels          list the current graph\n"
       "  candidates                speculation candidates (mux+func pairs)\n"
@@ -138,7 +138,7 @@ std::string Session::runScript(const std::string& script) {
 }
 
 void Session::rebuildAndReplay() {
-  netlist_ = buildDesign(baseDesign_);
+  netlist_ = buildBase();
   for (const std::string& cmd : applied_) dispatch(cmd, /*replaying=*/true);
 }
 
@@ -154,7 +154,20 @@ std::string Session::dispatch(const std::string& line, bool replaying) {
   }
   if (verb == "build") {
     ESL_CHECK(t.size() == 2, "usage: build <design>");
-    netlist_ = buildDesign(t[1]);
+    netlist_ = std::make_unique<Netlist>(patterns::buildDesign(t[1]));
+    baseDesign_ = t[1];
+    baseSpec_.reset();
+    applied_.clear();
+    undone_.clear();
+    os << "loaded '" << t[1] << "': " << netlist_->nodeIds().size() << " nodes, "
+       << netlist_->channelIds().size() << " channels\n";
+    return os.str();
+  }
+  if (verb == "load") {
+    ESL_CHECK(t.size() == 2, "usage: load <file.esl>");
+    NetlistSpec spec = frontend::parseEslFile(t[1]);
+    netlist_ = std::make_unique<Netlist>(spec.build());
+    baseSpec_ = std::move(spec);
     baseDesign_ = t[1];
     applied_.clear();
     undone_.clear();
@@ -289,6 +302,17 @@ std::string Session::dispatch(const std::string& line, bool replaying) {
        << (bound.zeroLatencyCycle ? " [combinational cycle!]" : "") << "\n";
     return os.str();
   }
+  if (verb == "save") {
+    ESL_CHECK(t.size() == 2, "usage: save <file.esl>");
+    const std::string text = frontend::printEsl(NetlistSpec::fromNetlist(nl));
+    std::ofstream out(t[1]);
+    ESL_CHECK(static_cast<bool>(out), "cannot write '" + t[1] + "'");
+    out << text;
+    ESL_CHECK(static_cast<bool>(out.flush()), "write to '" + t[1] + "' failed");
+    return "saved " + std::to_string(nl.nodeIds().size()) + " nodes to '" + t[1] +
+           "'\n";
+  }
+  if (verb == "print") return frontend::printEsl(NetlistSpec::fromNetlist(nl));
   if (verb == "area") return perf::renderAreaReport(perf::areaReport(nl));
   if (verb == "dot") return netlist::toDot(nl);
   if (verb == "verilog") return backend::emitVerilog(nl);

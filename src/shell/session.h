@@ -15,10 +15,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "elastic/netlist.h"
+#include "elastic/registry.h"
 
 namespace esl::shell {
 
@@ -45,8 +47,13 @@ class Session {
  private:
   std::string dispatch(const std::string& line, bool replaying);
   void rebuildAndReplay();
+  std::unique_ptr<Netlist> buildBase() const;
 
+  /// Undo/redo replays from the base design: either a named builder
+  /// (`build`) or a loaded `.esl` spec (`load`) — the spec IS the session's
+  /// base state, which is what makes load/undo composable.
   std::string baseDesign_;
+  std::optional<NetlistSpec> baseSpec_;
   std::vector<std::string> applied_;  ///< mutating commands, replay order
   std::vector<std::string> undone_;   ///< redo stack
   std::unique_ptr<Netlist> netlist_;

@@ -2,6 +2,8 @@
 
 #include <queue>
 
+#include "elastic/registry.h"
+
 namespace esl::transform {
 
 namespace {
@@ -132,6 +134,9 @@ ShannonResult shannonDecompose(Netlist& nl, NodeId muxId, NodeId funcId) {
     auto& copy = nl.make<FuncNode>(func.name() + std::to_string(i),
                                    std::vector<unsigned>{func.inputWidth(0)}, outWidth,
                                    func.fn(), func.datapathCost());
+    // A copy is reconstructible from the same attributes, so duplicated
+    // registry-built functions stay serializable.
+    if (func.hasBuildParams()) copy.setBuildParams(func.buildParams());
     nl.rebindConsumer(dataCh, copy, 0);
     nl.connect(copy, 0, newMux, 1 + i);
     result.copies.push_back(copy.id());
@@ -189,12 +194,30 @@ NodeId shareFunctions(Netlist& nl, const std::vector<NodeId>& funcs, NodeId eeMu
     if (f->inputWidth(0) != inWidth || f->outputWidth(0) != outWidth)
       throw TransformError("shareFunctions: function widths differ");
 
+  // Serialization attributes for the shared module: the function spec comes
+  // from the absorbed block's attributes, the scheduler from its policy
+  // description. Either may be unavailable (raw lambda, oracle policy) — the
+  // module still works, it just cannot be printed to `.esl`.
+  Params sharedParams;
+  if (blocks.front()->hasBuildParams()) {
+    Params sched;
+    if (Registry::describeScheduler(*scheduler, sched, "sched")) {
+      sharedParams.setU64("k", static_cast<std::uint64_t>(funcs.size()));
+      sharedParams.setU64("in", inWidth);
+      sharedParams.setU64("out", outWidth);
+      for (const auto& [key, value] : blocks.front()->buildParams().entries())
+        if (key == "fn" || key.rfind("fn.", 0) == 0) sharedParams.set(key, value);
+      for (const auto& [key, value] : sched.entries()) sharedParams.set(key, value);
+      sharedParams.setReal("delay", blocks.front()->datapathCost().delay);
+      sharedParams.setReal("area", blocks.front()->datapathCost().area);
+    }
+  }
+
   auto& shared = nl.make<SharedModule>(
       blocks.front()->name() + ".shared", static_cast<unsigned>(funcs.size()), inWidth,
-      outWidth, [fn = blocks.front()->fn()](const BitVec& x) {
-        return fn(std::vector<BitVec>{x});
-      },
-      std::move(scheduler), blocks.front()->datapathCost());
+      outWidth, unaryAdapter(blocks.front()->fn()), std::move(scheduler),
+      blocks.front()->datapathCost());
+  if (!sharedParams.empty()) shared.setBuildParams(std::move(sharedParams));
 
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     FuncNode& f = *blocks[i];

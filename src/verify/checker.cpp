@@ -42,6 +42,10 @@ Netlist buildFromRecipe(const NetlistRecipe& recipe) {
 }
 }  // namespace
 
+ModelChecker::ModelChecker(NetlistSpec spec, CheckerOptions options)
+    : ModelChecker(NetlistRecipe([spec = std::move(spec)] { return spec.build(); }),
+                   options) {}
+
 ModelChecker::ModelChecker(NetlistRecipe recipe, CheckerOptions options)
     : recipe_(std::move(recipe)),
       ownedNetlist_(std::make_unique<Netlist>(buildFromRecipe(recipe_))),
@@ -635,6 +639,12 @@ ProtocolReport checkSelfProtocol(Netlist& netlist, ProtocolSuiteOptions options)
   return runSelfSuite(mc, netlist, options);
 }
 
+ProtocolReport checkSelfProtocol(const NetlistSpec& spec,
+                                 ProtocolSuiteOptions options) {
+  ModelChecker mc(spec, options);
+  return runSelfSuite(mc, mc.netlist(), options);
+}
+
 ProtocolReport checkSelfProtocol(const NetlistRecipe& recipe,
                                  ProtocolSuiteOptions options) {
   ModelChecker mc(recipe, options);
@@ -645,6 +655,12 @@ ProtocolReport checkSchedulerLeadsTo(Netlist& netlist, NodeId sharedId,
                                      ProtocolSuiteOptions options) {
   ModelChecker mc(netlist, options);
   return runSchedulerSuite(mc, netlist, sharedId);
+}
+
+ProtocolReport checkSchedulerLeadsTo(const NetlistSpec& spec, NodeId sharedId,
+                                     ProtocolSuiteOptions options) {
+  ModelChecker mc(spec, options);
+  return runSchedulerSuite(mc, mc.netlist(), sharedId);
 }
 
 ProtocolReport checkSchedulerLeadsTo(const NetlistRecipe& recipe, NodeId sharedId,
@@ -670,12 +686,15 @@ std::vector<SuiteFarmResult> runSuiteFarm(const std::vector<SuiteJob>& jobs,
     SuiteFarmResult& result = results[i];
     result.name = job.name;
     try {
-      ESL_CHECK(static_cast<bool>(job.recipe),
-                "runSuiteFarm: job '" + job.name + "' has no recipe");
-      result.report = checkSelfProtocol(job.recipe, job.options);
+      ESL_CHECK(!job.spec.empty() || static_cast<bool>(job.recipe),
+                "runSuiteFarm: job '" + job.name + "' has no spec or recipe");
+      const NetlistRecipe recipe =
+          job.spec.empty() ? job.recipe
+                           : NetlistRecipe([&job] { return job.spec.build(); });
+      result.report = checkSelfProtocol(recipe, job.options);
       if (job.sharedModule != kNoNode) {
         ProtocolReport leadsTo =
-            checkSchedulerLeadsTo(job.recipe, job.sharedModule, job.options);
+            checkSchedulerLeadsTo(recipe, job.sharedModule, job.options);
         result.report.propertiesChecked += leadsTo.propertiesChecked;
         for (Violation& v : leadsTo.violations)
           result.report.violations.push_back(std::move(v));

@@ -41,14 +41,18 @@
 #include <vector>
 
 #include "elastic/context.h"
+#include "elastic/registry.h"
 #include "verify/state_index.h"
 
 namespace esl::verify {
 
-/// Builds a fresh netlist instance. Must be pure: every call returns a
-/// bit-identical netlist (same nodes, ids, channels, initial state) —
-/// synth::buildNetlist and deterministic test-harness builders qualify.
-/// Required for workers != 1, where each lane explores on its own replica.
+/// DEPRECATED shim: an opaque closure building a fresh netlist instance.
+/// Must be pure: every call returns a bit-identical netlist (same nodes, ids,
+/// channels, initial state). Prefer NetlistSpec — the data form can be named,
+/// printed to `.esl`, diffed and handed to tools, and spec.build() satisfies
+/// the purity contract by construction (patterns::designSpec, synth::spec).
+/// Required shape for workers != 1, where each lane explores on its own
+/// replica; the spec overloads wrap themselves in one of these internally.
 using NetlistRecipe = std::function<Netlist()>;
 
 struct CheckerOptions {
@@ -99,8 +103,12 @@ class ModelChecker {
  public:
   /// Serial checker over a borrowed netlist (workers must stay 1).
   explicit ModelChecker(Netlist& netlist, CheckerOptions options = {});
-  /// Recipe-owned checker: builds its own primary netlist and, when
-  /// workers != 1, one replica per additional lane.
+  /// Spec-owned checker: builds its primary netlist (and, when workers != 1,
+  /// one replica per additional lane) from the serializable IR. This is the
+  /// primary parallel-checking entry point — a parsed `.esl` design checks
+  /// exactly like a C++-built one.
+  explicit ModelChecker(NetlistSpec spec, CheckerOptions options = {});
+  /// Deprecated closure shim (see NetlistRecipe).
   explicit ModelChecker(NetlistRecipe recipe, CheckerOptions options = {});
   ~ModelChecker();
 
@@ -259,7 +267,10 @@ struct ProtocolSuiteOptions : CheckerOptions {
 /// Invariant (kill/stop exclusion), Retry+/Retry- (skipped on channels whose
 /// producer is exempt, §4.2), global liveness and deadlock freedom.
 ProtocolReport checkSelfProtocol(Netlist& netlist, ProtocolSuiteOptions options = {});
-/// Recipe overload — required when options.workers != 1.
+/// Spec overload — the form to use when options.workers != 1.
+ProtocolReport checkSelfProtocol(const NetlistSpec& spec,
+                                 ProtocolSuiteOptions options = {});
+/// Deprecated closure shim.
 ProtocolReport checkSelfProtocol(const NetlistRecipe& recipe,
                                  ProtocolSuiteOptions options = {});
 
@@ -267,8 +278,11 @@ ProtocolReport checkSelfProtocol(const NetlistRecipe& recipe,
 /// module: a valid input token is eventually served or killed.
 ProtocolReport checkSchedulerLeadsTo(Netlist& netlist, NodeId sharedModule,
                                      ProtocolSuiteOptions options = {});
-/// Recipe overload — `sharedModule` is the node id in the rebuilt netlist
-/// (recipes are deterministic, so ids are stable across instances).
+/// Spec overload — `sharedModule` is the node id in the rebuilt netlist
+/// (specs build deterministically, so ids are stable across instances).
+ProtocolReport checkSchedulerLeadsTo(const NetlistSpec& spec, NodeId sharedModule,
+                                     ProtocolSuiteOptions options = {});
+/// Deprecated closure shim.
 ProtocolReport checkSchedulerLeadsTo(const NetlistRecipe& recipe,
                                      NodeId sharedModule,
                                      ProtocolSuiteOptions options = {});
@@ -277,12 +291,15 @@ ProtocolReport checkSchedulerLeadsTo(const NetlistRecipe& recipe,
 // Suite farm: independent verification jobs across a worker pool
 // ---------------------------------------------------------------------------
 
-/// One verification job: a recipe plus the property toggles. When
+/// One verification job: a netlist IR plus the property toggles. When
 /// sharedModule is set, the eq. (1) scheduler suite runs after the SELF suite
-/// and its findings are merged into the same report.
+/// and its findings are merged into the same report. `spec` is the primary
+/// form; the closure `recipe` remains as a deprecated shim and is used only
+/// when the spec is empty.
 struct SuiteJob {
   std::string name;
-  NetlistRecipe recipe;
+  NetlistSpec spec;
+  NetlistRecipe recipe;  ///< deprecated shim, consulted when spec is empty
   ProtocolSuiteOptions options = {};
   NodeId sharedModule = kNoNode;
 };

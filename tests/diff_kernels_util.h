@@ -62,18 +62,14 @@ struct DiffFailure {
   }
 };
 
-/// Runs the trial and, if it fails, shrinks the config one knob at a time
-/// (keeping each shrink only while the failure reproduces) before reporting.
-inline std::optional<DiffFailure> diffKernelsShrinking(synth::SynthConfig cfg,
-                                                       std::uint64_t cycles) {
-  auto mismatch = diffKernelsOnce(cfg, cycles);
-  if (!mismatch) return std::nullopt;
-
-  const auto stillFails = [&](const synth::SynthConfig& candidate,
-                              std::uint64_t candidateCycles) {
-    return diffKernelsOnce(candidate, candidateCycles).has_value();
-  };
-  // Structural shrinks first (smaller netlist), then traffic, then time.
+/// Greedy config shrinker shared by the property-based harnesses (kernel
+/// differential fuzz, `.esl` round-trip equivalence): given a failing
+/// (cfg, cycles) pair and a predicate that re-runs the trial, shrinks one
+/// knob at a time, keeping each shrink only while the failure reproduces.
+/// Structural shrinks first (smaller netlist), then traffic, then time.
+template <typename StillFails>
+inline void shrinkSynthConfig(synth::SynthConfig& cfg, std::uint64_t& cycles,
+                              const StillFails& stillFails) {
   while (cfg.targetNodes > 6) {
     synth::SynthConfig candidate = cfg;
     candidate.targetNodes = cfg.targetNodes / 2 < 6 ? 6 : cfg.targetNodes / 2;
@@ -91,6 +87,19 @@ inline std::optional<DiffFailure> diffKernelsShrinking(synth::SynthConfig cfg,
     if (stillFails(candidate, cycles)) cfg = candidate;
   }
   while (cycles > 8 && stillFails(cfg, cycles / 2)) cycles /= 2;
+}
+
+/// Runs the trial and, if it fails, shrinks the config before reporting.
+inline std::optional<DiffFailure> diffKernelsShrinking(synth::SynthConfig cfg,
+                                                       std::uint64_t cycles) {
+  auto mismatch = diffKernelsOnce(cfg, cycles);
+  if (!mismatch) return std::nullopt;
+
+  shrinkSynthConfig(cfg, cycles,
+                    [](const synth::SynthConfig& candidate,
+                       std::uint64_t candidateCycles) {
+                      return diffKernelsOnce(candidate, candidateCycles).has_value();
+                    });
 
   DiffFailure failure;
   failure.config = cfg;

@@ -1,0 +1,372 @@
+// Tests for the textual .esl netlist IR (src/frontend + src/elastic/registry):
+//  * print -> parse -> print fixpoint for every paper design and for seeded
+//    synth configs across all four families (shrink-on-failure);
+//  * parsed-vs-built behavioural identity: bit-identical packState traces
+//    every cycle plus identical sink transfer streams;
+//  * the committed golden examples/designs/*.esl files stay in sync with the
+//    C++ builders;
+//  * ModelChecker exploration from a parsed NetlistSpec matches the borrowed
+//    C++ netlist fingerprint for 1 and 2 workers;
+//  * the Netlist name index (findNode/findChannel, renameNode) and parser
+//    error reporting.
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "diff_kernels_util.h"
+#include "frontend/esl_format.h"
+#include "netlist/patterns.h"
+#include "netlist/stdlib.h"
+#include "netlist/synth.h"
+#include "sim/farm.h"
+#include "sim/simulator.h"
+#include "verify/checker.h"
+
+namespace esl {
+namespace {
+
+using frontend::checkRoundTrip;
+using frontend::parseEsl;
+using frontend::printEsl;
+
+std::string goldenPath(const std::string& design) {
+  return std::string(ESL_SOURCE_DIR) + "/examples/designs/" + design + ".esl";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot read " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Runs `a` and `b` in lockstep and returns the first divergence: packed
+/// netlist state is compared after EVERY cycle, sink transfer streams at the
+/// end — the same oracle the kernel differential fuzz uses.
+std::optional<std::string> lockstepDiff(Netlist& a, Netlist& b,
+                                        std::uint64_t cycles) {
+  sim::SimOptions opts;
+  opts.checkProtocol = false;
+  sim::Simulator sa(a, opts);
+  sim::Simulator sb(b, opts);
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    sa.step();
+    sb.step();
+    if (sa.ctx().packState() != sb.ctx().packState())
+      return "packed state diverged at cycle " + std::to_string(c);
+  }
+  const auto sinksOf = [](Netlist& nl) {
+    std::vector<const TokenSink*> sinks;
+    for (const NodeId id : nl.nodeIds())
+      if (const auto* sink = dynamic_cast<const TokenSink*>(&nl.node(id)))
+        sinks.push_back(sink);
+    return sinks;
+  };
+  const auto sa_sinks = sinksOf(a);
+  const auto sb_sinks = sinksOf(b);
+  if (sa_sinks.size() != sb_sinks.size()) return "sink sets differ";
+  for (std::size_t s = 0; s < sa_sinks.size(); ++s) {
+    const auto& ta = sa_sinks[s]->transfers();
+    const auto& tb = sb_sinks[s]->transfers();
+    if (ta.size() != tb.size())
+      return "sink '" + sa_sinks[s]->name() + "' transfer counts differ (" +
+             std::to_string(ta.size()) + " vs " + std::to_string(tb.size()) + ")";
+    for (std::size_t i = 0; i < ta.size(); ++i)
+      if (ta[i].cycle != tb[i].cycle || !(ta[i].data == tb[i].data))
+        return "sink '" + sa_sinks[s]->name() + "' transfer " + std::to_string(i) +
+               " differs";
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Paper designs
+// ---------------------------------------------------------------------------
+
+TEST(EslFormat, EveryPaperDesignRoundTripsAndPrintsAFixpoint) {
+  for (const std::string& name : patterns::designNames()) {
+    SCOPED_TRACE(name);
+    EXPECT_NO_THROW(checkRoundTrip(patterns::designSpec(name)));
+  }
+}
+
+TEST(EslFormat, ParsedPaperDesignsMatchBuildersBitForBit) {
+  for (const std::string& name : patterns::designNames()) {
+    SCOPED_TRACE(name);
+    Netlist built = patterns::buildDesign(name);
+    Netlist parsed =
+        parseEsl(printEsl(patterns::designSpec(name)), name + ".esl").build();
+    const auto diff = lockstepDiff(built, parsed, 300);
+    EXPECT_FALSE(diff.has_value()) << *diff;
+  }
+}
+
+TEST(EslFormat, CommittedGoldenFilesMatchTheBuilders) {
+  // Regenerate with: ./build/esl <design> --save examples/designs/<design>.esl
+  for (const std::string& name : patterns::designNames()) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(slurp(goldenPath(name)), printEsl(patterns::designSpec(name)))
+        << "golden file drifted from the C++ builder; regenerate it";
+  }
+}
+
+TEST(EslFormat, GoldenFilesSimulateIdenticallyToBuilders) {
+  for (const std::string& name : patterns::designNames()) {
+    SCOPED_TRACE(name);
+    Netlist built = patterns::buildDesign(name);
+    Netlist parsed = frontend::buildEslFile(goldenPath(name));
+    const auto diff = lockstepDiff(built, parsed, 300);
+    EXPECT_FALSE(diff.has_value()) << *diff;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property test over synth configs (print/parse fixpoint + sim equivalence)
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> specTripDiff(const synth::SynthConfig& cfg,
+                                        std::uint64_t cycles) {
+  try {
+    const NetlistSpec spec = synth::spec(cfg);
+    const std::string text = checkRoundTrip(spec);
+    Netlist parsed = parseEsl(text, "<synth>").build();
+    Netlist built = synth::buildNetlist(cfg);
+    return lockstepDiff(built, parsed, cycles);
+  } catch (const EslError& e) {
+    return std::string("exception: ") + e.what();
+  }
+}
+
+TEST(EslFormat, SynthFamiliesRoundTripAndSimulateIdentically) {
+  std::vector<synth::SynthConfig> configs;
+  for (const auto topology :
+       {synth::Topology::kPipeline, synth::Topology::kForkJoin,
+        synth::Topology::kSpecLadder, synth::Topology::kRandomDag}) {
+    for (const std::uint64_t seed : {1ull, 42ull}) {
+      synth::SynthConfig cfg;
+      cfg.topology = topology;
+      cfg.targetNodes = 40;
+      cfg.width = 16;
+      cfg.seed = seed;
+      configs.push_back(cfg);
+
+      cfg.injectPeriod = 5;
+      cfg.bufferCapacity = 3;
+      cfg.width = 8;
+      configs.push_back(cfg);
+    }
+  }
+  {  // variable-latency stages exercise the stalling-vlu kind
+    synth::SynthConfig cfg;
+    cfg.topology = synth::Topology::kPipeline;
+    cfg.targetNodes = 30;
+    cfg.vluPermille = 400;
+    cfg.seed = 9;
+    configs.push_back(cfg);
+  }
+
+  for (synth::SynthConfig cfg : configs) {
+    std::uint64_t cycles = 200;
+    auto diff = specTripDiff(cfg, cycles);
+    if (diff) {
+      // Shrink-on-failure (shared with the kernel differential fuzz): report
+      // the smallest config that still fails.
+      test::shrinkSynthConfig(cfg, cycles,
+                              [](const synth::SynthConfig& candidate,
+                                 std::uint64_t candidateCycles) {
+                                return specTripDiff(candidate, candidateCycles)
+                                    .has_value();
+                              });
+      FAIL() << "esl round-trip divergence on " << synth::describe(cfg) << " ("
+             << cycles << " cycles): " << *specTripDiff(cfg, cycles);
+    }
+  }
+}
+
+TEST(EslFormat, NondetSynthSpecsRoundTrip) {
+  for (const auto topology :
+       {synth::Topology::kPipeline, synth::Topology::kSpecLadder}) {
+    synth::SynthConfig cfg;
+    cfg.topology = topology;
+    cfg.targetNodes = 8;
+    cfg.width = 1;
+    cfg.nondetEnv = true;
+    SCOPED_TRACE(synth::describe(cfg));
+    EXPECT_NO_THROW(checkRoundTrip(synth::spec(cfg)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ModelChecker from a parsed NetlistSpec
+// ---------------------------------------------------------------------------
+
+TEST(EslFormat, CheckerExploresParsedSpecIdenticallyToBorrowedNetlist) {
+  synth::SynthConfig cfg;
+  cfg.topology = synth::Topology::kPipeline;
+  cfg.targetNodes = 8;
+  cfg.width = 1;
+  cfg.seed = 3;
+  cfg.nondetEnv = true;
+
+  Netlist reference = synth::buildNetlist(cfg);
+  verify::ModelChecker serial(reference);
+  serial.explore();
+
+  const NetlistSpec parsed =
+      parseEsl(printEsl(synth::spec(cfg)), "<checker>");
+  for (const unsigned workers : {1u, 2u}) {
+    verify::CheckerOptions opts;
+    opts.workers = workers;
+    verify::ModelChecker fromSpec(parsed, opts);
+    fromSpec.explore();
+    EXPECT_EQ(serial.graphFingerprint(), fromSpec.graphFingerprint())
+        << "workers=" << workers;
+  }
+}
+
+TEST(EslFormat, SuiteFarmRunsSpecJobs) {
+  synth::SynthConfig cfg;
+  cfg.topology = synth::Topology::kSpecLadder;
+  cfg.targetNodes = 8;
+  cfg.width = 1;
+  cfg.nondetEnv = true;
+
+  verify::SuiteJob job;
+  job.name = "spec-ladder";
+  job.spec = synth::spec(cfg);
+  job.options.maxStates = 200000;
+  const auto results = verify::runSuiteFarm({job}, 2);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok()) << results[0].error << " "
+                               << results[0].report.firstViolation();
+}
+
+TEST(EslFormat, SimFarmSpecRecipeMatchesBuilderRecipe) {
+  synth::SynthConfig cfg;
+  cfg.topology = synth::Topology::kPipeline;
+  cfg.targetNodes = 20;
+  cfg.seed = 5;
+
+  const NetlistSpec spec = synth::spec(cfg);
+  const synth::SynthSystem sys = synth::build(cfg);
+  const std::string watch = sys.nl.channel(sys.outChannel).name;
+
+  sim::SimOptions base;
+  base.checkProtocol = false;
+  sim::SimFarm farm(sim::SimFarm::specRecipe(spec, {watch}), base);
+  farm.addSeedSweep(4, 1, 500);
+  const auto results = farm.run(2);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.channels.size(), 1u);
+    EXPECT_EQ(r.channels[0].first, watch);
+    EXPECT_GT(r.channels[0].second.fwdTransfers, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser errors + format details
+// ---------------------------------------------------------------------------
+
+TEST(EslFormat, ParserReportsLineNumbers) {
+  EXPECT_THROW(parseEsl("node eb x width=8;", "f.esl"), ParseError);  // no header
+  try {
+    parseEsl("esl 1;\nnode eb pc width=8\n", "f.esl");  // missing ';'
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("f.esl:2"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(parseEsl("esl 2;\n", "f.esl"), ParseError);           // bad version
+  EXPECT_THROW(parseEsl("esl 1;\nfrobnicate;\n", "f.esl"), ParseError);
+  EXPECT_THROW(parseEsl("esl 1;\nchannel a.b -> c.in0;\n", "f.esl"), ParseError);
+}
+
+TEST(EslFormat, BuildRejectsUnknownKindsAttributesAndWiring) {
+  stdlib::ensureRegistered();
+  const auto build = [](const std::string& text) {
+    return parseEsl(text, "<t>").build();
+  };
+  // Unknown kind.
+  EXPECT_THROW(build("esl 1;\nnode warp x width=8;\n"), NetlistError);
+  // Unknown (misspelled) attribute is rejected, not ignored.
+  EXPECT_THROW(build("esl 1;\nnode eb x width=8 capacty=4;\n"), NetlistError);
+  // Payloads wider than the channel are rejected in decimal and hex alike.
+  EXPECT_THROW(build("esl 1;\nnode eb x width=8 init=256;\n"), NetlistError);
+  EXPECT_THROW(build("esl 1;\nnode eb x width=8 init=0x100;\n"), NetlistError);
+  // Unknown fn.
+  EXPECT_THROW(
+      build("esl 1;\nnode func f in=8 out=8 fn=no-such-fn;\n"), NetlistError);
+  // Duplicate node name.
+  EXPECT_THROW(build("esl 1;\nnode eb x width=8;\nnode eb x width=8;\n"),
+               NetlistError);
+  // Unknown endpoint node.
+  EXPECT_THROW(build("esl 1;\nnode eb x width=8;\nchannel x.out0 -> y.in0;\n"),
+               NetlistError);
+  // Unbound ports fail validate() (which reports through the base EslError).
+  EXPECT_THROW(build("esl 1;\nnode eb x width=8;\n"), EslError);
+}
+
+TEST(EslFormat, AttributesSurviveVerbatimIncludingHex) {
+  // The fixpoint holds for non-canonical spellings too: attributes are
+  // preserved verbatim, not re-serialized.
+  const std::string text =
+      "esl 1;\n"
+      "node source s width=8 gen=counting gen.base=0x10;\n"
+      "node eb x width=8 cap=0x4;\n"
+      "node sink k width=8;\n"
+      "channel s.out0 -> x.in0;\n"
+      "channel x.out0 -> k.in0 name=out;\n";
+  const NetlistSpec spec = parseEsl(text, "<t>");
+  EXPECT_EQ(printEsl(parseEsl(printEsl(spec), "<t2>")), printEsl(spec));
+  Netlist nl = spec.build();
+  EXPECT_EQ(static_cast<const ElasticBuffer&>(*nl.findNode("x")).capacity(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Netlist name index
+// ---------------------------------------------------------------------------
+
+TEST(EslFormat, FromNetlistRejectsUnrepresentableChannelNames) {
+  // A name the format cannot print must fail at save time, not at reload.
+  Netlist nl;
+  auto& src = nl.make<TokenSource>("src", 8, TokenSource::counting(8));
+  auto& sink = nl.make<TokenSink>("sink", 8);
+  nl.connect(src, 0, sink, 0, "my chan");
+  EXPECT_THROW(NetlistSpec::fromNetlist(nl), NetlistError);
+}
+
+TEST(NetlistNameIndex, ConstLookupAndRename) {
+  Netlist nl;
+  auto& src = nl.make<TokenSource>("src", 8, TokenSource::counting(8));
+  auto& sink = nl.make<TokenSink>("sink", 8);
+  const ChannelId ch = nl.connect(src, 0, sink, 0, "wire");
+
+  const Netlist& cnl = nl;
+  ASSERT_NE(cnl.findNode("src"), nullptr);
+  EXPECT_EQ(cnl.findNode("src")->id(), src.id());
+  EXPECT_EQ(cnl.findNode("nope"), nullptr);
+  ASSERT_NE(cnl.findChannel("wire"), nullptr);
+  EXPECT_EQ(cnl.findChannel("wire")->id, ch);
+
+  nl.renameNode(src.id(), "origin");
+  EXPECT_EQ(nl.findNode("src"), nullptr);
+  ASSERT_NE(nl.findNode("origin"), nullptr);
+  EXPECT_EQ(nl.findNode("origin")->id(), src.id());
+
+  // Structural mutation keeps the index coherent.
+  nl.disconnect(ch);
+  EXPECT_EQ(nl.findChannel("wire"), nullptr);
+}
+
+TEST(NetlistNameIndex, DuplicateNamesKeepFirstInsertionWins) {
+  Netlist nl;
+  auto& a = nl.make<TokenSink>("dup", 8);
+  nl.make<TokenSink>("dup", 8);
+  EXPECT_EQ(nl.findNode("dup")->id(), a.id());
+}
+
+}  // namespace
+}  // namespace esl

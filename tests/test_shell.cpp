@@ -5,6 +5,58 @@
 namespace esl::shell {
 namespace {
 
+TEST(Shell, SaveLoadRoundTripPreservesBehaviour) {
+  const std::string path = testing::TempDir() + "esl_shell_roundtrip.esl";
+  Session a;
+  a.execute("build fig1a");
+  EXPECT_NE(a.execute("speculate mux F rr").find("speculation applied"),
+            std::string::npos);
+  EXPECT_NE(a.execute("save " + path).find("saved"), std::string::npos);
+  const std::string simA = a.execute("sim 300");
+
+  Session b;
+  EXPECT_NE(b.execute("load " + path).find("loaded '" + path + "'"),
+            std::string::npos);
+  EXPECT_EQ(b.execute("sim 300"), simA);
+  // The loaded spec is the session's base design: transformations on top of
+  // it replay through undo/redo exactly like `build`-based sessions.
+  const std::string before = b.execute("nodes");
+  b.execute("bubble pc.out");
+  EXPECT_NE(b.execute("nodes"), before);
+  b.execute("undo");
+  EXPECT_EQ(b.execute("nodes"), before);
+}
+
+TEST(Shell, PrintEmitsParseableEsl) {
+  Session s;
+  s.execute("build table1");
+  const std::string text = s.execute("print");
+  EXPECT_EQ(text.rfind("esl 1;", 0), 0u) << text;
+  EXPECT_NE(text.find("node shared F"), std::string::npos);
+}
+
+TEST(Shell, LoadReportsMissingFile) {
+  Session s;
+  EXPECT_NE(s.execute("load /no/such/file.esl").find("error:"), std::string::npos);
+}
+
+TEST(Shell, SpeculateAcceptsEveryCatalogScheduler) {
+  // makeSched resolves through the Registry catalog, so the shell accepts
+  // every serializable policy (not just the hand-listed subset it once had).
+  for (const std::string sched :
+       {"static0", "static1", "rr", "last", "2bit", "timeout", "bounded-fair"}) {
+    Session s;
+    s.execute("build fig1a");
+    EXPECT_NE(s.execute("speculate mux F " + sched).find("speculation applied"),
+              std::string::npos)
+        << sched;
+  }
+  Session s;
+  s.execute("build fig1a");
+  EXPECT_NE(s.execute("speculate mux F warp").find("error: unknown scheduler"),
+            std::string::npos);
+}
+
 TEST(Shell, BuildAndInspect) {
   Session s;
   EXPECT_NE(s.execute("build fig1a").find("loaded 'fig1a'"), std::string::npos);

@@ -1,0 +1,235 @@
+// esl: unified command-line driver over the textual netlist IR.
+//
+// One scriptable entry point for what the bench/example mains each did in
+// their own way: load a design (a `.esl` file or a builtin paper design),
+// optionally transform it with the shell's command language, then simulate,
+// model-check, re-save, round-trip-check or emit a backend artifact.
+//
+//   esl examples/designs/fig1d.esl --sim 1000
+//   esl fig1a --transform speculate:mux:F:rr --check
+//   esl design.esl --emit verilog --out design.v
+//   esl design.esl --roundtrip          # CI gate: print->parse->print fixpoint
+//
+// Exit codes: 0 ok, 1 usage, 2 command/load error, 3 check violations,
+// 4 round-trip drift.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "frontend/esl_format.h"
+#include "netlist/patterns.h"
+#include "shell/session.h"
+#include "verify/checker.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " <design.esl | design-name> [options]\n"
+      << "  --transform LIST   comma-separated shell transform commands with\n"
+      << "                     ':' between arguments, e.g.\n"
+      << "                     --transform bubble:mux.out,speculate:mux:F:rr\n"
+      << "  --sim N            simulate N cycles (sink transfers + violations)\n"
+      << "  --tput CHANNEL     with --sim N: measured throughput of CHANNEL\n"
+      << "  --check            model-check the SELF suite from the design's IR\n"
+      << "  --workers N        checker worker lanes (default 1)\n"
+      << "  --max-states N     checker state cap (default 100000)\n"
+      << "  --emit FORMAT      dot | blif | smv | verilog\n"
+      << "  --out FILE         write --emit output to FILE instead of stdout\n"
+      << "  --save FILE        write the (transformed) design back as .esl\n"
+      << "  --roundtrip        verify the print->parse->print fixpoint\n"
+      << "  --designs          list builtin design names\n";
+  return 1;
+}
+
+/// Runs one shell command and fails on "error:" replies. Status replies
+/// (load/transform/save) go to stderr so stdout stays clean for artifacts
+/// and results; pass toStdout for outputs the caller asked for.
+bool run(esl::shell::Session& session, const std::string& cmd,
+         bool toStdout = false) {
+  const std::string out = session.execute(cmd);
+  if (out.rfind("error:", 0) == 0) {
+    std::cerr << "esl: " << cmd << ": " << out;
+    return false;
+  }
+  (toStdout ? std::cout : std::cerr) << out;
+  return true;
+}
+
+std::vector<std::string> splitOn(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t at = s.find(sep, start);
+    out.push_back(s.substr(start, at - start));
+    if (at == std::string::npos) break;
+    start = at + 1;
+  }
+  return out;
+}
+
+bool fileExists(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path));
+}
+
+/// Strict non-negative numeric option value; usage error (exit 1) on garbage
+/// (std::stoull would otherwise throw — or sign-wrap "-5" to 2^64-5).
+std::uint64_t parseNum(const std::string& flag, const std::string& value) {
+  try {
+    if (!value.empty() && value[0] >= '0' && value[0] <= '9') {
+      std::size_t used = 0;
+      const std::uint64_t v = std::stoull(value, &used);
+      if (used == value.size()) return v;
+    }
+  } catch (const std::exception&) {
+  }
+  std::cerr << "esl: " << flag << " expects a number, got '" << value << "'\n";
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace esl;
+
+  std::string input, transforms, emit, outFile, saveFile, tputChannel;
+  std::uint64_t simCycles = 0;
+  bool doSim = false, doCheck = false, doRoundtrip = false;
+  verify::ProtocolSuiteOptions checkOptions;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "esl: " << arg << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;  // explicitly requested help is not an error
+    }
+    if (arg == "--designs") {
+      for (const auto& name : patterns::designNames()) std::cout << name << "\n";
+      return 0;
+    }
+    if (arg == "--transform") {
+      transforms = value();
+    } else if (arg == "--sim") {
+      doSim = true;
+      simCycles = parseNum(arg, value());
+    } else if (arg == "--tput") {
+      tputChannel = value();
+    } else if (arg == "--check") {
+      doCheck = true;
+    } else if (arg == "--workers") {
+      checkOptions.workers = static_cast<unsigned>(parseNum(arg, value()));
+    } else if (arg == "--max-states") {
+      checkOptions.maxStates = parseNum(arg, value());
+    } else if (arg == "--emit") {
+      emit = value();
+    } else if (arg == "--out") {
+      outFile = value();
+    } else if (arg == "--save") {
+      saveFile = value();
+    } else if (arg == "--roundtrip") {
+      doRoundtrip = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "esl: unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      std::cerr << "esl: more than one input design\n";
+      return usage(argv[0]);
+    }
+  }
+  if (input.empty()) return usage(argv[0]);
+  if (!emit.empty() && emit != "dot" && emit != "blif" && emit != "smv" &&
+      emit != "verilog") {
+    std::cerr << "esl: --emit expects dot|blif|smv|verilog, got '" << emit << "'\n";
+    return 1;
+  }
+  if (!tputChannel.empty() && !doSim) {
+    std::cerr << "esl: --tput requires --sim N\n";
+    return 1;
+  }
+
+  try {
+    shell::Session session;
+    if (!run(session, (fileExists(input) ? "load " : "build ") + input)) return 2;
+
+    if (!transforms.empty()) {
+      for (const std::string& item : splitOn(transforms, ',')) {
+        if (item.empty()) continue;
+        std::string cmd = item;
+        for (char& c : cmd)
+          if (c == ':') c = ' ';
+        if (!run(session, cmd)) return 2;
+      }
+    }
+
+    if (doRoundtrip) {
+      // Throws InternalError quoting the diverging line on drift.
+      try {
+        frontend::checkRoundTrip(NetlistSpec::fromNetlist(*session.netlist()));
+        std::cout << "roundtrip ok: " << input << "\n";
+      } catch (const EslError& e) {
+        std::cerr << "esl: roundtrip FAILED: " << e.what() << "\n";
+        return 4;
+      }
+    }
+
+    if (doSim) {
+      if (!run(session, "sim " + std::to_string(simCycles), /*toStdout=*/true))
+        return 2;
+      if (!tputChannel.empty() &&
+          !run(session, "tput " + std::to_string(simCycles) + " " + tputChannel,
+               /*toStdout=*/true))
+        return 2;
+    }
+
+    if (doCheck) {
+      // The check runs from the serializable IR of the (possibly transformed)
+      // design — the same spec a parallel checker lane would rebuild.
+      const NetlistSpec spec = NetlistSpec::fromNetlist(*session.netlist());
+      const verify::ProtocolReport report =
+          verify::checkSelfProtocol(spec, checkOptions);
+      std::cout << "check: " << report.explore.states << " states, "
+                << report.explore.transitions << " transitions"
+                << (report.explore.truncated ? " (truncated)" : "") << ", "
+                << report.propertiesChecked << " properties\n";
+      for (const auto& v : report.violations) std::cout << "  " << v.str() << "\n";
+      if (!report.ok()) return 3;
+      std::cout << "check: all properties hold\n";
+    }
+
+    if (!saveFile.empty() && !run(session, "save " + saveFile)) return 2;
+
+    if (!emit.empty()) {
+      const std::string artifact = session.execute(emit);
+      if (artifact.rfind("error:", 0) == 0) {
+        std::cerr << "esl: " << artifact;
+        return 2;
+      }
+      if (outFile.empty()) {
+        std::cout << artifact;
+      } else {
+        std::ofstream out(outFile);
+        out << artifact;
+        if (!out.flush()) {
+          std::cerr << "esl: cannot write " << outFile << "\n";
+          return 2;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "esl: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
