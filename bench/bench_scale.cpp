@@ -16,6 +16,7 @@
 //                                        >=10k-node sparse netlist
 //   bench_scale --farm-smoke             SimFarm determinism + wall-clock
 //                                        sanity across 1..N worker threads
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -50,13 +51,18 @@ struct Row {
 /// warmup so caches and the kernel's retained state are steady) and reports
 /// the fastest window — min-of-N is what keeps the CI regression gate from
 /// tripping on scheduler noise on shared runners.
+///
+/// Channel statistics stay ON (the SimOptions default): with the SignalBoard
+/// they are a word-parallel bitplane sweep, cheap enough that the benchmark
+/// reports what a real measurement run pays.
 Row measure(const synth::SynthConfig& cfg, SimContext::SettleKernel kernel,
-            std::uint64_t cycles, unsigned reps = 3) {
+            std::uint64_t cycles, unsigned reps = 3, unsigned shards = 1,
+            std::uint64_t warmup = 0) {
   synth::SynthSystem sys = synth::build(cfg);
   sim::Simulator s(sys.nl, {.checkProtocol = false,
                             .kernel = kernel,
-                            .trackChannelStats = false});
-  s.run(cycles / 10 + 1);
+                            .shards = shards});
+  s.run(warmup != 0 ? warmup : cycles / 10 + 1);
   double best = 0.0;
   for (unsigned rep = 0; rep < reps; ++rep) {
     const double t0 = now();
@@ -67,6 +73,7 @@ Row measure(const synth::SynthConfig& cfg, SimContext::SettleKernel kernel,
   Row r;
   r.name = std::string("scale/") + synth::describe(cfg) + "/" +
            (kernel == SimContext::SettleKernel::kSweep ? "sweep" : "event");
+  if (shards > 1) r.name += "/shards" + std::to_string(shards);
   r.nsPerCycle = best * 1e9 / static_cast<double>(cycles);
   r.cycles = cycles;
   r.nodes = sys.nodeCount;
@@ -156,6 +163,82 @@ int farmSmoke() {
   return 0;
 }
 
+/// Sharded tier: ONE netlist split across worker lanes (SimContext::setShards)
+/// at 1/2/hw-thread counts, sparse and saturated traffic. Per-thread speedup
+/// goes into the JSON as `speedup_vs_1t` (reported, never gated — wall-clock
+/// parallel speedup is machine-dependent; bit-identity is what CI gates, via
+/// shardedIdentityCheck() and the sharded-kernel test label).
+void shardedTier(const std::vector<std::size_t>& nodeTiers, bool quick,
+                 std::vector<Row>& rows,
+                 std::vector<std::pair<std::string, double>>& speedups) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<unsigned> shardCounts{1, 2};
+  if (hw > 2) shardCounts.push_back(hw);
+  std::printf("\n=== sharded single-netlist tier (hardware_concurrency=%u) ===\n", hw);
+  std::printf("%-52s %8s %12s %9s\n", "netlist", "shards", "ns/cyc", "vs 1t");
+  for (const std::size_t nodes : nodeTiers) {
+    for (const unsigned inject : {64u, 1u}) {
+      synth::SynthConfig cfg;
+      cfg.topology = synth::Topology::kPipeline;
+      cfg.targetNodes = nodes;
+      cfg.seed = 1;
+      cfg.injectPeriod = inject;
+      // Saturated traffic is where sharding pays (every node active each
+      // cycle), but that only materializes once the pipeline has filled:
+      // warm up deep enough that the measured window carries real per-cycle
+      // work. These rows are reported-not-gated, so two reps keep the tier
+      // affordable.
+      const std::uint64_t cycles =
+          (inject == 1 ? 20000000ULL : 200000000ULL) / (nodes * (quick ? 4 : 1));
+      const std::uint64_t warmup =
+          inject == 1 ? std::min<std::uint64_t>(nodes, quick ? 5000 : 20000) : 0;
+      double oneThread = 0.0;
+      for (const unsigned shards : shardCounts) {
+        Row r = measure(cfg, SimContext::SettleKernel::kEventDriven,
+                        cycles < 50 ? 50 : cycles, 2, shards, warmup);
+        if (shards == 1) oneThread = r.nsPerCycle;
+        const double speedup = oneThread / r.nsPerCycle;
+        if (shards > 1)
+          speedups.emplace_back(r.name + "/speedup_vs_1t", speedup);
+        std::printf("%-52s %8u %12.0f %8.2fx\n", synth::describe(cfg).c_str(),
+                    shards, r.nsPerCycle, speedup);
+        rows.push_back(std::move(r));
+      }
+    }
+  }
+}
+
+/// CI gate (--check): packState bit-identity of the sharded cycle mode
+/// against the serial event kernel, per shard count, on a saturated netlist.
+bool shardedIdentityCheck() {
+  synth::SynthConfig cfg;
+  cfg.topology = synth::Topology::kRandomDag;
+  cfg.targetNodes = 3000;
+  cfg.seed = 5;
+  cfg.injectPeriod = 1;
+  synth::SynthSystem ref = synth::build(cfg);
+  sim::Simulator sref(ref.nl, {.checkProtocol = false});
+  sref.run(400);
+  const auto want = sref.ctx().packState();
+  const auto received = ref.mainSink != nullptr ? ref.mainSink->received() : 0;
+  for (const unsigned shards : {2u, 4u, 8u}) {
+    synth::SynthSystem sys = synth::build(cfg);
+    sim::Simulator s(sys.nl, {.checkProtocol = false, .shards = shards});
+    s.run(400);
+    if (s.ctx().packState() != want ||
+        (sys.mainSink != nullptr && sys.mainSink->received() != received)) {
+      std::printf("CHECK FAILED: sharded run (%u shards) diverged from the "
+                  "serial event kernel on %s\n",
+                  shards, synth::describe(cfg).c_str());
+      return false;
+    }
+  }
+  std::printf("CHECK OK: sharded cycles bit-identical to serial for 2/4/8 "
+              "shards on %s\n",
+              synth::describe(cfg).c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,6 +307,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Sharded single-netlist tier: 10k (and 100k in full runs) nodes.
+  {
+    std::vector<std::size_t> shardNodeTiers{10000};
+    if (!quick) shardNodeTiers.push_back(100000);
+    shardedTier(shardNodeTiers, quick, rows, speedups);
+  }
+
   // SimFarm grid: the same generator feeding the Monte-Carlo runner.
   sim::SimFarm::Merged merged;
   const double farmWall = farmGrid(0, 4, 600, quick ? 300u : 800u, &merged);
@@ -246,6 +336,7 @@ int main(int argc, char** argv) {
     std::printf("CHECK OK: event kernel %.1fx vs sweep on >=10k-node sparse "
                 "netlists\n",
                 check10kSparse);
+    if (!shardedIdentityCheck()) return 1;
   }
   return 0;
 }

@@ -26,8 +26,8 @@ int main() {
   trace.addChannel(sys.fin1, "Fin1");
   trace.addChannel(sys.fout1, "Fout1");
   trace.addSignal("Sel", [&sys](SimContext& ctx) {
-    const ChannelSignals& s = ctx.sig(sys.sel);
-    return s.vf ? std::to_string(s.data.toUint64()) : "*";
+    const ConstSig s = ctx.sig(sys.sel);
+    return s.vf() ? std::to_string(s.dataLow64()) : "*";
   });
   trace.addSignal("Sched", [&sys](SimContext& ctx) {
     return std::to_string(sys.shared->prediction(ctx));

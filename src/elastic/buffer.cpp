@@ -26,53 +26,60 @@ ElasticBuffer::ElasticBuffer(std::string name, unsigned width, unsigned capacity
     ESL_CHECK(v.width() == width_, "ElasticBuffer: init token width mismatch");
   declareInput(width_);
   declareOutput(width_);
+  // Initialize the ring NOW, not just at context reset: a buffer spliced
+  // into a live context must never push into unsized storage.
+  ElasticBuffer::reset();
 }
 
 void ElasticBuffer::reset() {
-  tokens_.assign(init_.begin(), init_.end());
+  ring_.assign(capacity_, BitVec(width_));
+  head_ = 0;
+  count_ = static_cast<unsigned>(init_.size());
+  for (unsigned i = 0; i < count_; ++i) ring_[i] = init_[i];
   antiTokens_ = initAnti_;
 }
 
 void ElasticBuffer::evalComb(SimContext& ctx) {
-  ChannelSignals& in = ctx.sig(input(0));
-  ChannelSignals& out = ctx.sig(output(0));
+  Sig in = ctx.sig(input(0));
+  Sig out = ctx.sig(output(0));
 
-  const bool hasTok = !tokens_.empty();
+  const bool hasTok = count_ > 0;
   // Producer side of the output channel.
-  out.vf = hasTok;
-  if (hasTok) out.data = tokens_.front();
+  out.setVf(hasTok);
+  if (hasTok) out.setData(frontToken());
   // Anti-tokens from downstream are consumed by killing the head token when
   // one exists; otherwise they are stored, subject to the anti capacity.
-  out.sb = !hasTok && antiTokens_ >= static_cast<int>(antiCapacity_);
+  out.setSb(!hasTok && antiTokens_ >= static_cast<int>(antiCapacity_));
 
   // Consumer side of the input channel. The stop is a function of state only,
   // which realizes Lb=1 (the sender learns about congestion a cycle late; the
   // spare capacity slot absorbs the in-flight token, hence C >= Lf+Lb).
-  in.sf = occupancy() >= static_cast<int>(capacity_);
+  in.setSf(occupancy() >= static_cast<int>(capacity_));
   // Stored anti-tokens travel upstream (active anti-tokens).
-  in.vb = antiTokens_ > 0;
+  in.setVb(antiTokens_ > 0);
 }
 
 void ElasticBuffer::clockEdge(SimContext& ctx) {
-  const ChannelSignals in = ctx.sig(input(0));
-  const ChannelSignals out = ctx.sig(output(0));
+  const ConstSig in = ctx.sig(input(0));
+  const ConstSig out = ctx.sig(output(0));
 
   // Output-side events first (free the head slot before accepting).
   if (killEvent(out) || fwdTransfer(out)) {
-    ESL_ASSERT(!tokens_.empty());
-    tokens_.pop_front();
+    ESL_ASSERT(count_ > 0);
+    popToken();
   } else if (bwdTransfer(out)) {
-    ESL_ASSERT(tokens_.empty());
+    ESL_ASSERT(count_ == 0);
     ++antiTokens_;
   }
 
-  // Input-side events.
+  // Input-side events. The payload is only materialized on an actual
+  // transfer — bit reads stay in the planes.
   if (killEvent(in)) {
     ESL_ASSERT(antiTokens_ > 0);  // we asserted in.vb
     --antiTokens_;
   } else if (fwdTransfer(in)) {
-    tokens_.push_back(in.data);
-    ESL_ASSERT(tokens_.size() <= capacity_);
+    pushToken(in.data());
+    ESL_ASSERT(count_ <= capacity_);
   } else if (bwdTransfer(in)) {
     ESL_ASSERT(antiTokens_ > 0);
     --antiTokens_;
@@ -81,23 +88,30 @@ void ElasticBuffer::clockEdge(SimContext& ctx) {
   // Tokens and anti-tokens cancel inside the buffer (Fig. 3: "which cancel
   // each other at the boundaries of the EB"). This arises when a token enters
   // through the input in the same cycle an anti-token enters via the output.
-  while (!tokens_.empty() && antiTokens_ > 0) {
-    tokens_.pop_front();
+  while (count_ > 0 && antiTokens_ > 0) {
+    popToken();
     --antiTokens_;
   }
-  ESL_ASSERT(tokens_.empty() || antiTokens_ == 0);
+  ESL_ASSERT(count_ == 0 || antiTokens_ == 0);
 }
 
 void ElasticBuffer::packState(StateWriter& w) const {
-  w.writeU32(static_cast<std::uint32_t>(tokens_.size()));
-  for (const BitVec& t : tokens_) w.writeBitVec(t);
+  w.writeU32(count_);
+  for (unsigned i = 0; i < count_; ++i) {
+    unsigned idx = head_ + i;
+    if (idx >= capacity_) idx -= capacity_;
+    w.writeBitVec(ring_[idx]);
+  }
   w.writeU32(static_cast<std::uint32_t>(antiTokens_));
 }
 
 void ElasticBuffer::unpackState(StateReader& r) {
   const unsigned n = r.readU32();
-  tokens_.clear();
-  for (unsigned i = 0; i < n; ++i) tokens_.push_back(r.readBitVec());
+  ESL_CHECK(n <= capacity_,
+            "ElasticBuffer::unpackState: token count exceeds capacity on " + name());
+  head_ = 0;
+  count_ = n;
+  for (unsigned i = 0; i < n; ++i) ring_[i] = r.readBitVec();
   antiTokens_ = static_cast<int>(r.readU32());
 }
 
@@ -129,33 +143,33 @@ ElasticBuffer0::ElasticBuffer0(std::string name, unsigned width,
 void ElasticBuffer0::reset() { slot_ = init_; }
 
 void ElasticBuffer0::evalComb(SimContext& ctx) {
-  ChannelSignals& in = ctx.sig(input(0));
-  ChannelSignals& out = ctx.sig(output(0));
+  Sig in = ctx.sig(input(0));
+  Sig out = ctx.sig(output(0));
 
   const bool full = slot_.has_value();
-  out.vf = full;
-  if (full) out.data = *slot_;
+  out.setVf(full);
+  if (full) out.setData(*slot_);
 
   // Head leaves this cycle if transferred or killed — computed from the
   // downstream signals, so the stop to the sender is combinational (Lb=0).
-  const bool leave = full && (!out.sf || out.vb);
-  in.sf = full && !leave;
+  const bool leave = full && (!out.sf() || out.vb());
+  in.setSf(full && !leave);
 
   // Anti-tokens rush through combinationally when the buffer is empty.
-  in.vb = !full && out.vb;
+  in.setVb(!full && out.vb());
   // The anti-token is consumed by killing our token, by killing the incoming
   // token at the input boundary, or by moving further upstream.
-  out.sb = !full && !in.vf && in.sb;
+  out.setSb(!full && !in.vf() && in.sb());
 }
 
 void ElasticBuffer0::clockEdge(SimContext& ctx) {
-  const ChannelSignals in = ctx.sig(input(0));
-  const ChannelSignals out = ctx.sig(output(0));
+  const ConstSig in = ctx.sig(input(0));
+  const ConstSig out = ctx.sig(output(0));
 
   if (killEvent(out) || fwdTransfer(out)) slot_.reset();
   if (fwdTransfer(in)) {
     ESL_ASSERT(!slot_.has_value());
-    slot_ = in.data;
+    slot_ = in.data();
   }
 }
 
@@ -196,24 +210,24 @@ void BrokenBuffer::reset() {
 }
 
 void BrokenBuffer::evalComb(SimContext& ctx) {
-  ChannelSignals& in = ctx.sig(input(0));
-  ChannelSignals& out = ctx.sig(output(0));
-  out.vf = slot_.has_value();
-  if (slot_) out.data = *slot_;
-  out.sb = true;  // no anti-token support
-  in.sf = stopReg_;  // BUG: one cycle stale — the sender overruns the slot
-  in.vb = false;
+  Sig in = ctx.sig(input(0));
+  Sig out = ctx.sig(output(0));
+  out.setVf(slot_.has_value());
+  if (slot_) out.setData(*slot_);
+  out.setSb(true);  // no anti-token support
+  in.setSf(stopReg_);  // BUG: one cycle stale — the sender overruns the slot
+  in.setVb(false);
 }
 
 void BrokenBuffer::clockEdge(SimContext& ctx) {
-  const ChannelSignals in = ctx.sig(input(0));
-  const ChannelSignals out = ctx.sig(output(0));
+  const ConstSig in = ctx.sig(input(0));
+  const ConstSig out = ctx.sig(output(0));
   // The Lb=1 stop reflects the occupancy *before* this edge, so the sender
   // learns about a fill one cycle late — with C=1 there is no slack slot to
   // absorb the in-flight token (paper §3.2: the C >= Lf+Lb scenario).
   stopReg_ = slot_.has_value();
   if (fwdTransfer(out)) slot_.reset();
-  if (fwdTransfer(in)) slot_ = in.data;  // may overwrite a live token
+  if (fwdTransfer(in)) slot_ = in.data();  // may overwrite a live token
 }
 
 void BrokenBuffer::packState(StateWriter& w) const {

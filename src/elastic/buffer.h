@@ -16,7 +16,6 @@
 //   verification tests to show the checker catches the §3.2 capacity theorem.
 #pragma once
 
-#include <deque>
 #include <optional>
 
 #include "elastic/context.h"
@@ -54,16 +53,34 @@ class ElasticBuffer : public Node {
   const std::vector<BitVec>& initTokens() const { return init_; }
   int initAntiTokens() const { return initAnti_; }
   /// Current token count (negative = stored anti-tokens).
-  int occupancy() const { return static_cast<int>(tokens_.size()) - antiTokens_; }
+  int occupancy() const { return static_cast<int>(count_) - antiTokens_; }
 
  private:
+  // The FIFO is a fixed ring over `capacity_` pre-sized BitVec slots: pushes
+  // and pops are index arithmetic plus a value assignment that reuses the
+  // slot's storage — no deque node traffic on the clock-edge hot path.
+  const BitVec& frontToken() const { return ring_[head_]; }
+  void popToken() {
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    --count_;
+  }
+  template <typename V>
+  void pushToken(V&& v) {
+    unsigned tail = head_ + count_;
+    if (tail >= capacity_) tail -= capacity_;
+    ring_[tail] = std::forward<V>(v);
+    ++count_;
+  }
+
   unsigned width_;
   unsigned capacity_;
   unsigned antiCapacity_;
   std::vector<BitVec> init_;
   int initAnti_;
 
-  std::deque<BitVec> tokens_;
+  std::vector<BitVec> ring_;
+  unsigned head_ = 0;
+  unsigned count_ = 0;
   int antiTokens_ = 0;
 };
 

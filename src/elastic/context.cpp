@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "base/executor.h"
+
 namespace esl {
 
 SimContext::SimContext(Netlist& netlist) : netlist_(netlist) {
@@ -9,24 +11,32 @@ SimContext::SimContext(Netlist& netlist) : netlist_(netlist) {
   reset();
 }
 
+SimContext::~SimContext() = default;
+
 void SimContext::reset() {
-  resizeSignals();
   for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).reset();
   cycle_ = 0;
   havePrev_ = false;
   violations_.clear();
   ensureChoiceMap();
   hasFixedChoices_ = false;
-  cachedChoices_.assign(totalChoices_, -1);
-  topologySeen_ = ~std::uint64_t{0};  // force cache + full-seed refresh
+  std::fill(choiceKnown_.begin(), choiceKnown_.end(), 0);
+  topologySeen_ = ~std::uint64_t{0};  // force cache + layout + full-seed refresh
   ensureTopologyCache();
+  // The cache refresh re-laid the boards through the value-preserving adopt
+  // path; a reset starts from all-zero signals.
+  board_.clearValues();
+  prevBoard_.clearValues();
+  invalidateSignals();
 }
 
 void SimContext::ensureTopologyCache() {
-  if (topologySeen_ == netlist_.topologyVersion()) return;
+  if (topologySeen_ == netlist_.topologyVersion() && shardsSeen_ == shards_)
+    return;
   liveNodes_ = netlist_.nodeIds();
   seedNodes_.clear();
   cycleSeedNodes_.clear();
+  choiceNodes_.clear();
   alwaysEdgeNodes_.clear();
   nodeUnaudited_.assign(netlist_.nodeCapacity(), 0);
   nodeStateDriven_.assign(netlist_.nodeCapacity(), 0);
@@ -47,6 +57,7 @@ void SimContext::ensureTopologyCache() {
     if (node.evalReadsPerCycleInputs() ||
         purity == Node::EvalPurity::kUnaudited)
       cycleSeedNodes_.push_back(id);
+    if (node.choiceCount() > 0) choiceNodes_.push_back(id);
     if (node.edgeActivity() == Node::EdgeActivity::kOnEvents)
       nodeEdgeOnEvents_[id] = 1;
     else
@@ -56,34 +67,90 @@ void SimContext::ensureTopologyCache() {
   channelPersistent_.assign(netlist_.channelCapacity(), true);
   for (const ChannelId ch : liveChannels_)
     channelPersistent_[ch] = netlist_.channelIsPersistent(ch);
-  // Channels created since the last reset() (insertOnChannel, connect during
-  // interactive surgery) need signal slots before any kernel touches them.
-  if (signals_.size() < netlist_.channelCapacity()) {
-    const std::size_t old = signals_.size();
-    signals_.resize(netlist_.channelCapacity());
-    prevSignals_.resize(netlist_.channelCapacity());
-    for (std::size_t i = old; i < signals_.size(); ++i) {
-      if (!netlist_.hasChannel(static_cast<ChannelId>(i))) continue;
-      signals_[i].data = BitVec(netlist_.channel(static_cast<ChannelId>(i)).width);
-      prevSignals_[i] = signals_[i];
-    }
+
+  // Shard plan: contiguous blocks of the live-node order, balanced by count.
+  // Blocks are snapped to 64-id boundaries so each worklist-bitmap word (and
+  // each interior plane group) has exactly one owner — shard workers then
+  // push and mark with plain stores.
+  plan_.shards = shards_;
+  plan_.nodeShard.assign(netlist_.nodeCapacity(), 0);
+  shardState_.assign(shards_, Shard{});
+  const std::size_t n = liveNodes_.size();
+  const std::size_t block = shards_ == 0 ? n : (n + shards_ - 1) / shards_;
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned s =
+        block == 0 ? 0
+                   : static_cast<unsigned>(std::min<std::size_t>(i / block, shards_ - 1));
+    if (i > 0 && (liveNodes_[i] >> 6) == (liveNodes_[i - 1] >> 6))
+      s = plan_.nodeShard[liveNodes_[i - 1]];  // same bitmap word → same owner
+    plan_.nodeShard[liveNodes_[i]] = s;
+    shardState_[s].owned.push_back(liveNodes_[i]);
   }
-  pendingGen_.assign(netlist_.nodeCapacity(), 0);
-  evalGen_.assign(netlist_.nodeCapacity(), 0);
-  evalCount_.assign(netlist_.nodeCapacity(), 0);
-  edgeMarkGen_.assign(netlist_.nodeCapacity(), 0);
+  for (Shard& sh : shardState_) {
+    sh.loId = sh.owned.empty() ? 0 : sh.owned.front();
+    sh.hiId = sh.owned.empty() ? 0 : sh.owned.back();
+    sh.alwaysEdge.clear();
+    for (const NodeId id : sh.owned)
+      if (!nodeEdgeOnEvents_[id]) sh.alwaysEdge.push_back(id);
+  }
+
+  // Re-layout the boards for the new topology/partition, preserving the
+  // per-channel values of surviving channels (channels created since the last
+  // reset — insertOnChannel, connect during interactive surgery — get zeroed
+  // slots before any kernel touches them).
+  SignalBoard fresh;
+  fresh.layout(netlist_, &plan_);
+  fresh.adoptValuesFrom(board_);
+  board_ = std::move(fresh);
+  // prev() survives the relayout too (new channels read as all-zero): the
+  // protocol monitor must still see a Retry+ token that was stopped on the
+  // cycle before a mid-run surgery.
+  fresh.layout(netlist_, &plan_);
+  fresh.adoptValuesFrom(prevBoard_);
+  prevBoard_ = std::move(fresh);
+  sweepScratch_.layout(netlist_, &plan_);
+  ccPre_.layout(netlist_, &plan_);
+  ccEvent_.layout(netlist_, &plan_);
+
+  pendingBits_.assign((netlist_.nodeCapacity() + 63) / 64, 0);
+  pendingWordGen_.assign((netlist_.nodeCapacity() + 63) / 64, 0);
+  evalMeta_.assign(netlist_.nodeCapacity(), 0);
+  edgeBits_.assign((netlist_.nodeCapacity() + 63) / 64, 0);
+  edgeWordGen_.assign((netlist_.nodeCapacity() + 63) / 64, 0);
+  groupHot_.assign(board_.groupCount(), 0);
+  // Hot-dispatch caches: raw node pointers and the channel→reader adjacency
+  // flattened to CSR with board slots pre-resolved. Built here (serially), so
+  // shard workers never touch the netlist's lazy mutable caches.
+  nodePtr_.assign(netlist_.nodeCapacity(), nullptr);
+  adjOffset_.assign(netlist_.nodeCapacity() + 1, 0);
+  adjFlat_.clear();
+  for (const NodeId id : liveNodes_) {
+    nodePtr_[id] = &netlist_.node(id);
+    adjOffset_[id] = static_cast<std::uint32_t>(adjFlat_.size());
+    for (const auto& [ch, other] : netlist_.adjacency(id))
+      adjFlat_.push_back({board_.slotOf(ch), other});
+    adjOffset_[id + 1] = static_cast<std::uint32_t>(adjFlat_.size());
+  }
   topologySeen_ = netlist_.topologyVersion();
+  shardsSeen_ = shards_;
   needFullSeed_ = true;
-  shadowValid_ = false;
+  changeTrackValid_ = false;
   edgeTrackValid_ = false;
   sparseSeedValid_ = false;
 }
 
-void SimContext::resizeSignals() {
-  signals_.assign(netlist_.channelCapacity(), ChannelSignals{});
-  for (const ChannelId id : netlist_.channelIds())
-    signals_[id].data = BitVec(netlist_.channel(id).width);
-  prevSignals_ = signals_;
+void SimContext::setShards(unsigned n) {
+  if (n == 0) n = 1;
+  if (n == shards_) return;
+  shards_ = n;
+  exec_.reset();
+  invalidateSignals();
+  ensureTopologyCache();  // re-partition + re-layout, preserving signal values
+}
+
+Executor& SimContext::exec() {
+  if (!exec_) exec_ = std::make_unique<Executor>(shards_);
+  return *exec_;
 }
 
 void SimContext::ensureChoiceMap() {
@@ -96,20 +163,22 @@ void SimContext::ensureChoiceMap() {
     choiceOffset_[id] = totalChoices_;
     totalChoices_ += netlist_.node(id).choiceCount();
   }
+  choiceKnown_.assign((totalChoices_ + 63) / 64, 0);
+  choiceValue_.assign((totalChoices_ + 63) / 64, 0);
 }
 
 void SimContext::setChoices(std::vector<bool> bits) {
   ESL_CHECK(bits.size() == totalChoices_, "setChoices: wrong bit count");
   fixedChoices_ = std::move(bits);
   hasFixedChoices_ = true;
-  cachedChoices_.assign(totalChoices_, -1);
+  std::fill(choiceKnown_.begin(), choiceKnown_.end(), 0);
 }
 
 void SimContext::setChoicesFrom(const std::vector<bool>& bits) {
   ESL_CHECK(bits.size() == totalChoices_, "setChoices: wrong bit count");
   fixedChoices_ = bits;  // copy-assign reuses fixedChoices_'s capacity
   hasFixedChoices_ = true;
-  cachedChoices_.assign(totalChoices_, -1);
+  std::fill(choiceKnown_.begin(), choiceKnown_.end(), 0);
 }
 
 void SimContext::setChoiceProvider(std::function<bool(NodeId, unsigned)> fn) {
@@ -119,14 +188,50 @@ void SimContext::setChoiceProvider(std::function<bool(NodeId, unsigned)> fn) {
 bool SimContext::choice(const Node& node, unsigned idx) {
   ESL_CHECK(idx < node.choiceCount(), "choice index out of range on " + node.name());
   const unsigned slot = choiceOffset_.at(node.id()) + idx;
-  if (cachedChoices_[slot] >= 0) return cachedChoices_[slot] != 0;
+  const std::uint64_t mask = std::uint64_t{1} << (slot & 63);
+  if (choiceKnown_[slot / 64] & mask) return (choiceValue_[slot / 64] & mask) != 0;
   bool value = false;
   if (hasFixedChoices_)
     value = fixedChoices_[slot];
   else if (choiceProvider_)
     value = choiceProvider_(node.id(), idx);
-  cachedChoices_[slot] = value ? 1 : 0;
+  choiceKnown_[slot / 64] |= mask;
+  if (value)
+    choiceValue_[slot / 64] |= mask;
+  else
+    choiceValue_[slot / 64] &= ~mask;
   return value;
+}
+
+void SimContext::rebuildHotGroups() {
+  // Runs only alongside a shadow refresh (reset/rewiring/sweep interludes):
+  // one linear sweep re-derives which interior groups carry tokens. Boundary
+  // groups are never listed — the sharded edge scans that (small) region
+  // unconditionally, and in serial mode every group is interior.
+  std::fill(groupHot_.begin(), groupHot_.end(), 0);
+  for (unsigned s = 0; s < shards_; ++s) {
+    Shard& sh = shardState_[s];
+    sh.hotGroups.clear();
+    const auto [lo, hi] = board_.shardGroupRange(s);
+    for (std::size_t g = lo; g < hi; ++g) {
+      if (board_.activityAtGroup(g) != 0) {
+        groupHot_[g] = 1;
+        sh.hotGroups.push_back(static_cast<std::uint32_t>(g));
+      }
+    }
+  }
+}
+
+void SimContext::resolveAllChoices() {
+  // Sharded settles pre-resolve every slot single-threaded so the cache is
+  // read-only under workers. Identical to lazy resolution because the
+  // provider is order-independent (a pure per-cycle function of node/index).
+  if (totalChoices_ == 0) return;
+  for (const NodeId id : choiceNodes_) {
+    const Node& node = *nodePtr_[id];
+    const unsigned count = node.choiceCount();
+    for (unsigned i = 0; i < count; ++i) (void)choice(node, i);
+  }
 }
 
 void SimContext::settle() {
@@ -134,6 +239,8 @@ void SimContext::settle() {
     settleCrossChecked();
   } else if (kernel_ == SettleKernel::kSweep) {
     settleSweep();
+  } else if (shards_ > 1) {
+    settleSharded();
   } else {
     settleEventDriven();
   }
@@ -141,15 +248,16 @@ void SimContext::settle() {
 
 void SimContext::settleSweep() {
   ensureTopologyCache();
-  shadowValid_ = false;  // sweep writes bypass the event kernel's shadow
-  edgeTrackValid_ = false;  // ... and its hot-channel index
+  changeTrackValid_ = false;  // sweep writes bypass the consume loop
+  edgeTrackValid_ = false;    // ... and the settled-board guarantee
   const std::vector<NodeId>& ids = liveNodes_;
   const unsigned maxIters = static_cast<unsigned>(2 * ids.size() + 8);
+  SignalBoard& before = sweepScratch_;
   for (unsigned iter = 0; iter < maxIters; ++iter) {
-    const std::vector<ChannelSignals> before = signals_;
+    before.copyValuesFrom(board_);
     for (const NodeId id : ids) netlist_.node(id).evalComb(*this);
-    if (signals_ == before && iter > 0) return;
-    if (signals_ == before && ids.empty()) return;
+    if (board_.sameValuesAs(before) && iter > 0) return;
+    if (board_.sameValuesAs(before) && ids.empty()) return;
   }
   throw CombinationalCycleError(
       "combinational network did not stabilize after " + std::to_string(maxIters) +
@@ -159,118 +267,157 @@ void SimContext::settleSweep() {
 void SimContext::settleEventDriven() {
   ensureTopologyCache();
 
-  // Shadow = the signal values whose consequences have been propagated. Only
-  // evalComb() writes signals, and the loop below mirrors every accepted
-  // change, so the shadow stays valid across cycles: the refresh runs once
-  // after reset/rewiring/sweep, not every settle.
-  if (!shadowValid_) {
-    const std::size_t chCap = netlist_.channelCapacity();
-    shadow_.resize(chCap);
-    for (std::size_t i = 0; i < chCap; ++i) shadow_[i] = signals_[i];
-    shadowValid_ = true;
-    // Rebuild the clock-edge hot-channel index alongside: every channel that
-    // currently carries a token or anti-token. From here on the change loop
-    // below keeps it a superset of the post-settle hot set.
-    hotChannels_.clear();
-    hotInList_.assign(chCap, 0);
-    for (const ChannelId ch : liveChannels_) {
-      if (signals_[ch].vf || signals_[ch].vb) {
-        hotInList_[ch] = 1;
-        hotChannels_.push_back(ch);
-      }
-    }
+  // The board's changed bits mirror every un-consumed write, so change
+  // tracking stays valid across cycles: this refresh runs once after
+  // reset/rewiring/sweep interludes, not every settle.
+  if (!changeTrackValid_) {
+    board_.clearChanged();
+    changeTrackValid_ = true;
+    rebuildHotGroups();
   }
 
-  // Per-settle state is generation-stamped instead of cleared: the per-cycle
-  // cost stays O(active nodes), not O(node capacity), on large idle netlists.
+  // The serial kernel IS the sharded drain restricted to one all-owning
+  // shard (no boundary region exists, so no staging or barrier rounds):
+  // seed, then drain to the fixed point. Seeding tiers: after
+  // reset/rewiring every node; after a full (untracked) edge or an
+  // unpackState every stateful node; in dirty-tracked steady state only the
+  // per-cycle readers plus the nodes clocked at the preceding edge.
   const std::uint64_t gen = ++settleGen_;
-  const std::size_t nodeCap = netlist_.nodeCapacity();
-  std::size_t pending = 0;
-  std::size_t cursor = nodeCap;  // lowest id that may be pending
-  const auto push = [&](NodeId id) {
-    if (pendingGen_[id] != gen) {
-      pendingGen_[id] = gen;
-      ++pending;
-      if (id < cursor) cursor = id;
-    }
-  };
+  Shard& sh = shardState_.front();
+  sh.pending = 0;
+  sh.cursorW = (static_cast<std::size_t>(sh.hiId) >> 6) + 1;
+  seedShards(gen);
+  drainShard(0, gen, evalBudget());
+  edgeTrackValid_ = true;
+}
 
-  // Seed: after reset/rewiring every node; after a full (untracked) edge or
-  // an unpackState every stateful node; in dirty-tracked steady state only
-  // the nodes whose evaluation can actually differ from the previous settled
-  // cycle — per-cycle readers (cycle counter, choice bits, unaudited) plus
-  // the nodes whose clockEdge ran at the preceding edge (the only ones whose
-  // state can have moved). Pure combinational nodes wake up via change
-  // propagation either way.
+void SimContext::seedShards(std::uint64_t gen) {
+  const auto pushOwned = [&](NodeId id) {
+    pushInto(shardState_[plan_.nodeShard[id]], gen, id);
+  };
   if (needFullSeed_) {
-    for (const NodeId id : liveNodes_) push(id);
+    for (const NodeId id : liveNodes_) pushOwned(id);
   } else if (!sparseSeedValid_) {
-    for (const NodeId id : seedNodes_) push(id);
+    for (const NodeId id : seedNodes_) pushOwned(id);
   } else {
-    for (const NodeId id : cycleSeedNodes_) push(id);
-    for (const NodeId id : prevClocked_) push(id);
+    for (const NodeId id : cycleSeedNodes_) pushOwned(id);
+    for (const NodeId id : prevClocked_) pushOwned(id);
   }
   needFullSeed_ = false;
+}
 
-  // Same budget the sweep kernel allows: a node re-evaluated more often than
-  // the sweep count can only mean a combinational oscillation.
-  const std::uint32_t maxEvals =
-      static_cast<std::uint32_t>(2 * liveNodes_.size() + 8);
-  // Lowest-id-first extraction: nodes are created roughly in dataflow order,
-  // so this batches a wave's changes before evaluating its consumers instead
-  // of re-evaluating a join once per arriving input.
-  while (pending > 0) {
-    while (pendingGen_[cursor] != gen) ++cursor;  // all pending ids are >= cursor
-    const NodeId id = static_cast<NodeId>(cursor);
-    pendingGen_[id] = 0;  // popped (settleGen_ is never 0, so 0 ≠ any gen)
-    --pending;
-    if (evalGen_[id] != gen) {
-      evalGen_[id] = gen;
-      evalCount_[id] = 0;
-    }
-    if (++evalCount_[id] > maxEvals)
+void SimContext::drainShard(unsigned s, std::uint64_t gen, std::uint32_t maxEvals) {
+  // The serial event kernel restricted to one shard's nodes: interior-channel
+  // changes propagate immediately (both endpoints are owned), boundary writes
+  // are staged on the board and published at the next barrier.
+  Shard& sh = shardState_[s];
+  constexpr std::uint64_t kGenMask = (std::uint64_t{1} << 40) - 1;
+  const std::uint64_t genLo = gen & kGenMask;
+  while (sh.pending > 0) {
+    while (pendingWordGen_[sh.cursorW] != gen || pendingBits_[sh.cursorW] == 0)
+      ++sh.cursorW;
+    const unsigned bit =
+        static_cast<unsigned>(__builtin_ctzll(pendingBits_[sh.cursorW]));
+    const NodeId id = static_cast<NodeId>(sh.cursorW * 64 + bit);
+    pendingBits_[sh.cursorW] &= pendingBits_[sh.cursorW] - 1;
+    --sh.pending;
+    const std::uint64_t meta = evalMeta_[id];
+    const std::uint64_t evals = ((meta & kGenMask) == genLo ? meta >> 40 : 0) + 1;
+    if (evals > maxEvals)
       throw CombinationalCycleError(
           "combinational network did not stabilize: node '" +
           netlist_.node(id).name() + "' re-evaluated more than " +
           std::to_string(maxEvals) +
           " times (combinational cycle in data or control)");
-    netlist_.node(id).evalComb(*this);
+    evalMeta_[id] = (evals << 40) | genLo;
+    nodePtr_[id]->evalComb(*this);
 
     bool selfChanged = false;
-    for (const auto& [ch, other] : netlist_.adjacency(id)) {
-      if (signals_[ch] == shadow_[ch]) continue;
-      shadow_[ch] = signals_[ch];
-      if (!hotInList_[ch] && (signals_[ch].vf || signals_[ch].vb)) {
-        hotInList_[ch] = 1;
-        hotChannels_.push_back(ch);
-      }
-      // State-driven neighbours never read channel signals, so a change
-      // cannot alter their (already seeded) evaluation.
-      if (!nodeStateDriven_[other]) push(other);
+    const std::uint32_t aEnd = adjOffset_[id + 1];
+    for (std::uint32_t a = adjOffset_[id]; a < aEnd; ++a) {
+      const std::uint32_t slot = adjFlat_[a].slot;
+      if (board_.inBoundary(slot)) continue;  // staged; the sync seeds readers
+      if (!board_.consumeChanged(slot)) continue;
+      markHotGroup(sh, slot);  // interior groups are owner-exclusive
+      const NodeId other = adjFlat_[a].other;
+      if (!nodeStateDriven_[other]) pushInto(sh, gen, other);
       selfChanged = true;
     }
-    // Confirming re-evaluation of unaudited nodes: a contract-abiding node
-    // re-run on unchanged inputs reproduces its outputs and settles in one
-    // extra pass; a node that oscillates on its own output keeps changing
-    // until the budget above fires (matching the sweep kernel's cycle
-    // detection). Nodes declaring the contract skip this.
-    if (selfChanged && nodeUnaudited_[id]) push(id);
+    if (selfChanged && nodeUnaudited_[id]) pushInto(sh, gen, id);
   }
+}
+
+void SimContext::settleSharded() {
+  ensureTopologyCache();
+  if (!changeTrackValid_) {
+    board_.clearChanged();
+    changeTrackValid_ = true;
+    rebuildHotGroups();
+  }
+  resolveAllChoices();
+
+  const std::uint64_t gen = ++settleGen_;
+  const std::uint32_t maxEvals = evalBudget();
+  for (Shard& sh : shardState_) {
+    sh.pending = 0;
+    sh.cursorW = (static_cast<std::size_t>(sh.hiId) >> 6) + 1;
+  }
+  seedShards(gen);
+
+  board_.setStagingActive(true);
+  try {
+    bool any = false;
+    for (const Shard& sh : shardState_) any = any || sh.pending > 0;
+    while (any) {
+      // One level-synchronous round: every shard drains its worklist fully.
+      exec().parallelFor(shards_, [&](std::size_t s, unsigned) {
+        drainShard(static_cast<unsigned>(s), gen, maxEvals);
+      });
+      // Barrier step (single-threaded): publish staged boundary changes and
+      // seed their readers. Both endpoints are seeded — the consumer-side
+      // reader of producer-driven fields, the producer-side reader of
+      // consumer-driven fields, and the unaudited writer's confirming
+      // re-eval all collapse into this conservative push. A re-evaluation on
+      // unchanged inputs is a no-op, so the fixed point is unaffected.
+      any = false;
+      board_.syncBoundary([&](ChannelId ch) {
+        const Channel& c = netlist_.channel(ch);
+        if (!nodeStateDriven_[c.producer])
+          pushInto(shardState_[plan_.nodeShard[c.producer]], gen, c.producer);
+        if (!nodeStateDriven_[c.consumer])
+          pushInto(shardState_[plan_.nodeShard[c.consumer]], gen, c.consumer);
+      });
+      for (const Shard& sh : shardState_) any = any || sh.pending > 0;
+    }
+  } catch (...) {
+    // A worker threw (CombinationalCycleError, a node's own error): leave
+    // the board usable — staged-but-unpublished boundary writes must not
+    // swallow the next kernel's (or an external writer's) stores.
+    board_.setStagingActive(false);
+    invalidateSignals();
+    throw;
+  }
+  board_.setStagingActive(false);
   edgeTrackValid_ = true;
 }
 
 void SimContext::settleCrossChecked() {
-  ensureTopologyCache();  // grow signal slots BEFORE snapshotting
-  const std::vector<ChannelSignals> pre = signals_;
-  settleEventDriven();
-  std::vector<ChannelSignals> event = std::move(signals_);
-  signals_ = pre;
+  ensureTopologyCache();  // refresh layout (and the scratch boards) FIRST
+  ccPre_.copyValuesFrom(board_);
+  if (shards_ > 1)
+    settleSharded();
+  else
+    settleEventDriven();
+  ccEvent_.copyValuesFrom(board_);
+  board_.copyValuesFrom(ccPre_);
   settleSweep();
+  const SignalBoard& event = ccEvent_;
   for (const ChannelId id : netlist_.channelIds()) {
-    if (signals_[id] == event[id]) continue;
+    const std::uint32_t slot = board_.slotOf(id);
+    if (board_.channelEqualsAt(slot, event)) continue;
     const auto bit = [](bool v) { return v ? '1' : '0'; };
-    const ChannelSignals& s = signals_[id];
-    const ChannelSignals& e = event[id];
+    const ChannelSignals s = board_.snapshotAt(slot);
+    const ChannelSignals e = event.snapshotAt(slot);
     throw InternalError(
         std::string("settle cross-check: kernels disagree on channel '") +
         netlist_.channel(id).name + "' at cycle " + std::to_string(cycle_) +
@@ -291,7 +438,8 @@ void SimContext::checkProtocol() {
   ensureTopologyCache();
   for (const ChannelId id : liveChannels_) {
     const Channel& ch = netlist_.channel(id);
-    const ChannelSignals& cur = signals_[id];
+    const std::uint32_t slot = board_.slotOf(id);
+    const ChannelSignals cur = board_.snapshotAt(slot);
 
     // Invariant (paper §3.1): kill and stop are mutually exclusive, in both
     // polarities.
@@ -300,18 +448,18 @@ void SimContext::checkProtocol() {
       report(ch, "anti-token killed and stopped (V- S- V+)");
 
     if (!havePrev_) continue;
-    const ChannelSignals& prev = prevSignals_[id];
+    const ChannelSignals prevSig = prevBoard_.snapshotAt(slot);
     const bool relaxed = !channelPersistent_[id];
 
     // Retry+: a stopped token must persist (with its data) next cycle.
-    if (prev.vf && prev.sf && !prev.vb && !relaxed) {
+    if (prevSig.vf && prevSig.sf && !prevSig.vb && !relaxed) {
       if (!cur.vf)
         report(ch, "Retry+ violated: stopped token vanished");
-      else if (cur.data != prev.data)
+      else if (cur.data != prevSig.data)
         report(ch, "Retry+ persistence violated: data changed during retry");
     }
     // Retry-: a stopped anti-token must persist next cycle.
-    if (prev.vb && prev.sb && !prev.vf && !cur.vb)
+    if (prevSig.vb && prevSig.sb && !prevSig.vf && !cur.vb)
       report(ch, "Retry- violated: stopped anti-token vanished");
   }
 }
@@ -320,10 +468,12 @@ void SimContext::edge() {
   ensureTopologyCache();
   if (crossCheck_)
     edgeAudited();
-  else if (edgeTrackValid_)
-    edgeSparse();
-  else
+  else if (!edgeTrackValid_)
     edgeFull();
+  else if (shards_ > 1)
+    edgeSharded();
+  else
+    edgeSparse();
   edgeEpilogue();
 }
 
@@ -334,33 +484,37 @@ void SimContext::edgeFull() {
 
 void SimContext::edgeSparse() {
   // Clock only (a) nodes whose hint demands every cycle and (b) nodes
-  // adjacent to a channel with an actual transfer/kill event. Channels that
-  // dropped both valids since they were added are compacted out in passing,
-  // so a once-hot channel costs one check, not a permanent scan entry.
+  // adjacent to a channel with an actual transfer/kill event. The scan walks
+  // the incrementally maintained hot-group list — 64 channels per entry,
+  // event masks word-parallel — and compacts groups that went quiet in
+  // passing, so a once-hot group costs one check, not a permanent entry.
   const std::uint64_t gen = ++edgeGen_;
   const auto mark = [&](NodeId id) {
-    if (edgeMarkGen_[id] != gen) {
-      edgeMarkGen_[id] = gen;
+    if (id == kNoNode) return;  // padding slots carry no endpoints
+    const std::size_t w = id >> 6;
+    if (edgeWordGen_[w] != gen) {
+      edgeWordGen_[w] = gen;
+      edgeBits_[w] = 0;
+    }
+    const std::uint64_t m = std::uint64_t{1} << (id & 63);
+    if (!(edgeBits_[w] & m)) {
+      edgeBits_[w] |= m;
       edgeDirty_.push_back(id);
     }
   };
   for (const NodeId id : alwaysEdgeNodes_) mark(id);
+  std::vector<std::uint32_t>& hot = shardState_.front().hotGroups;
   std::size_t keep = 0;
-  for (const ChannelId ch : hotChannels_) {
-    const ChannelSignals& s = signals_[ch];
-    if (!(s.vf || s.vb)) {
-      hotInList_[ch] = 0;
+  for (const std::uint32_t g : hot) {
+    if (board_.activityAtGroup(g) == 0) {
+      groupHot_[g] = 0;
       continue;
     }
-    hotChannels_[keep++] = ch;
-    if (killEvent(s) || fwdTransfer(s) || bwdTransfer(s)) {
-      const Channel& c = netlist_.channel(ch);
-      mark(c.producer);
-      mark(c.consumer);
-    }
+    hot[keep++] = g;
+    scanEventGroups(g, g + 1, mark);
   }
-  hotChannels_.resize(keep);
-  for (const NodeId id : edgeDirty_) netlist_.node(id).clockEdge(*this);
+  hot.resize(keep);
+  for (const NodeId id : edgeDirty_) nodePtr_[id]->clockEdge(*this);
   // Record the clocked stateful nodes: they are the only ones whose state can
   // differ at the next settle, so they (plus the per-cycle readers) become
   // the next seed set.
@@ -371,21 +525,66 @@ void SimContext::edgeSparse() {
   edgeDirty_.clear();
 }
 
+void SimContext::edgeSharded() {
+  // Same dirty-tracked edge, one worker per shard: each scans its interior
+  // plane range unfiltered (interior endpoints are owned by construction)
+  // plus the shared boundary region filtered by ownership, then clocks only
+  // its own nodes. clockEdge writes node-local state, so the only shared
+  // writes are the ownership-filtered (word-exclusive) edge-mark bitmap.
+  const std::uint64_t gen = ++edgeGen_;
+  const auto [blo, bhi] = board_.boundaryGroupRange();
+  exec().parallelFor(shards_, [&](std::size_t si, unsigned) {
+    const unsigned s = static_cast<unsigned>(si);
+    Shard& sh = shardState_[s];
+    sh.edgeList.clear();
+    const auto mark = [&](NodeId id) {
+      if (id == kNoNode || plan_.nodeShard[id] != s) return;
+      const std::size_t w = id >> 6;  // bitmap words are owner-exclusive
+      if (edgeWordGen_[w] != gen) {
+        edgeWordGen_[w] = gen;
+        edgeBits_[w] = 0;
+      }
+      const std::uint64_t m = std::uint64_t{1} << (id & 63);
+      if (!(edgeBits_[w] & m)) {
+        edgeBits_[w] |= m;
+        sh.edgeList.push_back(id);
+      }
+    };
+    for (const NodeId id : sh.alwaysEdge) mark(id);
+    std::size_t keep = 0;
+    for (const std::uint32_t g : sh.hotGroups) {
+      if (board_.activityAtGroup(g) == 0) {
+        groupHot_[g] = 0;
+        continue;
+      }
+      sh.hotGroups[keep++] = g;
+      scanEventGroups(g, g + 1, mark);
+    }
+    sh.hotGroups.resize(keep);
+    // The boundary region is shared and small: scan it unconditionally,
+    // ownership-filtered by mark().
+    scanEventGroups(blo, bhi, mark);
+    for (const NodeId id : sh.edgeList) nodePtr_[id]->clockEdge(*this);
+    sh.clocked.clear();
+    for (const NodeId id : sh.edgeList)
+      if (nodeStateful_[id]) sh.clocked.push_back(id);
+  });
+  prevClocked_.clear();
+  for (const Shard& sh : shardState_)
+    prevClocked_.insert(prevClocked_.end(), sh.clocked.begin(), sh.clocked.end());
+  sparseSeedValid_ = true;
+}
+
 void SimContext::edgeAudited() {
   // Reference clockEdge sweep over every node, auditing the EdgeActivity
   // declarations: a node the sparse path would have skipped (kOnEvents, no
   // adjacent event) must not change its serialized state. Channel events are
-  // recomputed from scratch — cross-check settles end on the sweep kernel,
-  // which invalidates the incremental hot index.
+  // recomputed from the settled board — cross-check settles end on the sweep
+  // kernel, whose writes land in the same planes.
   std::vector<std::uint8_t> nodeHasEvent(netlist_.nodeCapacity(), 0);
-  for (const ChannelId ch : liveChannels_) {
-    const ChannelSignals& s = signals_[ch];
-    if (killEvent(s) || fwdTransfer(s) || bwdTransfer(s)) {
-      const Channel& c = netlist_.channel(ch);
-      nodeHasEvent[c.producer] = 1;
-      nodeHasEvent[c.consumer] = 1;
-    }
-  }
+  scanEventGroups(0, board_.groupCount(), [&](NodeId id) {
+    if (id != kNoNode) nodeHasEvent[id] = 1;
+  });
   prevClocked_.clear();
   for (const NodeId id : liveNodes_) {
     Node& node = netlist_.node(id);
@@ -417,17 +616,16 @@ void SimContext::edgeAudited() {
 
 void SimContext::edgeEpilogue() {
   // prev() is only consumed by the protocol monitors, so the snapshot is
-  // skipped entirely when they are off. Element-wise so BitVec payload
-  // storage is reused instead of reallocated.
+  // skipped entirely when they are off. Board-to-board value copy: straight
+  // word vectors, no per-channel BitVec traffic.
   if (protocolChecking_) {
-    prevSignals_.resize(signals_.size());
-    for (std::size_t i = 0; i < signals_.size(); ++i) prevSignals_[i] = signals_[i];
+    prevBoard_.copyValuesFrom(board_);
     havePrev_ = true;
   } else {
     havePrev_ = false;
   }
   hasFixedChoices_ = false;
-  cachedChoices_.assign(totalChoices_, -1);
+  std::fill(choiceKnown_.begin(), choiceKnown_.end(), 0);
   ++cycle_;
 }
 

@@ -1,6 +1,7 @@
 // SimContext: the cycle-accurate evaluation kernel.
 //
-// Owns the channel signal arrays and drives the two-phase cycle:
+// Owns the channel SignalBoard (struct-of-arrays signal storage, see
+// elastic/signal_board.h) and drives the two-phase cycle:
 //   1. settle(): combinational fixed-point (throws CombinationalCycleError if
 //      the network oscillates, i.e. there is a combinational cycle in data or
 //      control);
@@ -16,10 +17,10 @@
 //     using the netlist's channel→reader adjacency index. Signals are retained
 //     across cycles, so untouched combinational regions are never re-visited.
 //
-// The edge phase is dirty-tracked to match: the event-driven settle maintains
-// the set of channels that carry a token or anti-token ("hot" channels), and
-// edge() clocks only nodes adjacent to an actual transfer/kill event plus the
-// nodes whose EdgeActivity hint demands every cycle — O(active), not O(nodes).
+// The edge phase is dirty-tracked to match: with the settled signals in
+// bitplanes, the transfer/kill event masks of 64 channels at a time come from
+// a handful of word ops, and edge() clocks only the nodes adjacent to an
+// actual event plus the nodes whose EdgeActivity hint demands every cycle.
 // The full clockEdge sweep remains the reference path (sweep kernel, and any
 // cycle whose signals were written outside the event kernel).
 // setCrossCheck(true) runs both settle kernels every cycle and throws
@@ -27,6 +28,28 @@
 // tests/test_sim_kernel.cpp); its edge runs the full sweep while auditing the
 // EdgeActivity declarations — a node the dirty-tracker would have skipped must
 // leave its packState() bytes unchanged.
+//
+// --- Sharded cycles ---------------------------------------------------------
+//
+// setShards(N > 1) partitions ONE netlist into N contiguous node blocks and
+// runs each cycle shard-parallel on a work-stealing Executor:
+//   * settle: level-synchronous rounds. Within a round every shard drains its
+//     own worklist exactly like the serial event kernel (interior channels —
+//     both endpoints owned — live in shard-exclusive bitplane ranges), while
+//     writes to boundary channels are staged in the SignalBoard's back copy.
+//     Between rounds a serial barrier step publishes changed boundary values
+//     and seeds their cross-shard readers; the settle ends when a round stages
+//     no boundary change and every worklist is empty. The result is the same
+//     unique fixed point the serial kernels reach, so settled signals — and
+//     therefore packState() — are bit-identical for every shard count.
+//   * edge: each shard sweeps its interior plane range (plus the boundary
+//     region, filtered by ownership) for event bits and clocks only its own
+//     nodes. clockEdge writes node-local state only, so no synchronization is
+//     needed beyond the join barrier.
+// Per-cycle choice bits are pre-resolved serially before the parallel phases
+// (the provider must be a pure function of (node, index) per cycle — see
+// sim::Simulator, whose provider hashes (seed, cycle, node, index)), keeping
+// resolution order-independent and the cache read-only under workers.
 //
 // The context also resolves per-cycle nondeterministic choice bits for
 // environment nodes (random under simulation, enumerated under verification)
@@ -36,12 +59,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "elastic/netlist.h"
+#include "elastic/signal_board.h"
 
 namespace esl {
+
+class Executor;
 
 class SimContext {
  public:
@@ -52,6 +79,7 @@ class SimContext {
 
   /// The netlist must outlive the context and is validated on construction.
   explicit SimContext(Netlist& netlist);
+  ~SimContext();
 
   Netlist& netlist() { return netlist_; }
   const Netlist& netlist() const { return netlist_; }
@@ -74,24 +102,37 @@ class SimContext {
   void setKernel(SettleKernel kernel) { kernel_ = kernel; }
   SettleKernel kernel() const { return kernel_; }
   /// Run BOTH kernels each settle from the same pre-settle signals and throw
-  /// InternalError on any per-channel disagreement.
+  /// InternalError on any per-channel disagreement. With shards configured the
+  /// event side runs sharded, so this doubles as the sharded-vs-serial oracle.
   void setCrossCheck(bool enabled) { crossCheck_ = enabled; }
   bool crossCheck() const { return crossCheck_; }
+
+  /// Shard the netlist across `n` worker lanes (1 = serial, the default).
+  /// Settled signals and packState() are bit-identical for every value.
+  void setShards(unsigned n);
+  unsigned shards() const { return shards_; }
+
   /// External code that writes channel signals directly (outside evalComb)
   /// must call this before the next settle() so the event-driven kernel
   /// re-seeds every node instead of trusting retained signals.
   void invalidateSignals() {
     needFullSeed_ = true;
-    shadowValid_ = false;
+    changeTrackValid_ = false;
     edgeTrackValid_ = false;
     sparseSeedValid_ = false;
   }
 
-  ChannelSignals& sig(ChannelId ch) { return signals_.at(ch); }
-  const ChannelSignals& sig(ChannelId ch) const { return signals_.at(ch); }
+  /// Mutable/read-only accessor proxies into the SignalBoard.
+  Sig sig(ChannelId ch) { return {board_, slotOrThrow(ch)}; }
+  ConstSig sig(ChannelId ch) const {
+    return {board_, slotOrThrow(ch)};
+  }
   /// Settled signals of the previous cycle. Maintained only while protocol
   /// checking is enabled (its sole consumer); stale otherwise.
-  const ChannelSignals& prev(ChannelId ch) const { return prevSignals_.at(ch); }
+  ConstSig prev(ChannelId ch) const { return {prevBoard_, slotOrThrow(ch)}; }
+
+  /// The signal board itself (word-parallel consumers: statistics sweeps).
+  const SignalBoard& board() const { return board_; }
 
   // --- Nondeterministic choices ---------------------------------------------
 
@@ -106,6 +147,9 @@ class SimContext {
   void setChoicesFrom(const std::vector<bool>& bits);
 
   /// Fallback provider used when no explicit assignment is set (simulation).
+  /// Must be stable within a cycle AND order-independent across queries —
+  /// i.e. a pure function of (node, index) for the current cycle — because
+  /// the kernels (serial and sharded) resolve slots in evaluation order.
   void setChoiceProvider(std::function<bool(NodeId, unsigned)> fn);
 
   /// Read by nodes inside evalComb/clockEdge; stable within a cycle.
@@ -128,20 +172,99 @@ class SimContext {
   void unpackState(const std::vector<std::uint8_t>& bytes);
 
  private:
-  void resizeSignals();
+  std::uint32_t slotOrThrow(ChannelId ch) const {
+    const std::uint32_t slot = board_.slotOf(ch);
+    ESL_CHECK(slot != SignalBoard::kNoSlot,
+              "SimContext::sig: channel " + std::to_string(ch) +
+                  " has no signal slot (removed, or created after the last "
+                  "settle/reset)");
+    return slot;
+  }
+
+  struct Shard {
+    std::vector<NodeId> owned;       ///< live nodes, ascending id
+    std::vector<NodeId> alwaysEdge;  ///< owned nodes with kEveryCycle
+    NodeId loId = 0, hiId = 0;       ///< id range [loId, hiId]
+    std::size_t pending = 0;         ///< worklist size (gen-stamped membership)
+    std::size_t cursorW = 0;         ///< lowest bitmap word that may be pending
+    std::vector<NodeId> edgeList;    ///< per-edge scratch: nodes to clock
+    std::vector<NodeId> clocked;     ///< stateful nodes clocked at last edge
+    /// Interior plane groups that may carry a token/anti-token ("hot"):
+    /// maintained incrementally by the settle's change mirror, compacted
+    /// lazily at the edge scan — the edge phase stays O(active), never
+    /// O(channels/64), on large idle boards.
+    std::vector<std::uint32_t> hotGroups;
+  };
+
   void ensureChoiceMap();
   void ensureTopologyCache();
+  void resolveAllChoices();
+  void rebuildHotGroups();
+  /// Per-node re-evaluation budget (combinational-cycle guard): the sweep
+  /// kernel's iteration bound, clamped so the count always fits the 24-bit
+  /// field of evalMeta_.
+  std::uint32_t evalBudget() const {
+    const std::size_t raw = 2 * liveNodes_.size() + 8;
+    return static_cast<std::uint32_t>(
+        std::min<std::size_t>(raw, (std::size_t{1} << 24) - 1));
+  }
+  void markHotGroup(Shard& sh, std::uint32_t slot) {
+    const std::uint32_t g = slot >> 6;
+    if (!groupHot_[g] && board_.activityAtGroup(g) != 0) {
+      groupHot_[g] = 1;
+      sh.hotGroups.push_back(g);
+    }
+  }
   void settleSweep();
   void settleEventDriven();
+  void settleSharded();
   void settleCrossChecked();
+  void drainShard(unsigned s, std::uint64_t gen, std::uint32_t maxEvals);
+  void pushInto(Shard& sh, std::uint64_t gen, NodeId id) {
+    const std::size_t w = id >> 6;
+    if (pendingWordGen_[w] != gen) {
+      pendingWordGen_[w] = gen;
+      pendingBits_[w] = 0;
+    }
+    const std::uint64_t m = std::uint64_t{1} << (id & 63);
+    if (!(pendingBits_[w] & m)) {
+      pendingBits_[w] |= m;
+      ++sh.pending;
+      if (w < sh.cursorW) sh.cursorW = w;
+    }
+  }
+  void seedShards(std::uint64_t gen);
   void edgeSparse();
+  void edgeSharded();
   void edgeFull();
   void edgeAudited();
   void edgeEpilogue();
+  /// Scans plane groups [lo, hi) for event bits, calling mark(node) on each
+  /// adjacent endpoint (owner filtering is the caller's mark).
+  template <typename Mark>
+  void scanEventGroups(std::size_t lo, std::size_t hi, const Mark& mark) {
+    for (std::size_t g = lo; g < hi; ++g) {
+      if (board_.activityAtGroup(g) == 0) continue;
+      std::uint64_t ev = board_.eventsAtGroup(g).any();
+      while (ev != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(ev));
+        ev &= ev - 1;
+        const std::uint32_t slot = static_cast<std::uint32_t>(g * 64 + bit);
+        mark(board_.producerAtSlot(slot));
+        mark(board_.consumerAtSlot(slot));
+      }
+    }
+  }
+  Executor& exec();
 
   Netlist& netlist_;
-  std::vector<ChannelSignals> signals_;
-  std::vector<ChannelSignals> prevSignals_;
+  SignalBoard board_;       ///< current signals (SoA)
+  SignalBoard prevBoard_;   ///< previous settled cycle (protocol monitor only)
+  // Value-snapshot scratch boards (sweep convergence, cross-check pre/event),
+  // re-laid only when the topology cache refreshes — never per settle.
+  SignalBoard sweepScratch_;
+  SignalBoard ccPre_;
+  SignalBoard ccEvent_;
   std::uint64_t cycle_ = 0;
   bool havePrev_ = false;
 
@@ -149,23 +272,28 @@ class SimContext {
   SettleKernel kernel_ = SettleKernel::kEventDriven;
   bool crossCheck_ = false;
   bool needFullSeed_ = true;
-  bool shadowValid_ = false;
-  std::vector<ChannelSignals> shadow_;   ///< last propagated value per channel
+  /// The board's write-tracked changed bits reflect exactly the un-propagated
+  /// writes (false after external writes / sweep settles, which bypass the
+  /// consume loop).
+  bool changeTrackValid_ = false;
   // Generation-stamped per-settle scratch (no O(capacity) clears per cycle).
+  // The worklist is a bitmap (64 nodes per word, per-word gen stamps): the
+  // lowest-id-first cursor scan touches kilobytes, not megabytes, per settle.
   std::uint64_t settleGen_ = 0;
-  std::vector<std::uint64_t> pendingGen_;  ///< == settleGen_ → in worklist
-  std::vector<std::uint64_t> evalGen_;     ///< == settleGen_ → evalCount_ valid
-  std::vector<std::uint32_t> evalCount_;   ///< per-settle budget (cycle guard)
+  std::vector<std::uint64_t> pendingBits_;     ///< bit set → in worklist
+  std::vector<std::uint64_t> pendingWordGen_;  ///< == settleGen_ → word valid
+  /// Per-node eval budget (combinational-cycle guard), packed as
+  /// count<<40 | gen&(2^40-1): one load/store per eval instead of two arrays.
+  std::vector<std::uint64_t> evalMeta_;
 
-  // Clock-edge dirty-tracking: hot channels (token or anti-token present in
-  // the settled signals) feed the event scan; only maintained by the
-  // event-driven settle, so edgeTrackValid_ gates the sparse path.
+  // Clock-edge dirty-tracking: valid whenever the event kernel settled the
+  // board (events are then a pure bitplane function of the settled signals).
   bool edgeTrackValid_ = false;
-  std::vector<ChannelId> hotChannels_;     ///< compacted lazily in edgeSparse()
-  std::vector<std::uint8_t> hotInList_;    ///< membership flag per channel
-  std::uint64_t edgeGen_ = 0;              ///< dedup stamp for edgeDirty_
-  std::vector<std::uint64_t> edgeMarkGen_;  ///< == edgeGen_ → already queued
-  std::vector<NodeId> edgeDirty_;          ///< per-edge scratch
+  std::uint64_t edgeGen_ = 0;                 ///< dedup stamp for edge marks
+  std::vector<std::uint64_t> edgeBits_;       ///< bitmap: already queued
+  std::vector<std::uint64_t> edgeWordGen_;    ///< == edgeGen_ → word valid
+  std::vector<NodeId> edgeDirty_;             ///< per-edge scratch (serial path)
+  std::vector<std::uint8_t> groupHot_;        ///< membership flag per plane group
 
   // Sparse settle seeding: after a dirty-tracked edge, only the nodes that
   // were actually clocked can have changed state, so the next settle seeds
@@ -173,12 +301,29 @@ class SimContext {
   bool sparseSeedValid_ = false;
   std::vector<NodeId> prevClocked_;  ///< stateful nodes clocked at last edge
 
+  // Sharding: node partition + per-shard scratch + lazily built executor.
+  unsigned shards_ = 1;
+  ShardPlan plan_;
+  std::vector<Shard> shardState_;
+  std::unique_ptr<Executor> exec_;
+
   // Per-topology caches (live ids, seed set, channel persistence), refreshed
-  // whenever the netlist's topologyVersion() moves.
+  // whenever the netlist's topologyVersion moves (or the shard count does).
   std::uint64_t topologySeen_ = ~std::uint64_t{0};
+  unsigned shardsSeen_ = 0;
   std::vector<NodeId> liveNodes_;
+  std::vector<Node*> nodePtr_;  ///< cached per-id pointers (hot dispatch)
+  /// Flattened channel→reader adjacency (CSR) with the board slot resolved at
+  /// cache-build time: the drain loops walk one contiguous range per node.
+  struct AdjEntry {
+    std::uint32_t slot;
+    NodeId other;
+  };
+  std::vector<std::uint32_t> adjOffset_;  ///< indexed by NodeId, size cap+1
+  std::vector<AdjEntry> adjFlat_;
   std::vector<NodeId> seedNodes_;            ///< live nodes not kCombPure
   std::vector<NodeId> cycleSeedNodes_;       ///< per-cycle readers + unaudited
+  std::vector<NodeId> choiceNodes_;          ///< live nodes with choiceCount>0
   std::vector<NodeId> alwaysEdgeNodes_;      ///< live nodes with kEveryCycle
   std::vector<std::uint8_t> nodeUnaudited_;  ///< kUnaudited flag per node
   std::vector<std::uint8_t> nodeStateDriven_;  ///< kStateDriven flag per node
@@ -187,12 +332,15 @@ class SimContext {
   std::vector<ChannelId> liveChannels_;
   std::vector<bool> channelPersistent_;
 
-  // Choice bookkeeping: per-node offset into the per-cycle assignment.
+  // Choice bookkeeping: per-node offset into the per-cycle assignment. The
+  // cache is two packed bitplanes (known/value) so the per-cycle clear — and
+  // setChoicesFrom — is a word fill, not a byte loop.
   std::vector<unsigned> choiceOffset_;  // indexed by NodeId
   unsigned totalChoices_ = 0;
   std::vector<bool> fixedChoices_;
   bool hasFixedChoices_ = false;
-  std::vector<signed char> cachedChoices_;  // -1 unset, else 0/1
+  std::vector<std::uint64_t> choiceKnown_;  ///< bit set → value cached
+  std::vector<std::uint64_t> choiceValue_;
   std::function<bool(NodeId, unsigned)> choiceProvider_;
 
   bool protocolChecking_ = false;

@@ -18,10 +18,10 @@ void EarlyEvalMux::reset() {
 
 EarlyEvalMux::CombView EarlyEvalMux::view(SimContext& ctx) const {
   CombView v;
-  const ChannelSignals& sel = ctx.sig(selectChannel());
-  v.selValid = sel.vf;
+  const ConstSig sel = ctx.sig(selectChannel());
+  v.selValid = sel.vf();
   if (v.selValid) {
-    const std::uint64_t idx = sel.data.toUint64();
+    const std::uint64_t idx = sel.dataLow64();
     ESL_CHECK(idx < dataInputs_,
               "EarlyEvalMux '" + name() + "': select value out of range");
     v.selIdx = static_cast<unsigned>(idx);
@@ -30,9 +30,9 @@ EarlyEvalMux::CombView EarlyEvalMux::view(SimContext& ctx) const {
   // The selected token is usable only if it is not owed to a pending
   // anti-token from an earlier firing.
   const bool usable = v.selValid && pendingAnti_[v.selIdx] == 0 &&
-                      ctx.sig(dataChannel(v.selIdx)).vf;
-  const ChannelSignals& out = ctx.sig(output(0));
-  v.fire = usable && (!out.sf || out.vb);
+                      ctx.sig(dataChannel(v.selIdx)).vf();
+  const ConstSig out = ctx.sig(output(0));
+  v.fire = usable && (!out.sf() || out.vb());
 
   v.antiAvail.resize(dataInputs_);
   for (unsigned i = 0; i < dataInputs_; ++i)
@@ -42,33 +42,34 @@ EarlyEvalMux::CombView EarlyEvalMux::view(SimContext& ctx) const {
 
 void EarlyEvalMux::evalComb(SimContext& ctx) {
   const CombView v = view(ctx);
-  ChannelSignals& out = ctx.sig(output(0));
-  ChannelSignals& sel = ctx.sig(selectChannel());
+  Sig out = ctx.sig(output(0));
+  Sig sel = ctx.sig(selectChannel());
 
   const bool usable = v.selValid && pendingAnti_[v.selIdx] == 0 &&
-                      ctx.sig(dataChannel(v.selIdx)).vf;
-  out.vf = usable;
-  if (usable) out.data = ctx.sig(dataChannel(v.selIdx)).data;
+                      ctx.sig(dataChannel(v.selIdx)).vf();
+  out.setVf(usable);
+  if (usable) out.setDataFrom(ctx.sig(dataChannel(v.selIdx)));
   // An anti-token at the output is consumed only by annihilating a firing.
-  out.sb = !usable;
+  out.setSb(!usable);
 
-  sel.sf = !v.fire;
-  sel.vb = false;
+  sel.setSf(!v.fire);
+  sel.setVb(false);
 
   for (unsigned i = 0; i < dataInputs_; ++i) {
-    ChannelSignals& in = ctx.sig(dataChannel(i));
-    in.vb = v.antiAvail[i] > 0;
-    if (in.vb) {
-      in.sf = false;  // kill and stop are mutually exclusive
+    Sig in = ctx.sig(dataChannel(i));
+    const bool anti = v.antiAvail[i] > 0;
+    in.setVb(anti);
+    if (anti) {
+      in.setSf(false);  // kill and stop are mutually exclusive
     } else if (v.selValid && i == v.selIdx) {
       // Selected: released on firing; stopped while waiting — when the channel
       // is empty this stop is the misprediction demand.
-      in.sf = !v.fire;
+      in.setSf(!v.fire);
     } else {
       // Non-selected: hold an arriving token (it will be killed by a future
       // firing's anti-token); keep the channel free otherwise so that an
       // empty non-selected channel never looks like a demand.
-      in.sf = in.vf;
+      in.setSf(in.vf());
     }
   }
 }
@@ -76,9 +77,9 @@ void EarlyEvalMux::evalComb(SimContext& ctx) {
 void EarlyEvalMux::clockEdge(SimContext& ctx) {
   const CombView v = view(ctx);
   for (unsigned i = 0; i < dataInputs_; ++i) {
-    const ChannelSignals& in = ctx.sig(dataChannel(i));
+    const ConstSig in = ctx.sig(dataChannel(i));
     unsigned avail = v.antiAvail[i];
-    if (in.vb && (in.vf || !in.sb)) {
+    if (in.vb() && (in.vf() || !in.sb())) {
       ESL_ASSERT(avail > 0);
       --avail;  // delivered: killed a token or moved upstream
     }

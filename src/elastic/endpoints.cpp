@@ -45,16 +45,17 @@ void TokenSource::reset() {
 }
 
 void TokenSource::evalComb(SimContext& ctx) {
-  ChannelSignals& out = ctx.sig(output(0));
+  Sig out = ctx.sig(output(0));
   const std::optional<BitVec> tok = offering_ ? tokenAt(index_) : std::nullopt;
   // A token owed to an absorbed anti-token is never shown.
-  out.vf = tok.has_value() && killCredit_ == 0;
-  if (out.vf) out.data = *tok;
-  out.sb = false;  // sources always absorb anti-tokens
+  const bool offer = tok.has_value() && killCredit_ == 0;
+  out.setVf(offer);
+  if (offer) out.setData(*tok);
+  out.setSb(false);  // sources always absorb anti-tokens
 }
 
 void TokenSource::clockEdge(SimContext& ctx) {
-  const ChannelSignals out = ctx.sig(output(0));
+  const ConstSig out = ctx.sig(output(0));
 
   if (killEvent(out)) {
     ++index_;
@@ -69,7 +70,7 @@ void TokenSource::clockEdge(SimContext& ctx) {
   }
 
   // An owed kill silently consumes the next available token (one per cycle).
-  if (killCredit_ > 0 && tokenAt(index_).has_value() && !out.vf) {
+  if (killCredit_ > 0 && tokenAt(index_).has_value() && !out.vf()) {
     ++index_;
     --killCredit_;
     ++killedCount_;
@@ -119,20 +120,20 @@ void TokenSink::reset() {
 }
 
 void TokenSink::evalComb(SimContext& ctx) {
-  ChannelSignals& in = ctx.sig(input(0));
+  Sig in = ctx.sig(input(0));
   const bool wantAnti =
       antiActive_ || (antiRemaining_ > 0 && antiGate_ && antiGate_(ctx.cycle()));
-  in.vb = wantAnti;
+  in.setVb(wantAnti);
   // Kill and stop are mutually exclusive; anti-token emission wins.
-  in.sf = !wantAnti && ready_ && !ready_(ctx.cycle());
+  in.setSf(!wantAnti && ready_ && !ready_(ctx.cycle()));
 }
 
 void TokenSink::clockEdge(SimContext& ctx) {
-  const ChannelSignals in = ctx.sig(input(0));
-  if (fwdTransfer(in)) transfers_.push_back({ctx.cycle(), in.data});
+  const ConstSig in = ctx.sig(input(0));
+  if (fwdTransfer(in)) transfers_.push_back({ctx.cycle(), in.data()});
 
-  if (in.vb) {
-    const bool delivered = in.vf || !in.sb;  // killed a token or moved upstream
+  if (in.vb()) {
+    const bool delivered = in.vf() || !in.sb();  // killed a token or moved upstream
     if (delivered) {
       ESL_ASSERT(antiRemaining_ > 0);
       --antiRemaining_;
@@ -192,14 +193,15 @@ BitVec NondetSource::valueNow(SimContext& ctx) const {
 }
 
 void NondetSource::evalComb(SimContext& ctx) {
-  ChannelSignals& out = ctx.sig(output(0));
-  out.vf = offeringNow(ctx) && killCredit_ == 0;
-  if (out.vf) out.data = valueNow(ctx);
-  out.sb = !out.vf && killCredit_ >= cap_;
+  Sig out = ctx.sig(output(0));
+  const bool offer = offeringNow(ctx) && killCredit_ == 0;
+  out.setVf(offer);
+  if (offer) out.setData(valueNow(ctx));
+  out.setSb(!offer && killCredit_ >= cap_);
 }
 
 void NondetSource::clockEdge(SimContext& ctx) {
-  const ChannelSignals out = ctx.sig(output(0));
+  const ConstSig out = ctx.sig(output(0));
   bool offered = offeringNow(ctx);
   const BitVec v = valueNow(ctx);
   if (killEvent(out) || fwdTransfer(out)) offered = false;
@@ -260,18 +262,18 @@ bool NondetSink::stopNow(SimContext& ctx) const {
 }
 
 void NondetSink::evalComb(SimContext& ctx) {
-  ChannelSignals& in = ctx.sig(input(0));
+  Sig in = ctx.sig(input(0));
   const bool anti = antiNow(ctx);
-  in.vb = anti;
-  in.sf = !anti && stopNow(ctx);
+  in.setVb(anti);
+  in.setSf(!anti && stopNow(ctx));
 }
 
 void NondetSink::clockEdge(SimContext& ctx) {
-  const ChannelSignals in = ctx.sig(input(0));
-  consecutiveStops_ = in.sf ? consecutiveStops_ + 1 : 0;
+  const ConstSig in = ctx.sig(input(0));
+  consecutiveStops_ = in.sf() ? consecutiveStops_ + 1 : 0;
   if (consecutiveStops_ > maxStops_) consecutiveStops_ = maxStops_;
-  if (in.vb) {
-    const bool delivered = in.vf || !in.sb;
+  if (in.vb()) {
+    const bool delivered = in.vf() || !in.sb();
     antiActive_ = !delivered;
   }
 }

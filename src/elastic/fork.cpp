@@ -12,39 +12,45 @@ ForkNode::ForkNode(std::string name, unsigned width, unsigned branches)
 
 void ForkNode::reset() { done_.assign(branches(), false); }
 
-bool ForkNode::branchDoneNow(SimContext& ctx, unsigned i) const {
+bool ForkNode::branchDoneNow(SimContext& ctx, unsigned i, bool inVf) const {
   if (done_[i]) return true;
-  const ChannelSignals& br = ctx.sig(output(i));
-  return killEvent(br) || fwdTransfer(br);
+  // The branch's vf is OUR driven value (inVf && !done_[i]); recompute it
+  // instead of reading it back (the accessor contract forbids read-after-write
+  // of self-driven fields, and under sharding the read would be stale). The
+  // consumer-driven sf/vb are read normally: done = kill or forward transfer
+  // = vf && (vb || !sf).
+  const ConstSig br = ctx.sig(output(i));
+  return inVf && (br.vb() || !br.sf());
 }
 
 void ForkNode::evalComb(SimContext& ctx) {
-  ChannelSignals& in = ctx.sig(input(0));
+  Sig in = ctx.sig(input(0));
+  const bool inVf = in.vf();
 
   for (unsigned i = 0; i < branches(); ++i) {
-    ChannelSignals& br = ctx.sig(output(i));
-    const bool pending = in.vf && !done_[i];
-    br.vf = pending;
-    if (pending) br.data = in.data;
+    Sig br = ctx.sig(output(i));
+    const bool pending = inVf && !done_[i];
+    br.setVf(pending);
+    if (pending) br.setDataFrom(in);
     // An anti-token on the branch is only consumable against a pending copy;
     // otherwise it waits downstream for the copy to materialize.
-    br.sb = !pending;
+    br.setSb(!pending);
   }
 
-  bool allDone = in.vf;
+  bool allDone = inVf;
   for (unsigned i = 0; i < branches() && allDone; ++i)
-    allDone = branchDoneNow(ctx, i);
-  in.sf = !allDone;
-  in.vb = false;
+    allDone = branchDoneNow(ctx, i, inVf);
+  in.setSf(!allDone);
+  in.setVb(false);
 }
 
 void ForkNode::clockEdge(SimContext& ctx) {
-  const ChannelSignals in = ctx.sig(input(0));
-  if (!in.vf) return;
+  const bool inVf = ctx.sig(input(0)).vf();
+  if (!inVf) return;
   bool all = true;
   std::vector<bool> next(branches());
   for (unsigned i = 0; i < branches(); ++i) {
-    next[i] = branchDoneNow(ctx, i);
+    next[i] = branchDoneNow(ctx, i, inVf);
     all = all && next[i];
   }
   done_ = all ? std::vector<bool>(branches(), false) : next;

@@ -35,7 +35,7 @@ class ForkNode : public Node {
 
  private:
   /// Branch copy consumed this cycle (settled signals).
-  bool branchDoneNow(SimContext& ctx, unsigned i) const;
+  bool branchDoneNow(SimContext& ctx, unsigned i, bool inVf) const;
 
   unsigned width_;
   std::vector<bool> done_;

@@ -14,47 +14,48 @@ FuncNode::FuncNode(std::string name, std::vector<unsigned> inputWidths,
 }
 
 void FuncNode::evalComb(SimContext& ctx) {
-  ChannelSignals& out = ctx.sig(output(0));
+  Sig out = ctx.sig(output(0));
+  const unsigned n = numInputs();
+  inSigs_.clear();
+  for (unsigned i = 0; i < n; ++i) inSigs_.push_back(ctx.sig(input(i)));
 
   bool allIn = true;
-  for (unsigned i = 0; i < numInputs(); ++i) allIn = allIn && ctx.sig(input(i)).vf;
+  for (unsigned i = 0; i < n; ++i) allIn = allIn && inSigs_[i].vf();
 
-  out.vf = allIn;
+  out.setVf(allIn);
   if (allIn) {
     bool hit = memoValid_;
-    for (unsigned i = 0; hit && i < numInputs(); ++i)
-      hit = ctx.sig(input(i)).data == memoArgs_[i];
+    for (unsigned i = 0; hit && i < n; ++i)
+      hit = inSigs_[i].dataEquals(memoArgs_[i]);
     if (!hit) {
-      memoArgs_.resize(numInputs());
-      for (unsigned i = 0; i < numInputs(); ++i) memoArgs_[i] = ctx.sig(input(i)).data;
+      memoArgs_.resize(n);
+      for (unsigned i = 0; i < n; ++i) memoArgs_[i] = inSigs_[i].data();
       memoOut_ = fn_(memoArgs_);
       ESL_CHECK(memoOut_.width() == outputWidth(0),
                 "FuncNode '" + name() + "': function returned wrong width");
       memoValid_ = true;
     }
-    out.data = memoOut_;
+    out.setData(memoOut_);
   }
 
   // Output consumed this cycle: normal transfer or annihilated by an
   // anti-token at the output channel.
-  const bool fire = allIn && (!out.sf || out.vb);
+  const bool outVb = out.vb();
+  const bool fire = allIn && (!out.sf() || outVb);
 
   // Counterflow: an anti-token at the output propagates to all inputs
   // atomically when each input channel can absorb it this cycle (by killing
   // its token or moving the anti-token further upstream).
   bool allCan = true;
-  for (unsigned i = 0; i < numInputs(); ++i) {
-    const ChannelSignals& in = ctx.sig(input(i));
-    allCan = allCan && (in.vf || !in.sb);
-  }
-  const bool back = out.vb && !allIn && allCan;
+  for (unsigned i = 0; i < n; ++i)
+    allCan = allCan && (inSigs_[i].vf() || !inSigs_[i].sb());
+  const bool back = outVb && !allIn && allCan;
 
-  for (unsigned i = 0; i < numInputs(); ++i) {
-    ChannelSignals& in = ctx.sig(input(i));
-    in.vb = back;
-    in.sf = !fire && !in.vb;
+  for (unsigned i = 0; i < n; ++i) {
+    inSigs_[i].setVb(back);
+    inSigs_[i].setSf(!fire && !back);
   }
-  out.sb = !allIn && !allCan;
+  out.setSb(!allIn && !allCan);
 }
 
 void FuncNode::clockEdge(SimContext& ctx) {

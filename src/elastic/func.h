@@ -60,6 +60,10 @@ class FuncNode : public Node {
   bool memoValid_ = false;
   std::vector<BitVec> memoArgs_;
   BitVec memoOut_;
+
+  // Per-eval accessor scratch: the input proxies are resolved once per
+  // evalComb and reused across its loops (capacity retained between calls).
+  std::vector<Sig> inSigs_;
 };
 
 /// Identity function block (a named wire with join semantics).

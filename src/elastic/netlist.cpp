@@ -200,6 +200,12 @@ const Channel& Netlist::channel(ChannelId ch) const {
 
 Channel& Netlist::channelMutable(ChannelId ch) {
   ESL_CHECK(hasChannel(ch), "Netlist::channel: unknown channel id " + std::to_string(ch));
+  // Handing out a mutable Channel can invalidate any per-topology structure
+  // (the name index, and the SignalBoard arena, which is sized from channel
+  // widths). Bump the version so caches re-derive — and the width audit in
+  // validate()/SignalBoard::layout() rejects a width that no longer matches
+  // the endpoint ports instead of silently corrupting payload storage.
+  invalidateAdjacency();
   return channels_[ch];
 }
 
@@ -241,6 +247,14 @@ void Netlist::validate() const {
               "validate: producer binding inconsistent for " + ch.name);
     ESL_CHECK(node(ch.consumer).input(ch.consumerPort) == id,
               "validate: consumer binding inconsistent for " + ch.name);
+    // Channel widths are load-bearing: the SignalBoard payload arena is laid
+    // out from them. connect() checks them at creation; re-check here so a
+    // post-hoc width edit (channelMutable-style surgery) is rejected at
+    // build/validate time, before any kernel trusts the layout.
+    ESL_CHECK(node(ch.producer).outputWidth(ch.producerPort) == ch.width &&
+                  node(ch.consumer).inputWidth(ch.consumerPort) == ch.width,
+              "validate: channel width drifted from its endpoint ports on " +
+                  ch.name);
   }
 }
 

@@ -31,7 +31,7 @@ void SharedModule::reset() {
 
 unsigned SharedModule::predictNow(SimContext& ctx) {
   validScratch_.resize(channels_);
-  for (unsigned i = 0; i < channels_; ++i) validScratch_[i] = ctx.sig(input(i)).vf;
+  for (unsigned i = 0; i < channels_; ++i) validScratch_[i] = ctx.sig(input(i)).vf();
   const sched::ChoiceReader reader = [this, &ctx](unsigned b) {
     return ctx.choice(*this, b);
   };
@@ -44,31 +44,34 @@ unsigned SharedModule::predictNow(SimContext& ctx) {
 void SharedModule::evalComb(SimContext& ctx) {
   const unsigned sched = predictNow(ctx);
   for (unsigned i = 0; i < channels_; ++i) {
-    ChannelSignals& in = ctx.sig(input(i));
-    ChannelSignals& out = ctx.sig(output(i));
+    Sig in = ctx.sig(input(i));
+    Sig out = ctx.sig(output(i));
     const bool routed = i == sched;
 
-    out.vf = routed && in.vf;
-    if (out.vf) {
-      if (!memoValid_ || !(memoIn_ == in.data)) {
-        memoIn_ = in.data;
-        memoOut_ = fn_(in.data);
+    const bool inVf = in.vf();
+    const bool outVf = routed && inVf;
+    out.setVf(outVf);
+    if (outVf) {
+      if (!memoValid_ || !in.dataEquals(memoIn_)) {
+        memoIn_ = in.data();
+        memoOut_ = fn_(memoIn_);
         ESL_CHECK(memoOut_.width() == outWidth_,
                   "SharedModule '" + name() + "': function returned wrong width");
         memoValid_ = true;
       }
-      out.data = memoOut_;
+      out.setData(memoOut_);
     }
 
     // Anti-tokens pass straight through the controller (Fig. 4b): the module
     // is combinational, so the token seen at out_i *is* the token at in_i and
     // a kill annihilates it at both channel views at once.
-    in.vb = out.vb;
-    out.sb = !in.vf && in.sb;
+    const bool anti = out.vb();
+    in.setVb(anti);
+    out.setSb(!inVf && in.sb());
 
     // Routed channel sees the downstream stop; others are stopped unless
     // being killed ("stops the other channel (unless it is killed)").
-    in.sf = !in.vb && (routed ? out.sf : true);
+    in.setSf(!anti && (routed ? out.sf() : true));
   }
 }
 
@@ -84,10 +87,10 @@ void SharedModule::clockEdge(SimContext& ctx) {
   obs.killed.resize(channels_);
   bool anyDemand = false;
   for (unsigned i = 0; i < channels_; ++i) {
-    const ChannelSignals& in = ctx.sig(input(i));
-    const ChannelSignals& out = ctx.sig(output(i));
-    obs.valid[i] = in.vf;
-    obs.demand[i] = out.sf && !out.vf;  // selected-but-empty at the EE mux
+    const ConstSig in = ctx.sig(input(i));
+    const ConstSig out = ctx.sig(output(i));
+    obs.valid[i] = in.vf();
+    obs.demand[i] = out.sf() && !out.vf();  // selected-but-empty at the EE mux
     obs.served[i] = fwdTransfer(out);
     obs.killed[i] = killEvent(in);
     if (obs.served[i]) ++served_[i];

@@ -27,22 +27,23 @@ void StallingVLU::reset() {
 }
 
 void StallingVLU::evalComb(SimContext& ctx) {
-  ChannelSignals& in = ctx.sig(input(0));
-  ChannelSignals& out = ctx.sig(output(0));
+  Sig in = ctx.sig(input(0));
+  Sig out = ctx.sig(output(0));
 
-  out.vf = result_.has_value();
-  if (result_) out.data = *result_;
-  out.sb = !result_.has_value();  // anti-token consumed only against a result
+  const bool haveResult = result_.has_value();
+  out.setVf(haveResult);
+  if (haveResult) out.setData(*result_);
+  out.setSb(!haveResult);  // anti-token consumed only against a result
 
-  const bool leave = out.vf && (!out.sf || out.vb);
-  const bool canAccept = !pending_ && (!result_ || leave);
-  in.sf = !canAccept;
-  in.vb = false;
+  const bool leave = haveResult && (!out.sf() || out.vb());
+  const bool canAccept = !pending_ && (!haveResult || leave);
+  in.setSf(!canAccept);
+  in.setVb(false);
 }
 
 void StallingVLU::clockEdge(SimContext& ctx) {
-  const ChannelSignals in = ctx.sig(input(0));
-  const ChannelSignals out = ctx.sig(output(0));
+  const ConstSig in = ctx.sig(input(0));
+  const ConstSig out = ctx.sig(output(0));
 
   if (killEvent(out) || fwdTransfer(out)) {
     if (fwdTransfer(out)) ++completed_;
@@ -55,7 +56,7 @@ void StallingVLU::clockEdge(SimContext& ctx) {
     result_ = exact_(*pending_);
     pending_.reset();
   } else if (fwdTransfer(in)) {
-    const BitVec x = in.data;
+    const BitVec x = in.data();
     if (err_(x)) {
       pending_ = x;  // bubble next cycle, sender stalled
       ++stalls_;

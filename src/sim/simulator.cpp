@@ -3,27 +3,52 @@
 namespace esl::sim {
 
 Simulator::Simulator(Netlist& netlist, SimOptions options)
-    : ctx_(netlist), options_(options), rng_(options.seed) {
+    : ctx_(netlist), options_(options) {
   ctx_.setProtocolChecking(options_.checkProtocol);
   ctx_.setThrowOnViolation(options_.throwOnViolation);
   ctx_.setKernel(options_.kernel);
   ctx_.setCrossCheck(options_.crossCheckKernels);
-  ctx_.setChoiceProvider([this](NodeId, unsigned) { return (rng_.next() & 1) != 0; });
+  ctx_.setShards(options_.shards);
+  // Stateless per-(cycle, node, index) draw: order-independent by design, so
+  // every kernel (and every shard count) sees the same choice stream. The
+  // cycle is hashed separately before mixing in (node, index) so distinct
+  // (cycle, index) pairs can never collide into the same draw.
+  const std::uint64_t seed = options_.seed;
+  SimContext* ctx = &ctx_;
+  ctx_.setChoiceProvider([seed, ctx](NodeId node, unsigned idx) {
+    const std::uint64_t perCycle = mix64(ctx->cycle(), seed);
+    return (mix64(perCycle ^ (std::uint64_t{node} << 32 | idx), seed) & 1) != 0;
+  });
   stats_.assign(netlist.channelCapacity(), ChannelStats{});
-  channels_ = options_.trackChannelStats ? netlist.channelIds()
-                                         : std::vector<ChannelId>{};
 }
 
 void Simulator::step() {
   ctx_.settle();
   if (options_.checkProtocol) ctx_.checkProtocol();
 
-  for (const ChannelId id : channels_) {
-    const ChannelSignals& s = ctx_.sig(id);
-    ChannelStats& st = stats_[id];
-    if (fwdTransfer(s)) ++st.fwdTransfers;
-    if (killEvent(s)) ++st.kills;
-    if (bwdTransfer(s)) ++st.bwdTransfers;
+  if (options_.trackChannelStats) {
+    // Word-parallel event sweep over the settled bitplanes: quiet 64-channel
+    // groups cost two loads and an OR; only channels with an actual event
+    // touch their counters.
+    const SignalBoard& board = ctx_.board();
+    const std::size_t groups = board.groupCount();
+    for (std::size_t g = 0; g < groups; ++g) {
+      if (board.activityAtGroup(g) == 0) continue;
+      const SignalBoard::EventWord ev = board.eventsAtGroup(g);
+      std::uint64_t any = ev.any();
+      while (any != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(any));
+        any &= any - 1;
+        const std::uint32_t slot = static_cast<std::uint32_t>(g * 64 + bit);
+        const std::uint64_t mask = std::uint64_t{1} << bit;
+        const ChannelId ch = board.channelAtSlot(slot);
+        if (ch >= stats_.size()) stats_.resize(ch + 1);  // post-surgery channel
+        ChannelStats& st = stats_[ch];
+        if (ev.fwd & mask) ++st.fwdTransfers;
+        if (ev.kill & mask) ++st.kills;
+        if (ev.bwd & mask) ++st.bwdTransfers;
+      }
+    }
   }
   if (trace_ != nullptr) trace_->capture(ctx_);
 

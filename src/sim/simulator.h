@@ -1,8 +1,15 @@
 // Simulator: runs a netlist cycle by cycle and collects statistics.
 //
-// Wraps SimContext with: a seeded RNG choice provider (nondet environment
-// nodes behave randomly but reproducibly), per-channel transfer/kill
-// statistics, throughput measurement, and an optional trace recorder.
+// Wraps SimContext with: a seeded choice provider (nondet environment nodes
+// behave randomly but reproducibly), per-channel transfer/kill statistics,
+// throughput measurement, and an optional trace recorder.
+//
+// The choice provider is a stateless hash of (seed, cycle, node, index) — a
+// pure per-cycle function, so resolution order can never leak into the drawn
+// values. That is what lets the serial kernels resolve lazily while the
+// sharded kernel pre-resolves every slot, with bit-identical outcomes (and it
+// makes the sweep/event/sharded kernels agree choice for choice by
+// construction).
 #pragma once
 
 #include <cstdint>
@@ -22,12 +29,14 @@ struct SimOptions {
   SimContext::SettleKernel kernel = SimContext::SettleKernel::kEventDriven;
   /// Run both kernels every cycle and throw InternalError on disagreement.
   bool crossCheckKernels = false;
-  /// Collect per-channel transfer/kill statistics each cycle. The scan is
-  /// O(channels); large-netlist benchmarks that only read endpoint counters
-  /// (sink transfers, node statistics) turn it off so the wrapper does not
-  /// mask the kernel's O(active) scaling. throughput()/channelStats() read
-  /// zeros when disabled.
+  /// Collect per-channel transfer/kill statistics each cycle. With the
+  /// SignalBoard this is a bitplane sweep — two loads and an OR per 64 quiet
+  /// channels, popcount-cheap on busy ones — so it is cheap enough to stay on
+  /// by default even at the 100k-node benchmark tiers.
   bool trackChannelStats = true;
+  /// Shard the netlist across N worker lanes per cycle (1 = serial). Settled
+  /// signals and packed state are bit-identical for every value.
+  unsigned shards = 1;
 };
 
 struct ChannelStats {
@@ -56,9 +65,7 @@ class Simulator {
  private:
   SimContext ctx_;
   SimOptions options_;
-  Rng rng_;
   std::vector<ChannelStats> stats_;
-  std::vector<ChannelId> channels_;  ///< live ids, cached (topology is fixed)
   TraceRecorder* trace_ = nullptr;
 };
 

@@ -38,7 +38,7 @@ void TraceRecorder::capture(SimContext& ctx) {
   for (Row& row : rows_) {
     std::string cell;
     if (row.isChannel) {
-      const ChannelSignals& s = ctx.sig(row.ch);
+      const ConstSig s = ctx.sig(row.ch);
       switch (channelSymbol(s)) {
         case ChannelSymbol::kAntiToken:
           cell = "-";
@@ -47,7 +47,7 @@ void TraceRecorder::capture(SimContext& ctx) {
           cell = "*";
           break;
         case ChannelSymbol::kData:
-          cell = letterFor(s.data);
+          cell = letterFor(s.data());
           break;
       }
     } else {

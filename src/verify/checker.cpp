@@ -548,18 +548,18 @@ namespace {
 void addChannelLabels(ModelChecker& mc, const Netlist& nl, ChannelId ch) {
   const std::string base = nl.channel(ch).name;
   mc.addLabel(base + ".retryF", [ch](const SimContext& c) {
-    const ChannelSignals& s = c.sig(ch);
-    return s.vf && s.sf && !s.vb;
+    const ConstSig s = c.sig(ch);
+    return s.vf() && s.sf() && !s.vb();
   });
-  mc.addLabel(base + ".vf", [ch](const SimContext& c) { return c.sig(ch).vf; });
+  mc.addLabel(base + ".vf", [ch](const SimContext& c) { return c.sig(ch).vf(); });
   mc.addLabel(base + ".retryB", [ch](const SimContext& c) {
-    const ChannelSignals& s = c.sig(ch);
-    return s.vb && s.sb && !s.vf;
+    const ConstSig s = c.sig(ch);
+    return s.vb() && s.sb() && !s.vf();
   });
-  mc.addLabel(base + ".vb", [ch](const SimContext& c) { return c.sig(ch).vb; });
+  mc.addLabel(base + ".vb", [ch](const SimContext& c) { return c.sig(ch).vb(); });
   mc.addLabel(base + ".killStop", [ch](const SimContext& c) {
-    const ChannelSignals& s = c.sig(ch);
-    return (s.vf && s.vb && s.sf) || (s.vf && s.vb && s.sb);
+    const ConstSig s = c.sig(ch);
+    return (s.vf() && s.vb() && s.sf()) || (s.vf() && s.vb() && s.sb());
   });
 }
 
@@ -581,7 +581,7 @@ ProtocolReport runSelfSuite(ModelChecker& mc, Netlist& netlist,
   for (const ChannelId ch : channels) addChannelLabels(mc, netlist, ch);
   mc.addLabel("progress", [channels](const SimContext& c) {
     for (const ChannelId ch : channels) {
-      const ChannelSignals& s = c.sig(ch);
+      const ConstSig s = c.sig(ch);
       if (fwdTransfer(s) || killEvent(s) || bwdTransfer(s)) return true;
     }
     return false;
@@ -615,7 +615,7 @@ ProtocolReport runSchedulerSuite(ModelChecker& mc, Netlist& netlist,
     const ChannelId in = shared->input(i);
     const ChannelId out = shared->output(i);
     mc.addLabel("in" + std::to_string(i) + ".valid",
-                [in](const SimContext& c) { return c.sig(in).vf; });
+                [in](const SimContext& c) { return c.sig(in).vf(); });
     // Served through the shared unit, or killed by an anti-token.
     mc.addLabel("in" + std::to_string(i) + ".done", [in, out](const SimContext& c) {
       return fwdTransfer(c.sig(out)) || killEvent(c.sig(in)) ||

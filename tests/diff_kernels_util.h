@@ -51,6 +51,42 @@ inline std::optional<std::string> diffKernelsOnce(const synth::SynthConfig& cfg,
   return std::nullopt;
 }
 
+/// Sharded-vs-serial differential: the same system, one instance on the
+/// serial event kernel and one sharded across `shards` worker lanes, asserted
+/// packState-identical after EVERY cycle (the sharded settle must reach the
+/// exact fixed point the serial kernel does, cycle by cycle).
+inline std::optional<std::string> diffShardedOnce(const synth::SynthConfig& cfg,
+                                                  std::uint64_t cycles,
+                                                  unsigned shards) {
+  synth::SynthSystem serial = synth::build(cfg);
+  synth::SynthSystem sharded = synth::build(cfg);
+  sim::SimOptions base;
+  base.checkProtocol = false;
+  sim::SimOptions shardedOpts = base;
+  shardedOpts.shards = shards;
+  sim::Simulator ss(serial.nl, base);
+  sim::Simulator sh(sharded.nl, shardedOpts);
+
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    ss.step();
+    sh.step();
+    if (ss.ctx().packState() != sh.ctx().packState())
+      return "packed state diverged at cycle " + std::to_string(c) + " (" +
+             std::to_string(shards) + " shards)";
+  }
+  if (serial.mainSink != nullptr && sharded.mainSink != nullptr) {
+    const auto& a = serial.mainSink->transfers();
+    const auto& b = sharded.mainSink->transfers();
+    if (a.size() != b.size())
+      return "sink transfer counts differ (" + std::to_string(a.size()) + " vs " +
+             std::to_string(b.size()) + ")";
+    for (std::size_t i = 0; i < a.size(); ++i)
+      if (a[i].cycle != b[i].cycle || !(a[i].data == b[i].data))
+        return "sink transfer " + std::to_string(i) + " differs";
+  }
+  return std::nullopt;
+}
+
 struct DiffFailure {
   synth::SynthConfig config;  ///< minimal failing config
   std::uint64_t cycles = 0;

@@ -137,19 +137,19 @@ TEST(BlifCosim, Table1ControlMatchesBehaviouralModelCycleByCycle) {
 
     // Drive the BLIF primary inputs from the behavioural environment:
     // source valids, sink stop, the select VALUE and the scheduler VALUE.
-    hw.setInput("src0_vf", ref.sig(sys.fin0).vf);
-    hw.setInput("src1_vf", ref.sig(sys.fin1).vf);
-    hw.setInput("selSrc_vf", ref.sig(sys.sel).vf);
-    hw.setInput("sink_stop", ref.sig(sys.ebin).sf);
+    hw.setInput("src0_vf", ref.sig(sys.fin0).vf());
+    hw.setInput("src1_vf", ref.sig(sys.fin1).vf());
+    hw.setInput("selSrc_vf", ref.sig(sys.sel).vf());
+    hw.setInput("sink_stop", ref.sig(sys.ebin).sf());
     hw.setInput("n" + std::to_string(muxId) + "_sel",
-                ref.sig(sys.sel).vf && ref.sig(sys.sel).data.toUint64() == 1);
+                ref.sig(sys.sel).vf() && ref.sig(sys.sel).dataLow64() == 1);
     hw.setInput("n" + std::to_string(sharedId) + "_sched",
                 sys.shared->prediction(ref) == 1);
     hw.settle();
 
     // Every handshake bit of every channel must agree.
     for (const ChannelId ch : nl.channelIds()) {
-      const ChannelSignals& s = ref.sig(ch);
+      const ChannelSignals s = ref.sig(ch);
       const std::string base = "ch" + std::to_string(ch) + "_";
       ASSERT_EQ(hw.value(base + "vf"), s.vf)
           << "vf mismatch on " << nl.channel(ch).name << " at cycle " << cycle;
@@ -183,11 +183,11 @@ TEST(BlifCosim, EbPipelineMatchesUnderBackpressure) {
 
   for (std::uint64_t cycle = 0; cycle < 20; ++cycle) {
     ref.settle();
-    hw.setInput("src_vf", ref.sig(c0).vf);
-    hw.setInput("sink_stop", ref.sig(c2).sf);
+    hw.setInput("src_vf", ref.sig(c0).vf());
+    hw.setInput("sink_stop", ref.sig(c2).sf());
     hw.settle();
     for (const ChannelId ch : {c0, c1, c2}) {
-      const ChannelSignals& s = ref.sig(ch);
+      const ChannelSignals s = ref.sig(ch);
       const std::string base = "ch" + std::to_string(ch) + "_";
       ASSERT_EQ(hw.value(base + "vf"), s.vf) << "cycle " << cycle;
       ASSERT_EQ(hw.value(base + "sf"), s.sf) << "cycle " << cycle;

@@ -85,9 +85,9 @@ class StubbornProducer : public Node {
     declareOutput(width);
   }
   void evalComb(SimContext& ctx) override {
-    ChannelSignals& out = ctx.sig(output(0));
-    out.vf = false;
-    out.sb = true;  // refuses anti-tokens
+    Sig out = ctx.sig(output(0));
+    out.setVf(false);
+    out.setSb(true);  // refuses anti-tokens
   }
   std::string kindName() const override { return "stubborn"; }
 };
@@ -111,7 +111,7 @@ TEST(EarlyEvalMux, PendingAntiTokenPersists) {
   EXPECT_EQ(mux.antiTokensEmitted(), 6u);
   EXPECT_EQ(s.channelStats(ch1).bwdTransfers, 0u);
   EXPECT_EQ(s.channelStats(ch1).kills, 0u);
-  EXPECT_TRUE(s.ctx().sig(ch1).vb);
+  EXPECT_TRUE(s.ctx().sig(ch1).vb());
 }
 
 TEST(EarlyEvalMux, MispredictionCostsOneCycle) {
@@ -139,8 +139,8 @@ TEST(Table1, ReproducesThePaperTrace) {
   trace.addChannel(sys.fin1, "Fin1");
   trace.addChannel(sys.fout1, "Fout1");
   trace.addSignal("Sel", [&sys](SimContext& ctx) {
-    const ChannelSignals& s = ctx.sig(sys.sel);
-    return s.vf ? std::to_string(s.data.toUint64()) : "*";
+    const ConstSig s = ctx.sig(sys.sel);
+    return s.vf() ? std::to_string(s.dataLow64()) : "*";
   });
   trace.addSignal("Sched", [&sys](SimContext& ctx) {
     return std::to_string(sys.shared->prediction(ctx));

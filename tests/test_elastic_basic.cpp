@@ -184,10 +184,13 @@ class OscillatorNode : public Node {
     declareOutput(1);
   }
   void evalComb(SimContext& ctx) override {
-    ChannelSignals& out = ctx.sig(output(0));
-    out.vf = !out.vf;
-    out.data = BitVec(1, out.vf ? 1 : 0);
-    out.sb = false;
+    // Deliberate contract violation: oscillates on its own output (the
+    // serial kernels read back the live value and must flag non-convergence).
+    Sig out = ctx.sig(output(0));
+    const bool flipped = !out.vf();
+    out.setVf(flipped);
+    out.setData(BitVec(1, flipped ? 1 : 0));
+    out.setSb(false);
   }
   std::string kindName() const override { return "oscillator"; }
 };

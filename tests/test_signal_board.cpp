@@ -1,0 +1,154 @@
+// SignalBoard unit tests: slot layout, payload width boundaries, the wide
+// spill table, snapshot/accessor equivalence with the legacy AoS layout, and
+// the build-time channel-width audit.
+#include <gtest/gtest.h>
+
+#include "elastic/signal_board.h"
+#include "netlist/synth.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace esl {
+namespace {
+
+/// source -> wire -> sink chain of the given payload width.
+struct Chain {
+  Netlist nl;
+  ChannelId up = kNoChannel;
+  ChannelId down = kNoChannel;
+};
+
+Chain buildChain(unsigned width) {
+  Chain c;
+  auto& src = c.nl.make<TokenSource>(
+      "src", width, [width](std::uint64_t i) -> std::optional<BitVec> {
+        // Pattern with bits above and below every word boundary.
+        BitVec v(width);
+        for (unsigned b = 0; b < width; b += 3) v.setBit(b, ((i + b) & 1) != 0);
+        if (width > 0) v.setBit(width - 1, true);
+        return v;
+      });
+  auto& wire = makeWire(c.nl, "wire", width);
+  auto& sink = c.nl.make<TokenSink>("sink", width);
+  c.up = c.nl.connect(src, 0, wire, 0);
+  c.down = c.nl.connect(wire, 0, sink, 0);
+  return c;
+}
+
+TEST(SignalBoard, PayloadWidthBoundaries) {
+  // 1/63/64 live in the word arena; 65+ spill to the BitVec table. The full
+  // value must round-trip through the accessors either way.
+  for (const unsigned width : {1u, 63u, 64u, 65u, 80u, 144u, 200u}) {
+    SCOPED_TRACE("width " + std::to_string(width));
+    Chain c = buildChain(width);
+    SimContext ctx(c.nl);
+    ctx.settle();
+    const ConstSig up = std::as_const(ctx).sig(c.up);
+    ASSERT_TRUE(up.vf());
+    const BitVec v = up.data();
+    ASSERT_EQ(v.width(), width);
+    EXPECT_TRUE(v.bit(width - 1));
+    // The wire must have routed the identical payload downstream.
+    EXPECT_EQ(std::as_const(ctx).sig(c.down).data(), v);
+    // Low-64 fast path agrees with the materialized value.
+    EXPECT_EQ(up.dataLow64(), v.width() <= 64 ? v.toUint64()
+                                              : v.extractBits(0, 64));
+  }
+}
+
+TEST(SignalBoard, SnapshotMatchesAccessors) {
+  // The ChannelSignals conversion (legacy AoS view) and the field accessors
+  // must describe the same signals — this is the packState-relevant
+  // equivalence with the old per-channel struct layout.
+  Chain c = buildChain(48);
+  SimContext ctx(c.nl);
+  for (int i = 0; i < 5; ++i) {
+    ctx.settle();
+    for (const ChannelId ch : c.nl.channelIds()) {
+      const ConstSig s = std::as_const(ctx).sig(ch);
+      const ChannelSignals snap = s;
+      EXPECT_EQ(snap.vf, s.vf());
+      EXPECT_EQ(snap.sf, s.sf());
+      EXPECT_EQ(snap.vb, s.vb());
+      EXPECT_EQ(snap.sb, s.sb());
+      EXPECT_EQ(snap.data, s.data());
+      EXPECT_EQ(killEvent(snap), killEvent(s));
+      EXPECT_EQ(fwdTransfer(snap), fwdTransfer(s));
+      EXPECT_EQ(bwdTransfer(snap), bwdTransfer(s));
+      EXPECT_EQ(channelSymbol(snap), channelSymbol(s));
+    }
+    ctx.edge();
+  }
+}
+
+TEST(SignalBoard, PackStateRoundTripIdentity) {
+  // Simulate, snapshot, keep simulating, restore, resimulate: the packed
+  // bytes after the replay must match bit for bit — the board's retained
+  // signals may differ at restore time (packState excludes signals), so the
+  // kernel must re-seed correctly after unpackState.
+  synth::SynthConfig cfg;
+  cfg.topology = synth::Topology::kRandomDag;
+  cfg.targetNodes = 80;
+  cfg.seed = 11;
+  cfg.injectPeriod = 2;
+  synth::SynthSystem sys = synth::build(cfg);
+  sim::Simulator s(sys.nl, {.checkProtocol = false});
+  s.run(50);
+  const auto snap = s.ctx().packState();
+  s.run(30);
+  const auto later = s.ctx().packState();
+  s.ctx().unpackState(snap);
+  EXPECT_EQ(s.ctx().packState(), snap);
+  // Cycle counters are excluded from packState, so a cycle-aligned replay
+  // reproduces the later state exactly.
+  s.run(30);
+  EXPECT_EQ(s.ctx().packState(), later);
+}
+
+TEST(SignalBoard, DirectWritesVisibleThroughSnapshots) {
+  // Tests and harnesses write signals from outside evalComb; the write must
+  // land in the planes/arena and read back through every view.
+  Chain c = buildChain(65);
+  SimContext ctx(c.nl);
+  Sig s = ctx.sig(c.up);
+  BitVec v = BitVec::ones(65);
+  s.setVf(true);
+  s.setSf(true);
+  s.setData(v);
+  ctx.invalidateSignals();
+  const ChannelSignals snap = std::as_const(ctx).sig(c.up);
+  EXPECT_TRUE(snap.vf);
+  EXPECT_TRUE(snap.sf);
+  EXPECT_FALSE(snap.vb);
+  EXPECT_EQ(snap.data, v);
+}
+
+TEST(SignalBoard, WidthAuditRejectsPostConnectEdits) {
+  // The arena is sized from the channel widths at layout; a post-connect
+  // width edit (channelMutable surgery) must be rejected, not silently
+  // corrupt payload storage.
+  Chain c = buildChain(16);
+  c.nl.channelMutable(c.up).width = 32;
+  EXPECT_THROW(SimContext ctx(c.nl), EslError);
+}
+
+TEST(SignalBoard, ZeroAndNarrowPayloadsShareTheArena) {
+  // Many narrow channels pack one arena word each; verify independent values
+  // (no aliasing between neighbouring slots).
+  Netlist nl;
+  std::vector<ChannelId> chs;
+  for (unsigned i = 0; i < 70; ++i) {
+    auto& src = nl.make<TokenSource>("s" + std::to_string(i), 8,
+                                     TokenSource::counting(8, i));
+    auto& sink = nl.make<TokenSink>("k" + std::to_string(i), 8);
+    chs.push_back(nl.connect(src, 0, sink, 0));
+  }
+  SimContext ctx(nl);
+  ctx.settle();
+  for (unsigned i = 0; i < chs.size(); ++i) {
+    EXPECT_EQ(std::as_const(ctx).sig(chs[i]).dataLow64(), i) << "channel " << i;
+  }
+}
+
+}  // namespace
+}  // namespace esl

@@ -224,10 +224,12 @@ class OscillatorNode : public Node {
     declareOutput(1);
   }
   void evalComb(SimContext& ctx) override {
-    ChannelSignals& out = ctx.sig(output(0));
-    out.vf = !out.vf;
-    out.data = BitVec(1, out.vf ? 1 : 0);
-    out.sb = false;
+    // Deliberate contract violation: oscillates on its own output.
+    Sig out = ctx.sig(output(0));
+    const bool flipped = !out.vf();
+    out.setVf(flipped);
+    out.setData(BitVec(1, flipped ? 1 : 0));
+    out.setSb(false);
   }
   std::string kindName() const override { return "oscillator"; }
 };
@@ -242,9 +244,9 @@ class LyingEdgeNode : public Node {
     declareOutput(1);
   }
   void evalComb(SimContext& ctx) override {
-    ChannelSignals& out = ctx.sig(output(0));
-    out.vf = false;  // never offers: its channel never carries an event
-    out.sb = false;
+    Sig out = ctx.sig(output(0));
+    out.setVf(false);  // never offers: its channel never carries an event
+    out.setSb(false);
   }
   EvalPurity evalPurity() const override { return EvalPurity::kStateful; }
   EdgeActivity edgeActivity() const override { return EdgeActivity::kOnEvents; }
@@ -278,10 +280,11 @@ class UndeclaredCycleReaderNode : public Node {
     declareOutput(1);
   }
   void evalComb(SimContext& ctx) override {
-    ChannelSignals& out = ctx.sig(output(0));
-    out.vf = (ctx.cycle() / 4) % 2 == 1;  // illegal: undeclared cycle read
-    if (out.vf) out.data = BitVec(1, 1);
-    out.sb = false;
+    Sig out = ctx.sig(output(0));
+    const bool offer = (ctx.cycle() / 4) % 2 == 1;  // illegal: undeclared read
+    out.setVf(offer);
+    if (offer) out.setData(BitVec(1, 1));
+    out.setSb(false);
   }
   EvalPurity evalPurity() const override { return EvalPurity::kStateful; }
   EdgeActivity edgeActivity() const override { return EdgeActivity::kOnEvents; }

@@ -72,13 +72,13 @@ class DroppingBuffer : public Node {
   }
 
   void evalComb(SimContext& ctx) override {
-    ChannelSignals& in = ctx.sig(input(0));
-    ChannelSignals& out = ctx.sig(output(0));
-    out.vf = full_;
-    out.data = data_;
-    out.sb = false;
-    in.sf = full_;  // can only hold one token
-    in.vb = false;
+    Sig in = ctx.sig(input(0));
+    Sig out = ctx.sig(output(0));
+    out.setVf(full_);
+    out.setData(data_);
+    out.setSb(false);
+    in.setSf(full_);  // can only hold one token
+    in.setVb(false);
   }
   EvalPurity evalPurity() const override { return EvalPurity::kStateDriven; }
 
@@ -154,7 +154,7 @@ TEST(VerifyParallel, ExploredGraphIsBitIdenticalAcrossWorkerCounts) {
       ModelChecker mc(recipe, opts);
       const auto channels = mc.netlist().channelIds();
       const ChannelId watch = channels.front();
-      mc.addLabel("vf", [watch](const SimContext& c) { return c.sig(watch).vf; });
+      mc.addLabel("vf", [watch](const SimContext& c) { return c.sig(watch).vf(); });
       const auto result = mc.explore();
       if (workers == 1) {
         serialResult = result;

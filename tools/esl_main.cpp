@@ -33,6 +33,8 @@ int usage(const char* argv0) {
       << "                     ':' between arguments, e.g.\n"
       << "                     --transform bubble:mux.out,speculate:mux:F:rr\n"
       << "  --sim N            simulate N cycles (sink transfers + violations)\n"
+      << "  --shards N         with --sim: shard the netlist across N worker\n"
+      << "                     lanes (bit-identical to serial for every N)\n"
       << "  --tput CHANNEL     with --sim N: measured throughput of CHANNEL\n"
       << "  --check            model-check the SELF suite from the design's IR\n"
       << "  --workers N        checker worker lanes (default 1)\n"
@@ -97,6 +99,7 @@ int main(int argc, char** argv) {
 
   std::string input, transforms, emit, outFile, saveFile, tputChannel;
   std::uint64_t simCycles = 0;
+  std::uint64_t simShards = 1;
   bool doSim = false, doCheck = false, doRoundtrip = false;
   verify::ProtocolSuiteOptions checkOptions;
 
@@ -122,6 +125,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--sim") {
       doSim = true;
       simCycles = parseNum(arg, value());
+    } else if (arg == "--shards") {
+      simShards = parseNum(arg, value());
     } else if (arg == "--tput") {
       tputChannel = value();
     } else if (arg == "--check") {
@@ -158,6 +163,10 @@ int main(int argc, char** argv) {
     std::cerr << "esl: --tput requires --sim N\n";
     return 1;
   }
+  if (simShards != 1 && !doSim) {
+    std::cerr << "esl: --shards requires --sim N\n";
+    return 1;
+  }
 
   try {
     shell::Session session;
@@ -185,7 +194,10 @@ int main(int argc, char** argv) {
     }
 
     if (doSim) {
-      if (!run(session, "sim " + std::to_string(simCycles), /*toStdout=*/true))
+      const std::string shardArg =
+          simShards > 1 ? " " + std::to_string(simShards) : "";
+      if (!run(session, "sim " + std::to_string(simCycles) + shardArg,
+               /*toStdout=*/true))
         return 2;
       if (!tputChannel.empty() &&
           !run(session, "tput " + std::to_string(simCycles) + " " + tputChannel,
