@@ -2,9 +2,9 @@
 """Benchmark regression gate.
 
 Compares current benchmark JSON files (google-benchmark format for
-BENCH_sim.json, the bench_scale format for BENCH_scale.json) against the
-committed baseline bench/BENCH_baseline.json and fails on a >25% per-cycle
-regression.
+BENCH_sim.json, the bench_scale format for BENCH_scale.json, the bench_verify
+format for BENCH_verify.json) against the committed baseline
+bench/BENCH_baseline.json and fails on a >25% per-cycle regression.
 
 Raw nanoseconds are machine-dependent, so by default every current/baseline
 ratio is normalized by the median ratio across all matched entries: the
@@ -34,7 +34,7 @@ METRICS = ("ns_per_cycle", "real_time", "cpu_time")
 # single-netlist tier ("/shardsN") is multi-thread wall-clock — machine- and
 # core-count-dependent, so reported only (bit-identity is gated separately by
 # `bench_scale --check` and the sharded-kernel test label).
-UNGATED_SUBSTRINGS = ("/n100000/", "/shards")
+UNGATED_SUBSTRINGS = ("/n100000/", "/shards", "/workers")
 
 
 def load_entries(path):
@@ -51,6 +51,18 @@ def load_entries(path):
             if metric in bench:
                 entries[bench["name"]] = (metric, float(bench[metric]))
                 break
+    # bench_verify format: one model-checking instance with frontier
+    # wall-clock per worker count. Only the serial run is gated — multi-worker
+    # wall-clock is core-count-dependent (same policy as the "/shards" tiers,
+    # via the "/workers" ungated substring).
+    if "instance" in data and "runs" in data:
+        for run in data["runs"]:
+            workers = int(run["workers"])
+            suffix = "serial" if workers == 1 else f"workers{workers}"
+            name = f"verify/{data['instance']}/{suffix}"
+            if any(s in name for s in UNGATED_SUBSTRINGS):
+                continue
+            entries[name] = ("seconds", float(run["seconds"]))
     return entries
 
 
@@ -62,6 +74,11 @@ def main():
                     help="maximum tolerated per-benchmark regression (0.25 = 25%%)")
     ap.add_argument("--absolute", action="store_true",
                     help="skip median normalization (same-machine comparison)")
+    ap.add_argument("--allow-new-entries", action="store_true",
+                    help="report benchmarks missing from the baseline as NEW "
+                         "(ungated) instead of failing; for feeds like "
+                         "BENCH_verify.json that gain entries before the "
+                         "baseline refresh lands")
     args = ap.parse_args()
 
     baseline = load_entries(args.baseline)
@@ -79,12 +96,19 @@ def main():
 
     unbaselined = sorted(set(current) - set(baseline))
     if unbaselined:
-        print("FAIL: benchmarks not present in bench/BENCH_baseline.json — "
-              "they would never be gated; refresh the baseline "
-              "(scripts/make_bench_baseline.py) in the same change:")
-        for name in unbaselined:
-            print(f"  {name}")
-        return 1
+        if args.allow_new_entries:
+            print("NEW (ungated until bench/BENCH_baseline.json is refreshed "
+                  "via scripts/make_bench_baseline.py):")
+            for name in unbaselined:
+                print(f"  {name}")
+                del current[name]
+        else:
+            print("FAIL: benchmarks not present in bench/BENCH_baseline.json — "
+                  "they would never be gated; refresh the baseline "
+                  "(scripts/make_bench_baseline.py) in the same change:")
+            for name in unbaselined:
+                print(f"  {name}")
+            return 1
 
     # Regression ratio per entry: >1 means worse than baseline.
     ratios = {}

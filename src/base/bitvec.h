@@ -48,6 +48,20 @@ class BitVec {
   /// Low 64 bits (exact value if width() <= 64).
   std::uint64_t toUint64() const;
 
+  /// Word 0 with no width branch (requires width() >= 1). Inline so the
+  /// compiled backend's narrow payload moves stay call-free.
+  std::uint64_t word0() const {
+    return onHeap() ? heapWords_[0] : inlineWords_[0];
+  }
+  /// In-place overwrite with the `w`-bit value `v` (w in [1, 64], v already
+  /// masked to w bits): `*this = BitVec(w, v)` without the temporary, reusing
+  /// the inline storage.
+  void assignNarrow(unsigned w, std::uint64_t v) {
+    release();
+    width_ = w;
+    inlineWords_[0] = v;
+  }
+
   /// True iff every bit is zero (zero-width vectors are zero).
   bool isZero() const;
 

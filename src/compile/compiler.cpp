@@ -1,0 +1,177 @@
+#include "compile/compiler.h"
+
+#include <typeinfo>
+
+#include "elastic/buffer.h"
+#include "elastic/eemux.h"
+#include "elastic/endpoints.h"
+#include "elastic/fork.h"
+#include "elastic/func.h"
+#include "elastic/netlist.h"
+#include "elastic/params.h"
+#include "elastic/shared.h"
+#include "elastic/vlu.h"
+
+namespace esl::compile {
+
+namespace {
+
+SlotAddr addrFor(const SignalBoard& board, ChannelId ch) {
+  SlotAddr a;
+  if (ch == kNoChannel) return a;
+  const std::uint32_t slot = board.slotOf(ch);
+  if (slot == SignalBoard::kNoSlot) return a;
+  a.slot = slot;
+  a.ctrlBase = (slot >> 6) * 4;
+  a.chWord = slot >> 6;
+  a.bitMask = std::uint64_t{1} << (slot & 63);
+  a.dataOff = board.dataOffAt(slot);
+  a.width = board.widthAtSlot(slot);
+  a.bound = true;
+  return a;
+}
+
+/// Exact-type kind resolution: a user *subclass* of a catalog node may
+/// override evalComb/clockEdge, so only a typeid match may specialize.
+OpCode classify(const Node& node, void** obj) {
+  const auto& t = typeid(node);
+  const auto as = [&](auto* p) {
+    *obj = const_cast<void*>(static_cast<const void*>(p));
+  };
+  if (t == typeid(ElasticBuffer)) {
+    as(static_cast<const ElasticBuffer*>(&node));
+    return OpCode::kEb;
+  }
+  if (t == typeid(ElasticBuffer0)) {
+    as(static_cast<const ElasticBuffer0*>(&node));
+    return OpCode::kEb0;
+  }
+  if (t == typeid(BrokenBuffer)) {
+    as(static_cast<const BrokenBuffer*>(&node));
+    return OpCode::kBrokenEb;
+  }
+  if (t == typeid(ForkNode)) {
+    as(static_cast<const ForkNode*>(&node));
+    return OpCode::kFork;
+  }
+  if (t == typeid(FuncNode)) {
+    as(static_cast<const FuncNode*>(&node));
+    return OpCode::kFunc;
+  }
+  if (t == typeid(EarlyEvalMux)) {
+    as(static_cast<const EarlyEvalMux*>(&node));
+    return OpCode::kEeMux;
+  }
+  if (t == typeid(TokenSource)) {
+    as(static_cast<const TokenSource*>(&node));
+    return OpCode::kSource;
+  }
+  if (t == typeid(TokenSink)) {
+    as(static_cast<const TokenSink*>(&node));
+    return OpCode::kSink;
+  }
+  if (t == typeid(NondetSource)) {
+    as(static_cast<const NondetSource*>(&node));
+    return OpCode::kNondetSource;
+  }
+  if (t == typeid(NondetSink)) {
+    as(static_cast<const NondetSink*>(&node));
+    return OpCode::kNondetSink;
+  }
+  if (t == typeid(SharedModule)) {
+    as(static_cast<const SharedModule*>(&node));
+    return OpCode::kShared;
+  }
+  if (t == typeid(StallingVLU)) {
+    as(static_cast<const StallingVLU*>(&node));
+    return OpCode::kVlu;
+  }
+  return OpCode::kGeneric;
+}
+
+/// Attempts to lower a FuncNode's datapath to word arithmetic. Registry-built
+/// nodes carry `fn=<catalog name>` in their stored build attributes; the
+/// catalog factory already validated the width signature at construction, but
+/// every invariant the word kernels rely on is re-checked here — any mismatch
+/// (or any operand wider than a word) keeps the memoized opaque path.
+FuncKind specializeFunc(const Node& node, const Op& op,
+                        const std::vector<SlotAddr>& ports, std::uint64_t* fnA,
+                        std::uint64_t* fnB) {
+  if (!node.hasBuildParams()) return FuncKind::kOpaque;
+  const Params& p = node.buildParams();
+  const std::string fn = p.str("fn", "");
+  if (fn.empty()) return FuncKind::kOpaque;
+  const unsigned n = op.nIn;
+  const SlotAddr* P = ports.data() + op.portBase;
+  const unsigned outW = P[n].width;
+  for (unsigned i = 0; i <= n; ++i)
+    if (P[i].width > 64) return FuncKind::kOpaque;
+  const auto unarySameWidth = [&] { return n == 1 && P[0].width == outW; };
+  if (fn == "id" && unarySameWidth()) return FuncKind::kId;
+  if (fn == "gray" && unarySameWidth()) return FuncKind::kGray;
+  if (fn == "addk" && unarySameWidth() && p.has("fn.k")) {
+    // Same truncation the factory applies: k is taken modulo the width.
+    *fnA = outW >= 64 ? p.u64("fn.k")
+                      : p.u64("fn.k") & ((std::uint64_t{1} << outW) - 1);
+    return FuncKind::kAddK;
+  }
+  if (fn == "add" && n == 2 && P[0].width == outW && P[1].width == outW)
+    return FuncKind::kAdd;
+  if (fn == "xor" && n >= 1) {
+    for (unsigned i = 0; i < n; ++i)
+      if (P[i].width != outW) return FuncKind::kOpaque;
+    return FuncKind::kXor;
+  }
+  if (fn == "joinmux" && n >= 3) {
+    for (unsigned i = 1; i < n; ++i)
+      if (P[i].width != outW) return FuncKind::kOpaque;
+    return FuncKind::kJoinMux;
+  }
+  if (fn == "concat" && n == 2 && P[0].width + P[1].width == outW &&
+      P[0].width < 64)
+    return FuncKind::kConcat;
+  if (fn == "permille" && n == 1 && outW == 1 && p.has("fn.permille")) {
+    *fnA = p.u64("fn.permille");
+    *fnB = p.u64("fn.salt", 0);
+    return FuncKind::kPermille;
+  }
+  return FuncKind::kOpaque;
+}
+
+}  // namespace
+
+Program compileProgram(Netlist& nl, const SignalBoard& board) {
+  Program prog;
+  prog.topologyVersion = nl.topologyVersion();
+  prog.opOf.assign(nl.nodeCapacity(), Program::kNoOp);
+  const std::vector<NodeId> ids = nl.nodeIds();
+  prog.ops.reserve(ids.size());
+  for (const NodeId id : ids) {
+    Node& node = nl.node(id);
+    Op op;
+    op.node = &node;
+    op.nIn = static_cast<std::uint16_t>(node.numInputs());
+    op.nOut = static_cast<std::uint16_t>(node.numOutputs());
+    op.portBase = static_cast<std::uint32_t>(prog.ports.size());
+    bool allBound = true;
+    for (unsigned i = 0; i < node.numInputs(); ++i) {
+      prog.ports.push_back(addrFor(board, node.input(i)));
+      allBound = allBound && prog.ports.back().bound;
+    }
+    for (unsigned o = 0; o < node.numOutputs(); ++o) {
+      prog.ports.push_back(addrFor(board, node.output(o)));
+      allBound = allBound && prog.ports.back().bound;
+    }
+    // An op may only touch raw addresses when every port resolved; a node
+    // caught mid-surgery (dangling port) keeps the virtual path, which throws
+    // the usual accessor error if the dangling channel is actually touched.
+    op.code = allBound ? classify(node, &op.obj) : OpCode::kGeneric;
+    if (op.code == OpCode::kFunc)
+      op.fnKind = specializeFunc(node, op, prog.ports, &op.fnA, &op.fnB);
+    prog.opOf[id] = static_cast<std::uint32_t>(prog.ops.size());
+    prog.ops.push_back(op);
+  }
+  return prog;
+}
+
+}  // namespace esl::compile

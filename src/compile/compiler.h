@@ -1,0 +1,104 @@
+// Bytecode compiler for the compiled simulation backend.
+//
+// compileProgram() lowers a netlist once into a flat program of per-node ops:
+// each op carries the node's kind (resolved to a specialized opcode by exact
+// type), a concrete object pointer (the downcast done at compile time) and a
+// table of port addresses with every SignalBoard coordinate — control-plane
+// word base, bit mask, payload arena offset, width — resolved against the
+// board's current layout. The VM (src/compile/vm.h) then executes settle
+// rounds and clock edges with raw word loads/stores: no virtual dispatch, no
+// Sig accessor proxies, no slot lookups on the hot path.
+//
+// Nodes whose exact type is not in the catalog (user subclasses) and nodes
+// with unbound ports compile to OpCode::kGeneric, which falls back to the
+// virtual evalComb/clockEdge — the program is always total over the netlist.
+//
+// A Program is valid for one (topologyVersion, board layout) pair; the VM
+// recompiles whenever the netlist's topologyVersion moves (transformations,
+// splices), which also covers every board re-layout, since layout() is a pure
+// function of the topology and the shard plan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elastic/signal_board.h"
+
+namespace esl {
+class Netlist;
+class Node;
+}  // namespace esl
+
+namespace esl::compile {
+
+/// Specialized per-kind opcodes (exact-type match; subclasses stay generic).
+enum class OpCode : std::uint8_t {
+  kEb,            ///< ElasticBuffer
+  kEb0,           ///< ElasticBuffer0
+  kBrokenEb,      ///< BrokenBuffer
+  kFork,          ///< ForkNode
+  kFunc,          ///< FuncNode
+  kEeMux,         ///< EarlyEvalMux
+  kSource,        ///< TokenSource
+  kSink,          ///< TokenSink
+  kNondetSource,  ///< NondetSource
+  kNondetSink,    ///< NondetSink
+  kShared,        ///< SharedModule
+  kVlu,           ///< StallingVLU
+  kGeneric,       ///< fallback: virtual evalComb/clockEdge
+};
+
+/// One channel endpoint with every board coordinate resolved at compile time.
+struct SlotAddr {
+  std::uint32_t slot = SignalBoard::kNoSlot;
+  std::uint32_t ctrlBase = 0;  ///< ctrl_ index of the slot group's vf word
+  std::uint32_t chWord = 0;    ///< changed_ word index (slot / 64)
+  std::uint32_t dataOff = SignalBoard::kNoSlot;  ///< words_ | spill_+kWideFlag
+  std::uint64_t bitMask = 0;                     ///< 1 << (slot % 64)
+  unsigned width = 0;                            ///< payload width
+  bool bound = false;  ///< false: port had no live channel slot
+};
+
+/// Datapath specialization of a registry-built FuncNode: known catalog
+/// functions whose operands all fit one word lower to direct word arithmetic
+/// — no memo probe, no std::function call, no BitVec temporaries. kOpaque
+/// keeps the node's memoized fn_ call (arbitrary C++ closures).
+enum class FuncKind : std::uint8_t {
+  kOpaque,
+  kId,        ///< out = in0
+  kAddK,      ///< out = (in0 + fnA) mod 2^w
+  kAdd,       ///< out = (in0 + in1) mod 2^w
+  kXor,       ///< out = in0 ^ in1 ^ ...
+  kGray,      ///< out = in0 ^ (in0 >> 1)
+  kJoinMux,   ///< out = in[1 + in0]
+  kConcat,    ///< out = in0 | in1 << width(in0)
+  kPermille,  ///< out = hashChancePermille(in0, fnA, fnB)
+};
+
+/// One node lowered to an op. Ports live in Program::ports at [portBase,
+/// portBase + nIn + nOut): inputs first, then outputs.
+struct Op {
+  OpCode code = OpCode::kGeneric;
+  FuncKind fnKind = FuncKind::kOpaque;  ///< kFunc only
+  std::uint16_t nIn = 0;
+  std::uint16_t nOut = 0;
+  std::uint32_t portBase = 0;
+  std::uint64_t fnA = 0;  ///< addk constant / permille threshold
+  std::uint64_t fnB = 0;  ///< permille salt
+  Node* node = nullptr;  ///< always set (names in errors, generic fallback)
+  void* obj = nullptr;   ///< exact-type downcast for specialized opcodes
+};
+
+struct Program {
+  static constexpr std::uint32_t kNoOp = ~std::uint32_t{0};
+
+  std::vector<Op> ops;                ///< live nodes, insertion order
+  std::vector<std::uint32_t> opOf;    ///< NodeId -> ops index (kNoOp = dead id)
+  std::vector<SlotAddr> ports;
+  std::uint64_t topologyVersion = 0;  ///< netlist version compiled against
+};
+
+/// Lowers the netlist against the board's current layout.
+Program compileProgram(Netlist& nl, const SignalBoard& board);
+
+}  // namespace esl::compile

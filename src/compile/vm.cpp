@@ -1,0 +1,673 @@
+#include "compile/vm.h"
+
+#include "base/rng.h"
+#include "elastic/buffer.h"
+#include "elastic/context.h"
+#include "elastic/eemux.h"
+#include "elastic/endpoints.h"
+#include "elastic/fork.h"
+#include "elastic/func.h"
+#include "elastic/netlist.h"
+#include "elastic/shared.h"
+#include "elastic/vlu.h"
+
+namespace esl::compile {
+
+namespace {
+constexpr unsigned kVf = SignalBoard::kVf;
+constexpr unsigned kSf = SignalBoard::kSf;
+constexpr unsigned kVb = SignalBoard::kVb;
+constexpr unsigned kSb = SignalBoard::kSb;
+}  // namespace
+
+// --- lifecycle ---------------------------------------------------------------
+
+void Vm::ensureProgram() {
+  if (hasProgram_ && prog_.topologyVersion == ctx_.netlist_.topologyVersion())
+    return;
+  prog_ = compileProgram(ctx_.netlist_, ctx_.board_);
+  hasProgram_ = true;
+}
+
+void Vm::bind() {
+  SignalBoard& b = ctx_.board_;
+  ctrl_ = b.ctrlData();
+  words_ = b.payloadData();
+  spill_ = b.spillData();
+  changed_ = b.changedData();
+}
+
+void Vm::settle() {
+  ctx_.ensureTopologyCache();  // board layout current before addressing it
+  ensureProgram();
+  bind();
+  ctx_.settleEventDrivenWith([this](NodeId id) { evalNode(id); });
+}
+
+void Vm::edge() {
+  ctx_.ensureTopologyCache();
+  ensureProgram();
+  bind();
+  ctx_.edgeSparseWith([this](NodeId id) { edgeNode(id, true); });
+}
+
+void Vm::prepare() {
+  ctx_.ensureTopologyCache();
+  ensureProgram();
+  bind();
+}
+
+bool Vm::hasSpecializedOpFor(NodeId id) const {
+  if (!hasProgram_ || id >= prog_.opOf.size()) return false;
+  const std::uint32_t idx = prog_.opOf[id];
+  return idx != Program::kNoOp && prog_.ops[idx].code != OpCode::kGeneric;
+}
+
+void Vm::edgeNodeForAudit(NodeId id) { edgeNode(id, false); }
+
+// --- raw payload access (mirrors SignalBoard::setDataAt and friends) ---------
+
+BitVec Vm::rdData(const SlotAddr& a) const {
+  if (a.dataOff == SignalBoard::kNoSlot) return BitVec(a.width);
+  if (a.dataOff & SignalBoard::kWideFlag)
+    return spill_[a.dataOff & ~SignalBoard::kWideFlag];
+  return BitVec(a.width, words_[a.dataOff]);
+}
+
+std::uint64_t Vm::rdLow64(const SlotAddr& a) const {
+  if (a.dataOff == SignalBoard::kNoSlot) return 0;
+  if (a.dataOff & SignalBoard::kWideFlag)
+    return spill_[a.dataOff & ~SignalBoard::kWideFlag].toUint64();
+  return words_[a.dataOff];
+}
+
+bool Vm::dataEqualsValue(const SlotAddr& a, const BitVec& v) const {
+  if (v.width() != a.width) return false;
+  if (a.dataOff == SignalBoard::kNoSlot) return true;
+  if (a.dataOff & SignalBoard::kWideFlag)
+    return spill_[a.dataOff & ~SignalBoard::kWideFlag] == v;
+  return words_[a.dataOff] == v.toUint64();
+}
+
+void Vm::wrData(const SlotAddr& a, const BitVec& v) {
+  ESL_CHECK(v.width() == a.width, "SignalBoard: payload width mismatch");
+  if (a.dataOff == SignalBoard::kNoSlot) return;  // zero-width control token
+  if (a.dataOff & SignalBoard::kWideFlag) {
+    BitVec& dst = spill_[a.dataOff & ~SignalBoard::kWideFlag];
+    if (dst == v) return;
+    dst = v;
+  } else {
+    std::uint64_t& w = words_[a.dataOff];
+    const std::uint64_t nv = v.toUint64();
+    if (w == nv) return;
+    w = nv;
+  }
+  changed_[a.chWord] |= a.bitMask;
+}
+
+void Vm::copyData(const SlotAddr& dst, const SlotAddr& src) {
+  // Same-width routing copy (fork branches, mux selection); widths are equal
+  // by construction, audited when the channels were bound.
+  if (dst.dataOff == SignalBoard::kNoSlot) return;
+  if (dst.dataOff & SignalBoard::kWideFlag) {
+    BitVec& out = spill_[dst.dataOff & ~SignalBoard::kWideFlag];
+    const BitVec& in = spill_[src.dataOff & ~SignalBoard::kWideFlag];
+    if (out == in) return;
+    out = in;
+  } else {
+    std::uint64_t& out = words_[dst.dataOff];
+    if (out == words_[src.dataOff]) return;
+    out = words_[src.dataOff];
+  }
+  changed_[dst.chWord] |= dst.bitMask;
+}
+
+std::uint64_t Vm::funcWord(const Op& op, const SlotAddr* P) const {
+  const unsigned outW = P[op.nIn].width;
+  const auto mask = [outW](std::uint64_t v) {
+    return outW >= 64 ? v : v & ((std::uint64_t{1} << outW) - 1);
+  };
+  switch (op.fnKind) {
+    case FuncKind::kId:
+      return rdLow64(P[0]);
+    case FuncKind::kAddK:
+      return mask(rdLow64(P[0]) + op.fnA);
+    case FuncKind::kAdd:
+      return mask(rdLow64(P[0]) + rdLow64(P[1]));
+    case FuncKind::kXor: {
+      std::uint64_t acc = rdLow64(P[0]);
+      for (unsigned i = 1; i < op.nIn; ++i) acc ^= rdLow64(P[i]);
+      return acc;
+    }
+    case FuncKind::kGray: {
+      const std::uint64_t x = rdLow64(P[0]);
+      return x ^ (x >> 1);
+    }
+    case FuncKind::kJoinMux: {
+      const std::uint64_t sel = rdLow64(P[0]);
+      ESL_CHECK(sel < op.nIn - 1u, "join mux: select out of range");
+      return rdLow64(P[1 + sel]);
+    }
+    case FuncKind::kConcat:
+      return rdLow64(P[0]) | rdLow64(P[1]) << P[0].width;
+    case FuncKind::kPermille:
+      return hashChancePermille(rdLow64(P[0]),
+                                static_cast<unsigned>(op.fnA), op.fnB)
+                 ? 1
+                 : 0;
+    case FuncKind::kOpaque:
+      break;
+  }
+  return 0;
+}
+
+bool Vm::fwdAt(const SlotAddr& a) const {
+  return rdBit(a, kVf) && !rdBit(a, kSf) && !rdBit(a, kVb);
+}
+
+bool Vm::killAt(const SlotAddr& a) const {
+  return rdBit(a, kVf) && rdBit(a, kVb);
+}
+
+bool Vm::bwdAt(const SlotAddr& a) const {
+  return rdBit(a, kVb) && !rdBit(a, kSb) && !rdBit(a, kVf);
+}
+
+// --- combinational ops -------------------------------------------------------
+// Each case is a line-for-line transcription of the node's evalComb against
+// raw addresses; node state is read/written through friendship. The order and
+// values of every signal write match the interpreted node exactly, so both
+// backends settle to the same fixpoint through the shared worklist loop.
+
+void Vm::evalNode(NodeId id) {
+  const Op& op = prog_.ops[prog_.opOf[id]];
+  const SlotAddr* P = prog_.ports.data() + op.portBase;
+  switch (op.code) {
+    case OpCode::kEb: {
+      auto& eb = *static_cast<ElasticBuffer*>(op.obj);
+      const SlotAddr& in = P[0];
+      const SlotAddr& out = P[1];
+      const bool hasTok = eb.count_ > 0;
+      wrBit(out, kVf, hasTok);
+      if (hasTok) {
+        // Ring tokens normally carry the channel width (pushed from this very
+        // channel), so the narrow case moves one word; the BitVec path keeps
+        // the width audit for externally injected tokens.
+        const BitVec& tok = eb.ring_[eb.head_];
+        if (narrow(out) && tok.width() == out.width)
+          wrWord(out, tok.word0());
+        else
+          wrData(out, tok);
+      }
+      wrBit(out, kSb,
+            !hasTok && eb.antiTokens_ >= static_cast<int>(eb.antiCapacity_));
+      wrBit(in, kSf, eb.occupancy() >= static_cast<int>(eb.capacity_));
+      wrBit(in, kVb, eb.antiTokens_ > 0);
+      break;
+    }
+    case OpCode::kEb0: {
+      auto& eb = *static_cast<ElasticBuffer0*>(op.obj);
+      const SlotAddr& in = P[0];
+      const SlotAddr& out = P[1];
+      const bool full = eb.slot_.has_value();
+      wrBit(out, kVf, full);
+      if (full) wrData(out, *eb.slot_);
+      const bool leave = full && (!rdBit(out, kSf) || rdBit(out, kVb));
+      wrBit(in, kSf, full && !leave);
+      wrBit(in, kVb, !full && rdBit(out, kVb));
+      wrBit(out, kSb, !full && !rdBit(in, kVf) && rdBit(in, kSb));
+      break;
+    }
+    case OpCode::kBrokenEb: {
+      auto& bb = *static_cast<BrokenBuffer*>(op.obj);
+      const SlotAddr& in = P[0];
+      const SlotAddr& out = P[1];
+      wrBit(out, kVf, bb.slot_.has_value());
+      if (bb.slot_) wrData(out, *bb.slot_);
+      wrBit(out, kSb, true);
+      wrBit(in, kSf, bb.stopReg_);
+      wrBit(in, kVb, false);
+      break;
+    }
+    case OpCode::kFork: {
+      auto& fk = *static_cast<ForkNode*>(op.obj);
+      const SlotAddr& in = P[0];
+      const unsigned n = op.nOut;
+      const bool inVf = rdBit(in, kVf);
+      for (unsigned i = 0; i < n; ++i) {
+        const SlotAddr& br = P[1 + i];
+        const bool pending = inVf && !fk.done_[i];
+        wrBit(br, kVf, pending);
+        if (pending) copyData(br, in);
+        wrBit(br, kSb, !pending);
+      }
+      bool allDone = inVf;
+      for (unsigned i = 0; i < n && allDone; ++i) {
+        const SlotAddr& br = P[1 + i];
+        allDone = fk.done_[i] || (inVf && (rdBit(br, kVb) || !rdBit(br, kSf)));
+      }
+      wrBit(in, kSf, !allDone);
+      wrBit(in, kVb, false);
+      break;
+    }
+    case OpCode::kFunc: {
+      auto& fn = *static_cast<FuncNode*>(op.obj);
+      const unsigned n = op.nIn;
+      const SlotAddr& out = P[n];
+      bool allIn = true;
+      for (unsigned i = 0; i < n; ++i) allIn = allIn && rdBit(P[i], kVf);
+      wrBit(out, kVf, allIn);
+      if (allIn) {
+        if (op.fnKind != FuncKind::kOpaque) {
+          // Word-specialized datapath: fn_ is pure, so skipping its memo is
+          // unobservable (the memo is a cache, never serialized).
+          wrWord(out, funcWord(op, P));
+        } else {
+          bool hit = fn.memoValid_;
+          for (unsigned i = 0; hit && i < n; ++i)
+            hit = dataEqualsValue(P[i], fn.memoArgs_[i]);
+          if (!hit) {
+            fn.memoArgs_.resize(n);
+            for (unsigned i = 0; i < n; ++i) fn.memoArgs_[i] = rdData(P[i]);
+            fn.memoOut_ = fn.fn_(fn.memoArgs_);
+            ESL_CHECK(fn.memoOut_.width() == fn.outputWidth(0),
+                      "FuncNode '" + fn.name() +
+                          "': function returned wrong width");
+            fn.memoValid_ = true;
+          }
+          wrData(out, fn.memoOut_);
+        }
+      }
+      const bool outVb = rdBit(out, kVb);
+      const bool fire = allIn && (!rdBit(out, kSf) || outVb);
+      bool allCan = true;
+      for (unsigned i = 0; i < n; ++i)
+        allCan = allCan && (rdBit(P[i], kVf) || !rdBit(P[i], kSb));
+      const bool back = outVb && !allIn && allCan;
+      for (unsigned i = 0; i < n; ++i) {
+        wrBit(P[i], kVb, back);
+        wrBit(P[i], kSf, !fire && !back);
+      }
+      wrBit(out, kSb, !allIn && !allCan);
+      break;
+    }
+    case OpCode::kEeMux: {
+      auto& mx = *static_cast<EarlyEvalMux*>(op.obj);
+      const unsigned k = mx.dataInputs_;
+      const SlotAddr& sel = P[0];
+      const SlotAddr& out = P[1 + k];
+      const bool selValid = rdBit(sel, kVf);
+      unsigned selIdx = 0;
+      if (selValid) {
+        const std::uint64_t idx = rdLow64(sel);
+        ESL_CHECK(idx < k,
+                  "EarlyEvalMux '" + mx.name() + "': select value out of range");
+        selIdx = static_cast<unsigned>(idx);
+      }
+      const bool usable =
+          selValid && mx.pendingAnti_[selIdx] == 0 && rdBit(P[1 + selIdx], kVf);
+      const bool fire = usable && (!rdBit(out, kSf) || rdBit(out, kVb));
+      wrBit(out, kVf, usable);
+      if (usable) copyData(out, P[1 + selIdx]);
+      wrBit(out, kSb, !usable);
+      wrBit(sel, kSf, !fire);
+      wrBit(sel, kVb, false);
+      for (unsigned i = 0; i < k; ++i) {
+        const SlotAddr& in = P[1 + i];
+        const bool anti =
+            mx.pendingAnti_[i] + ((fire && i != selIdx) ? 1u : 0u) > 0;
+        wrBit(in, kVb, anti);
+        if (anti)
+          wrBit(in, kSf, false);  // kill and stop are mutually exclusive
+        else if (selValid && i == selIdx)
+          wrBit(in, kSf, !fire);
+        else
+          wrBit(in, kSf, rdBit(in, kVf));
+      }
+      break;
+    }
+    case OpCode::kSource: {
+      auto& src = *static_cast<TokenSource*>(op.obj);
+      const SlotAddr& out = P[0];
+      const std::optional<BitVec> tok =
+          src.offering_ ? src.tokenAt(src.index_) : std::nullopt;
+      const bool offer = tok.has_value() && src.killCredit_ == 0;
+      wrBit(out, kVf, offer);
+      if (offer) wrData(out, *tok);
+      wrBit(out, kSb, false);  // sources always absorb anti-tokens
+      break;
+    }
+    case OpCode::kSink: {
+      auto& sk = *static_cast<TokenSink*>(op.obj);
+      const SlotAddr& in = P[0];
+      const bool wantAnti =
+          sk.antiActive_ ||
+          (sk.antiRemaining_ > 0 && sk.antiGate_ && sk.antiGate_(ctx_.cycle()));
+      wrBit(in, kVb, wantAnti);
+      wrBit(in, kSf, !wantAnti && sk.ready_ && !sk.ready_(ctx_.cycle()));
+      break;
+    }
+    case OpCode::kNondetSource: {
+      auto& ns = *static_cast<NondetSource*>(op.obj);
+      const SlotAddr& out = P[0];
+      const bool offer = ns.offeringNow(ctx_) && ns.killCredit_ == 0;
+      wrBit(out, kVf, offer);
+      if (offer) wrData(out, ns.valueNow(ctx_));
+      wrBit(out, kSb, !offer && ns.killCredit_ >= ns.cap_);
+      break;
+    }
+    case OpCode::kNondetSink: {
+      auto& nk = *static_cast<NondetSink*>(op.obj);
+      const SlotAddr& in = P[0];
+      const bool anti = nk.antiNow(ctx_);
+      wrBit(in, kVb, anti);
+      wrBit(in, kSf, !anti && nk.stopNow(ctx_));
+      break;
+    }
+    case OpCode::kShared: {
+      auto& sm = *static_cast<SharedModule*>(op.obj);
+      const unsigned k = sm.channels_;
+      sm.validScratch_.resize(k);
+      for (unsigned i = 0; i < k; ++i) sm.validScratch_[i] = rdBit(P[i], kVf);
+      const sched::ChoiceReader reader = [this, &sm](unsigned b) {
+        return ctx_.choice(sm, b);
+      };
+      const unsigned sched = sm.scheduler_->predict(sm.validScratch_, reader);
+      ESL_CHECK(sched < k, "SharedModule: scheduler predicted out of range");
+      sm.lastPrediction_ = sched;
+      for (unsigned i = 0; i < k; ++i) {
+        const SlotAddr& in = P[i];
+        const SlotAddr& out = P[k + i];
+        const bool routed = i == sched;
+        const bool inVf = rdBit(in, kVf);
+        const bool outVf = routed && inVf;
+        wrBit(out, kVf, outVf);
+        if (outVf) {
+          if (!sm.memoValid_ || !dataEqualsValue(in, sm.memoIn_)) {
+            sm.memoIn_ = rdData(in);
+            sm.memoOut_ = sm.fn_(sm.memoIn_);
+            ESL_CHECK(sm.memoOut_.width() == sm.outWidth_,
+                      "SharedModule '" + sm.name() +
+                          "': function returned wrong width");
+            sm.memoValid_ = true;
+          }
+          wrData(out, sm.memoOut_);
+        }
+        const bool anti = rdBit(out, kVb);
+        wrBit(in, kVb, anti);
+        wrBit(out, kSb, !inVf && rdBit(in, kSb));
+        wrBit(in, kSf, !anti && (routed ? rdBit(out, kSf) : true));
+      }
+      break;
+    }
+    case OpCode::kVlu: {
+      auto& vu = *static_cast<StallingVLU*>(op.obj);
+      const SlotAddr& in = P[0];
+      const SlotAddr& out = P[1];
+      const bool haveResult = vu.result_.has_value();
+      wrBit(out, kVf, haveResult);
+      if (haveResult) wrData(out, *vu.result_);
+      wrBit(out, kSb, !haveResult);
+      const bool leave = haveResult && (!rdBit(out, kSf) || rdBit(out, kVb));
+      const bool canAccept = !vu.pending_ && (!haveResult || leave);
+      wrBit(in, kSf, !canAccept);
+      wrBit(in, kVb, false);
+      break;
+    }
+    case OpCode::kGeneric:
+      op.node->evalComb(ctx_);
+      break;
+  }
+}
+
+// --- clock-edge ops ----------------------------------------------------------
+// Transcriptions of each node's clockEdge. `applyStats == false` (the edge
+// audit's replay) suppresses only the statistics that packState() excludes —
+// serialized state always advances, so replaying an edge from a rewound
+// snapshot lands on the same bytes.
+
+void Vm::edgeNode(NodeId id, bool applyStats) {
+  const Op& op = prog_.ops[prog_.opOf[id]];
+  const SlotAddr* P = prog_.ports.data() + op.portBase;
+  switch (op.code) {
+    case OpCode::kEb: {
+      auto& eb = *static_cast<ElasticBuffer*>(op.obj);
+      const Ev in = evAt(P[0]);
+      const Ev out = evAt(P[1]);
+      if (out.kill || out.fwd) {
+        ESL_ASSERT(eb.count_ > 0);
+        eb.popToken();
+      } else if (out.bwd) {
+        ESL_ASSERT(eb.count_ == 0);
+        ++eb.antiTokens_;
+      }
+      if (in.kill) {
+        ESL_ASSERT(eb.antiTokens_ > 0);
+        --eb.antiTokens_;
+      } else if (in.fwd) {
+        if (narrow(P[0])) {
+          // pushToken() with the incoming word written in place (channel
+          // payloads always carry the channel width; no BitVec temporary).
+          unsigned tail = eb.head_ + eb.count_;
+          if (tail >= eb.capacity_) tail -= eb.capacity_;
+          eb.ring_[tail].assignNarrow(P[0].width, words_[P[0].dataOff]);
+          ++eb.count_;
+        } else {
+          eb.pushToken(rdData(P[0]));
+        }
+        ESL_ASSERT(eb.count_ <= eb.capacity_);
+      } else if (in.bwd) {
+        ESL_ASSERT(eb.antiTokens_ > 0);
+        --eb.antiTokens_;
+      }
+      while (eb.count_ > 0 && eb.antiTokens_ > 0) {
+        eb.popToken();
+        --eb.antiTokens_;
+      }
+      ESL_ASSERT(eb.count_ == 0 || eb.antiTokens_ == 0);
+      break;
+    }
+    case OpCode::kEb0: {
+      auto& eb = *static_cast<ElasticBuffer0*>(op.obj);
+      const Ev in = evAt(P[0]);
+      const Ev out = evAt(P[1]);
+      if (out.kill || out.fwd) eb.slot_.reset();
+      if (in.fwd) {
+        ESL_ASSERT(!eb.slot_.has_value());
+        eb.slot_ = rdData(P[0]);
+      }
+      break;
+    }
+    case OpCode::kBrokenEb: {
+      auto& bb = *static_cast<BrokenBuffer*>(op.obj);
+      const Ev in = evAt(P[0]);
+      const Ev out = evAt(P[1]);
+      bb.stopReg_ = bb.slot_.has_value();
+      if (out.fwd) bb.slot_.reset();
+      if (in.fwd) bb.slot_ = rdData(P[0]);  // may overwrite a live token
+      break;
+    }
+    case OpCode::kFork: {
+      auto& fk = *static_cast<ForkNode*>(op.obj);
+      const SlotAddr& in = P[0];
+      const unsigned n = op.nOut;
+      if (!rdBit(in, kVf)) break;
+      bool all = true;
+      forkScratch_.resize(n);
+      for (unsigned i = 0; i < n; ++i) {
+        const SlotAddr& br = P[1 + i];
+        forkScratch_[i] = fk.done_[i] || rdBit(br, kVb) || !rdBit(br, kSf);
+        all = all && forkScratch_[i];
+      }
+      if (all)
+        fk.done_.assign(n, false);
+      else
+        fk.done_.assign(forkScratch_.begin(), forkScratch_.end());
+      break;
+    }
+    case OpCode::kFunc: {
+      auto& fn = *static_cast<FuncNode*>(op.obj);
+      if (fwdAt(P[op.nIn]) && applyStats) ++fn.firings_;
+      break;
+    }
+    case OpCode::kEeMux: {
+      auto& mx = *static_cast<EarlyEvalMux*>(op.obj);
+      const unsigned k = mx.dataInputs_;
+      const SlotAddr& sel = P[0];
+      const SlotAddr& out = P[1 + k];
+      const bool selValid = rdBit(sel, kVf);
+      unsigned selIdx = 0;
+      if (selValid) {
+        const std::uint64_t idx = rdLow64(sel);
+        ESL_CHECK(idx < k,
+                  "EarlyEvalMux '" + mx.name() + "': select value out of range");
+        selIdx = static_cast<unsigned>(idx);
+      }
+      const bool usable =
+          selValid && mx.pendingAnti_[selIdx] == 0 && rdBit(P[1 + selIdx], kVf);
+      const bool fire = usable && (!rdBit(out, kSf) || rdBit(out, kVb));
+      for (unsigned i = 0; i < k; ++i) {
+        const Ev in = evAt(P[1 + i]);
+        unsigned avail = mx.pendingAnti_[i] + ((fire && i != selIdx) ? 1u : 0u);
+        if (in.vb && (in.vf || !in.sb)) {
+          ESL_ASSERT(avail > 0);
+          --avail;  // delivered: killed a token or moved upstream
+        }
+        if (fire && i != selIdx && applyStats) ++mx.antiEmitted_;
+        mx.pendingAnti_[i] = avail;
+      }
+      if (fwdAt(out) && applyStats) ++mx.firings_;
+      break;
+    }
+    case OpCode::kSource: {
+      auto& src = *static_cast<TokenSource*>(op.obj);
+      const Ev out = evAt(P[0]);
+      if (out.kill) {
+        ++src.index_;
+        if (applyStats) ++src.killedCount_;
+        src.offering_ = false;
+      } else if (out.fwd) {
+        ++src.index_;
+        if (applyStats) ++src.emitted_;
+        src.offering_ = false;
+      } else if (out.bwd) {
+        ++src.killCredit_;
+      }
+      // An owed kill silently consumes the next available token (one per
+      // cycle).
+      if (src.killCredit_ > 0 && src.tokenAt(src.index_).has_value() &&
+          !out.vf) {
+        ++src.index_;
+        --src.killCredit_;
+        if (applyStats) ++src.killedCount_;
+        src.offering_ = false;
+      }
+      // Offer the next token when the gate opens for the upcoming cycle.
+      if (!src.offering_ && (!src.gate_ || src.gate_(ctx_.cycle() + 1)) &&
+          src.tokenAt(src.index_).has_value() && src.killCredit_ == 0)
+        src.offering_ = true;
+      break;
+    }
+    case OpCode::kSink: {
+      auto& sk = *static_cast<TokenSink*>(op.obj);
+      const Ev in = evAt(P[0]);
+      if (in.fwd && applyStats)
+        sk.transfers_.push_back({ctx_.cycle(), rdData(P[0])});
+      if (in.vb) {
+        const bool delivered = in.vf || !in.sb;
+        if (delivered) {
+          ESL_ASSERT(sk.antiRemaining_ > 0);
+          --sk.antiRemaining_;
+          sk.antiActive_ = false;
+        } else {
+          sk.antiActive_ = true;  // Retry-: persist until delivered
+        }
+      }
+      break;
+    }
+    case OpCode::kNondetSource: {
+      auto& ns = *static_cast<NondetSource*>(op.obj);
+      const Ev out = evAt(P[0]);
+      bool offered = ns.offeringNow(ctx_);
+      const BitVec v = ns.valueNow(ctx_);
+      if (out.kill || out.fwd) offered = false;
+      if (out.bwd) ++ns.killCredit_;
+      if (offered && ns.killCredit_ > 0) {
+        offered = false;
+        --ns.killCredit_;
+      }
+      ns.offering_ = offered;
+      ns.value_ = offered ? v : BitVec(ns.width_);
+      // Bounded fairness: count consecutive cycles without an offer. Must
+      // re-query offeringNow() AFTER the offering_ update, like the node.
+      if (ns.offeringNow(ctx_))
+        ns.idleStreak_ = 0;
+      else if (ns.idleStreak_ < ns.maxIdle_)
+        ++ns.idleStreak_;
+      break;
+    }
+    case OpCode::kNondetSink: {
+      auto& nk = *static_cast<NondetSink*>(op.obj);
+      const Ev in = evAt(P[0]);
+      nk.consecutiveStops_ = in.sf ? nk.consecutiveStops_ + 1 : 0;
+      if (nk.consecutiveStops_ > nk.maxStops_)
+        nk.consecutiveStops_ = nk.maxStops_;
+      if (in.vb) nk.antiActive_ = !(in.vf || !in.sb);
+      break;
+    }
+    case OpCode::kShared: {
+      auto& sm = *static_cast<SharedModule*>(op.obj);
+      const unsigned k = sm.channels_;
+      // lastPrediction_ is the settled prediction (evalComb ran on the
+      // settled signals); predict() is pure, no need to recompute it.
+      sched::Observation& obs = sm.obsScratch_;
+      obs.predicted = sm.lastPrediction_;
+      obs.valid.resize(k);
+      obs.demand.resize(k);
+      obs.served.resize(k);
+      obs.killed.resize(k);
+      bool anyDemand = false;
+      for (unsigned i = 0; i < k; ++i) {
+        const Ev in = evAt(P[i]);
+        const Ev out = evAt(P[k + i]);
+        obs.valid[i] = in.vf;
+        obs.demand[i] = out.sf && !out.vf;
+        obs.served[i] = out.fwd;
+        obs.killed[i] = in.kill;
+        if (obs.served[i] && applyStats) ++sm.served_[i];
+        anyDemand = anyDemand || obs.demand[i];
+      }
+      if (anyDemand && applyStats) ++sm.demandCycles_;
+      sm.scheduler_->observe(obs);
+      break;
+    }
+    case OpCode::kVlu: {
+      auto& vu = *static_cast<StallingVLU*>(op.obj);
+      const Ev in = evAt(P[0]);
+      const Ev out = evAt(P[1]);
+      if (out.kill || out.fwd) {
+        if (out.fwd && applyStats) ++vu.completed_;
+        vu.result_.reset();
+      }
+      if (vu.pending_) {
+        ESL_ASSERT(!vu.result_.has_value());
+        vu.result_ = vu.exact_(*vu.pending_);
+        vu.pending_.reset();
+      } else if (in.fwd) {
+        const BitVec x = rdData(P[0]);
+        if (vu.err_(x)) {
+          vu.pending_ = x;  // bubble next cycle, sender stalled
+          if (applyStats) ++vu.stalls_;
+        } else {
+          vu.result_ = vu.exact_(x);  // approx == exact when no error flagged
+        }
+      }
+      break;
+    }
+    case OpCode::kGeneric:
+      op.node->clockEdge(ctx_);
+      break;
+  }
+}
+
+}  // namespace esl::compile

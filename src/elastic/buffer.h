@@ -56,6 +56,8 @@ class ElasticBuffer : public Node {
   int occupancy() const { return static_cast<int>(count_) - antiTokens_; }
 
  private:
+  friend class compile::Vm;
+
   // The FIFO is a fixed ring over `capacity_` pre-sized BitVec slots: pushes
   // and pops are index arithmetic plus a value assignment that reuses the
   // slot's storage — no deque node traffic on the clock-edge hot path.
@@ -110,6 +112,8 @@ class ElasticBuffer0 : public Node {
   const std::optional<BitVec>& initToken() const { return init_; }
 
  private:
+  friend class compile::Vm;
+
   unsigned width_;
   std::optional<BitVec> init_;
   std::optional<BitVec> slot_;
@@ -131,6 +135,8 @@ class BrokenBuffer : public Node {
   std::string kindName() const override { return "broken-eb"; }
 
  private:
+  friend class compile::Vm;
+
   unsigned width_;
   std::optional<BitVec> slot_;
   bool stopReg_ = false;  // the bug: S+ to the sender lags the state by a cycle

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/executor.h"
+#include "compile/vm.h"
 
 namespace esl {
 
@@ -141,11 +142,26 @@ void SimContext::ensureTopologyCache() {
 
 void SimContext::setShards(unsigned n) {
   if (n == 0) n = 1;
+  ESL_CHECK(n == 1 || backend_ != Backend::kCompiled,
+            "SimContext::setShards: the compiled backend does not compose "
+            "with sharding yet (select one of the two)");
   if (n == shards_) return;
   shards_ = n;
   exec_.reset();
   invalidateSignals();
   ensureTopologyCache();  // re-partition + re-layout, preserving signal values
+}
+
+void SimContext::setBackend(Backend backend) {
+  ESL_CHECK(backend != Backend::kCompiled || shards_ == 1,
+            "SimContext::setBackend: the compiled backend does not compose "
+            "with sharding yet (setShards(1) first)");
+  backend_ = backend;
+}
+
+compile::Vm& SimContext::vm() {
+  if (!vm_) vm_ = std::make_unique<compile::Vm>(*this);
+  return *vm_;
 }
 
 Executor& SimContext::exec() {
@@ -239,6 +255,8 @@ void SimContext::settle() {
     settleCrossChecked();
   } else if (kernel_ == SettleKernel::kSweep) {
     settleSweep();
+  } else if (backend_ == Backend::kCompiled) {
+    vm().settle();
   } else if (shards_ > 1) {
     settleSharded();
   } else {
@@ -265,30 +283,7 @@ void SimContext::settleSweep() {
 }
 
 void SimContext::settleEventDriven() {
-  ensureTopologyCache();
-
-  // The board's changed bits mirror every un-consumed write, so change
-  // tracking stays valid across cycles: this refresh runs once after
-  // reset/rewiring/sweep interludes, not every settle.
-  if (!changeTrackValid_) {
-    board_.clearChanged();
-    changeTrackValid_ = true;
-    rebuildHotGroups();
-  }
-
-  // The serial kernel IS the sharded drain restricted to one all-owning
-  // shard (no boundary region exists, so no staging or barrier rounds):
-  // seed, then drain to the fixed point. Seeding tiers: after
-  // reset/rewiring every node; after a full (untracked) edge or an
-  // unpackState every stateful node; in dirty-tracked steady state only the
-  // per-cycle readers plus the nodes clocked at the preceding edge.
-  const std::uint64_t gen = ++settleGen_;
-  Shard& sh = shardState_.front();
-  sh.pending = 0;
-  sh.cursorW = (static_cast<std::size_t>(sh.hiId) >> 6) + 1;
-  seedShards(gen);
-  drainShard(0, gen, evalBudget());
-  edgeTrackValid_ = true;
+  settleEventDrivenWith([this](NodeId id) { nodePtr_[id]->evalComb(*this); });
 }
 
 void SimContext::seedShards(std::uint64_t gen) {
@@ -307,44 +302,8 @@ void SimContext::seedShards(std::uint64_t gen) {
 }
 
 void SimContext::drainShard(unsigned s, std::uint64_t gen, std::uint32_t maxEvals) {
-  // The serial event kernel restricted to one shard's nodes: interior-channel
-  // changes propagate immediately (both endpoints are owned), boundary writes
-  // are staged on the board and published at the next barrier.
-  Shard& sh = shardState_[s];
-  constexpr std::uint64_t kGenMask = (std::uint64_t{1} << 40) - 1;
-  const std::uint64_t genLo = gen & kGenMask;
-  while (sh.pending > 0) {
-    while (pendingWordGen_[sh.cursorW] != gen || pendingBits_[sh.cursorW] == 0)
-      ++sh.cursorW;
-    const unsigned bit =
-        static_cast<unsigned>(__builtin_ctzll(pendingBits_[sh.cursorW]));
-    const NodeId id = static_cast<NodeId>(sh.cursorW * 64 + bit);
-    pendingBits_[sh.cursorW] &= pendingBits_[sh.cursorW] - 1;
-    --sh.pending;
-    const std::uint64_t meta = evalMeta_[id];
-    const std::uint64_t evals = ((meta & kGenMask) == genLo ? meta >> 40 : 0) + 1;
-    if (evals > maxEvals)
-      throw CombinationalCycleError(
-          "combinational network did not stabilize: node '" +
-          netlist_.node(id).name() + "' re-evaluated more than " +
-          std::to_string(maxEvals) +
-          " times (combinational cycle in data or control)");
-    evalMeta_[id] = (evals << 40) | genLo;
-    nodePtr_[id]->evalComb(*this);
-
-    bool selfChanged = false;
-    const std::uint32_t aEnd = adjOffset_[id + 1];
-    for (std::uint32_t a = adjOffset_[id]; a < aEnd; ++a) {
-      const std::uint32_t slot = adjFlat_[a].slot;
-      if (board_.inBoundary(slot)) continue;  // staged; the sync seeds readers
-      if (!board_.consumeChanged(slot)) continue;
-      markHotGroup(sh, slot);  // interior groups are owner-exclusive
-      const NodeId other = adjFlat_[a].other;
-      if (!nodeStateDriven_[other]) pushInto(sh, gen, other);
-      selfChanged = true;
-    }
-    if (selfChanged && nodeUnaudited_[id]) pushInto(sh, gen, id);
-  }
+  drainShardWith(s, gen, maxEvals,
+                 [this](NodeId id) { nodePtr_[id]->evalComb(*this); });
 }
 
 void SimContext::settleSharded() {
@@ -404,7 +363,9 @@ void SimContext::settleSharded() {
 void SimContext::settleCrossChecked() {
   ensureTopologyCache();  // refresh layout (and the scratch boards) FIRST
   ccPre_.copyValuesFrom(board_);
-  if (shards_ > 1)
+  if (backend_ == Backend::kCompiled)
+    vm().settle();
+  else if (shards_ > 1)
     settleSharded();
   else
     settleEventDriven();
@@ -470,6 +431,8 @@ void SimContext::edge() {
     edgeAudited();
   else if (!edgeTrackValid_)
     edgeFull();
+  else if (backend_ == Backend::kCompiled)
+    vm().edge();
   else if (shards_ > 1)
     edgeSharded();
   else
@@ -483,46 +446,7 @@ void SimContext::edgeFull() {
 }
 
 void SimContext::edgeSparse() {
-  // Clock only (a) nodes whose hint demands every cycle and (b) nodes
-  // adjacent to a channel with an actual transfer/kill event. The scan walks
-  // the incrementally maintained hot-group list — 64 channels per entry,
-  // event masks word-parallel — and compacts groups that went quiet in
-  // passing, so a once-hot group costs one check, not a permanent entry.
-  const std::uint64_t gen = ++edgeGen_;
-  const auto mark = [&](NodeId id) {
-    if (id == kNoNode) return;  // padding slots carry no endpoints
-    const std::size_t w = id >> 6;
-    if (edgeWordGen_[w] != gen) {
-      edgeWordGen_[w] = gen;
-      edgeBits_[w] = 0;
-    }
-    const std::uint64_t m = std::uint64_t{1} << (id & 63);
-    if (!(edgeBits_[w] & m)) {
-      edgeBits_[w] |= m;
-      edgeDirty_.push_back(id);
-    }
-  };
-  for (const NodeId id : alwaysEdgeNodes_) mark(id);
-  std::vector<std::uint32_t>& hot = shardState_.front().hotGroups;
-  std::size_t keep = 0;
-  for (const std::uint32_t g : hot) {
-    if (board_.activityAtGroup(g) == 0) {
-      groupHot_[g] = 0;
-      continue;
-    }
-    hot[keep++] = g;
-    scanEventGroups(g, g + 1, mark);
-  }
-  hot.resize(keep);
-  for (const NodeId id : edgeDirty_) nodePtr_[id]->clockEdge(*this);
-  // Record the clocked stateful nodes: they are the only ones whose state can
-  // differ at the next settle, so they (plus the per-cycle readers) become
-  // the next seed set.
-  prevClocked_.clear();
-  for (const NodeId id : edgeDirty_)
-    if (nodeStateful_[id]) prevClocked_.push_back(id);
-  sparseSeedValid_ = true;
-  edgeDirty_.clear();
+  edgeSparseWith([this](NodeId id) { nodePtr_[id]->clockEdge(*this); });
 }
 
 void SimContext::edgeSharded() {
@@ -585,13 +509,40 @@ void SimContext::edgeAudited() {
   scanEventGroups(0, board_.groupCount(), [&](NodeId id) {
     if (id != kNoNode) nodeHasEvent[id] = 1;
   });
+  // Compiled backend: additionally audit every specialized clock-edge op
+  // against the interpreted clockEdge — run interpreted (statistics count
+  // once), rewind the node's serialized state, replay the compiled op with
+  // statistics suppressed, and require byte-identical packState().
+  const bool auditCompiled = backend_ == Backend::kCompiled;
+  if (auditCompiled) vm().prepare();
   prevClocked_.clear();
   for (const NodeId id : liveNodes_) {
     Node& node = netlist_.node(id);
     const bool wouldSkip = nodeEdgeOnEvents_[id] && !nodeHasEvent[id];
     if (!wouldSkip) {
       if (nodeStateful_[id]) prevClocked_.push_back(id);
-      node.clockEdge(*this);
+      if (auditCompiled && vm().hasSpecializedOpFor(id)) {
+        StateWriter w0;
+        node.packState(w0);
+        const std::vector<std::uint8_t> s0 = w0.take();
+        node.clockEdge(*this);
+        StateWriter w1;
+        node.packState(w1);
+        const std::vector<std::uint8_t> s1 = w1.take();
+        StateReader rewind(s0);
+        node.unpackState(rewind);
+        vm().edgeNodeForAudit(id);
+        StateWriter w2;
+        node.packState(w2);
+        if (s1 != w2.take())
+          throw InternalError(
+              "edge cross-check: compiled clockEdge op for node '" +
+              node.name() + "' (" + node.kindName() +
+              ") disagrees with the interpreted edge at cycle " +
+              std::to_string(cycle_));
+      } else {
+        node.clockEdge(*this);
+      }
       continue;
     }
     StateWriter before;

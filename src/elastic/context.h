@@ -77,6 +77,12 @@ class SimContext {
     kEventDriven,  ///< sparse worklist driven by signal-change events
   };
 
+  /// Execution backend for the event-driven cycle phases.
+  enum class Backend {
+    kInterpreted,  ///< virtual evalComb/clockEdge dispatch (default)
+    kCompiled,     ///< bytecode program over raw board offsets (compile/vm.h)
+  };
+
   /// The netlist must outlive the context and is validated on construction.
   explicit SimContext(Netlist& netlist);
   ~SimContext();
@@ -111,6 +117,16 @@ class SimContext {
   /// Settled signals and packState() are bit-identical for every value.
   void setShards(unsigned n);
   unsigned shards() const { return shards_; }
+
+  /// Selects the execution backend for the event-driven kernel. The compiled
+  /// backend lowers the netlist once into bytecode (recompiled whenever the
+  /// topology moves) and runs settle/edge over raw board offsets; settled
+  /// signals and packState() are bit-identical to the interpreted kernels.
+  /// Applies when kernel() == kEventDriven and shards() == 1 (the sweep
+  /// kernel stays interpreted — it is the reference oracle); with
+  /// setCrossCheck(true) the compiled backend is what the sweep audits.
+  void setBackend(Backend backend);
+  Backend backend() const { return backend_; }
 
   /// External code that writes channel signals directly (outside evalComb)
   /// must call this before the next settle() so the event-driven kernel
@@ -234,6 +250,136 @@ class SimContext {
     }
   }
   void seedShards(std::uint64_t gen);
+
+  // --- backend-generic kernel loops ------------------------------------------
+  // The serial event-driven settle and the dirty-tracked edge are templates
+  // over the per-node dispatch: the interpreted kernel passes virtual
+  // evalComb/clockEdge calls, the compiled VM (compile/vm.h, a friend) passes
+  // its specialized-op dispatch. Sharing the loops makes seeding, worklist
+  // order, change consumption and hot-group maintenance — and therefore the
+  // settled fixpoint and the set of clocked nodes — identical by construction
+  // across backends.
+
+  /// One shard's worklist drain (the body of drainShard). `eval(id)` must
+  /// evaluate node `id`'s combinational function against the board.
+  template <typename Eval>
+  void drainShardWith(unsigned s, std::uint64_t gen, std::uint32_t maxEvals,
+                      const Eval& eval) {
+    // Interior-channel changes propagate immediately (both endpoints are
+    // owned), boundary writes are staged on the board and published at the
+    // next barrier.
+    Shard& sh = shardState_[s];
+    constexpr std::uint64_t kGenMask = (std::uint64_t{1} << 40) - 1;
+    const std::uint64_t genLo = gen & kGenMask;
+    while (sh.pending > 0) {
+      while (pendingWordGen_[sh.cursorW] != gen || pendingBits_[sh.cursorW] == 0)
+        ++sh.cursorW;
+      const unsigned bit =
+          static_cast<unsigned>(__builtin_ctzll(pendingBits_[sh.cursorW]));
+      const NodeId id = static_cast<NodeId>(sh.cursorW * 64 + bit);
+      pendingBits_[sh.cursorW] &= pendingBits_[sh.cursorW] - 1;
+      --sh.pending;
+      const std::uint64_t meta = evalMeta_[id];
+      const std::uint64_t evals = ((meta & kGenMask) == genLo ? meta >> 40 : 0) + 1;
+      if (evals > maxEvals)
+        throw CombinationalCycleError(
+            "combinational network did not stabilize: node '" +
+            netlist_.node(id).name() + "' re-evaluated more than " +
+            std::to_string(maxEvals) +
+            " times (combinational cycle in data or control)");
+      evalMeta_[id] = (evals << 40) | genLo;
+      eval(id);
+
+      bool selfChanged = false;
+      const std::uint32_t aEnd = adjOffset_[id + 1];
+      for (std::uint32_t a = adjOffset_[id]; a < aEnd; ++a) {
+        const std::uint32_t slot = adjFlat_[a].slot;
+        if (board_.inBoundary(slot)) continue;  // staged; the sync seeds readers
+        if (!board_.consumeChanged(slot)) continue;
+        markHotGroup(sh, slot);  // interior groups are owner-exclusive
+        const NodeId other = adjFlat_[a].other;
+        if (!nodeStateDriven_[other]) pushInto(sh, gen, other);
+        selfChanged = true;
+      }
+      if (selfChanged && nodeUnaudited_[id]) pushInto(sh, gen, id);
+    }
+  }
+
+  /// The serial event-driven settle (the body of settleEventDriven).
+  template <typename Eval>
+  void settleEventDrivenWith(const Eval& eval) {
+    ensureTopologyCache();
+
+    // The board's changed bits mirror every un-consumed write, so change
+    // tracking stays valid across cycles: this refresh runs once after
+    // reset/rewiring/sweep interludes, not every settle.
+    if (!changeTrackValid_) {
+      board_.clearChanged();
+      changeTrackValid_ = true;
+      rebuildHotGroups();
+    }
+
+    // The serial kernel IS the sharded drain restricted to one all-owning
+    // shard (no boundary region exists, so no staging or barrier rounds):
+    // seed, then drain to the fixed point. Seeding tiers: after
+    // reset/rewiring every node; after a full (untracked) edge or an
+    // unpackState every stateful node; in dirty-tracked steady state only the
+    // per-cycle readers plus the nodes clocked at the preceding edge.
+    const std::uint64_t gen = ++settleGen_;
+    Shard& sh = shardState_.front();
+    sh.pending = 0;
+    sh.cursorW = (static_cast<std::size_t>(sh.hiId) >> 6) + 1;
+    seedShards(gen);
+    drainShardWith(0, gen, evalBudget(), eval);
+    edgeTrackValid_ = true;
+  }
+
+  /// The serial dirty-tracked clock edge (the body of edgeSparse). `clock(id)`
+  /// must run node `id`'s sequential update from the settled board.
+  template <typename Clock>
+  void edgeSparseWith(const Clock& clock) {
+    // Clock only (a) nodes whose hint demands every cycle and (b) nodes
+    // adjacent to a channel with an actual transfer/kill event. The scan walks
+    // the incrementally maintained hot-group list — 64 channels per entry,
+    // event masks word-parallel — and compacts groups that went quiet in
+    // passing, so a once-hot group costs one check, not a permanent entry.
+    const std::uint64_t gen = ++edgeGen_;
+    const auto mark = [&](NodeId id) {
+      if (id == kNoNode) return;  // padding slots carry no endpoints
+      const std::size_t w = id >> 6;
+      if (edgeWordGen_[w] != gen) {
+        edgeWordGen_[w] = gen;
+        edgeBits_[w] = 0;
+      }
+      const std::uint64_t m = std::uint64_t{1} << (id & 63);
+      if (!(edgeBits_[w] & m)) {
+        edgeBits_[w] |= m;
+        edgeDirty_.push_back(id);
+      }
+    };
+    for (const NodeId id : alwaysEdgeNodes_) mark(id);
+    std::vector<std::uint32_t>& hot = shardState_.front().hotGroups;
+    std::size_t keep = 0;
+    for (const std::uint32_t g : hot) {
+      if (board_.activityAtGroup(g) == 0) {
+        groupHot_[g] = 0;
+        continue;
+      }
+      hot[keep++] = g;
+      scanEventGroups(g, g + 1, mark);
+    }
+    hot.resize(keep);
+    for (const NodeId id : edgeDirty_) clock(id);
+    // Record the clocked stateful nodes: they are the only ones whose state
+    // can differ at the next settle, so they (plus the per-cycle readers)
+    // become the next seed set.
+    prevClocked_.clear();
+    for (const NodeId id : edgeDirty_)
+      if (nodeStateful_[id]) prevClocked_.push_back(id);
+    sparseSeedValid_ = true;
+    edgeDirty_.clear();
+  }
+
   void edgeSparse();
   void edgeSharded();
   void edgeFull();
@@ -256,6 +402,10 @@ class SimContext {
     }
   }
   Executor& exec();
+  /// Lazily constructed bytecode VM (compiled backend).
+  compile::Vm& vm();
+
+  friend class compile::Vm;
 
   Netlist& netlist_;
   SignalBoard board_;       ///< current signals (SoA)
@@ -306,6 +456,10 @@ class SimContext {
   ShardPlan plan_;
   std::vector<Shard> shardState_;
   std::unique_ptr<Executor> exec_;
+
+  // Compiled backend: bytecode VM over the board arena (compile/vm.h).
+  Backend backend_ = Backend::kInterpreted;
+  std::unique_ptr<compile::Vm> vm_;
 
   // Per-topology caches (live ids, seed set, channel persistence), refreshed
   // whenever the netlist's topologyVersion moves (or the shard count does).

@@ -51,6 +51,8 @@ class EarlyEvalMux : public Node {
   std::uint64_t antiTokensEmitted() const { return antiEmitted_; }
 
  private:
+  friend class compile::Vm;
+
   struct CombView {
     bool selValid = false;
     unsigned selIdx = 0;

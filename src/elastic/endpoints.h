@@ -56,6 +56,8 @@ class TokenSource : public Node {
   std::uint64_t killed() const { return killedCount_; }
 
  private:
+  friend class compile::Vm;
+
   std::optional<BitVec> tokenAt(std::uint64_t index) const;
 
   unsigned width_;
@@ -119,6 +121,8 @@ class TokenSink : public Node {
   unsigned antiBudget() const { return antiBudget_; }
 
  private:
+  friend class compile::Vm;
+
   unsigned width_;
   Gate ready_;
   Gate antiGate_;
@@ -158,6 +162,8 @@ class NondetSource : public Node {
   unsigned maxIdle() const { return maxIdle_; }
 
  private:
+  friend class compile::Vm;
+
   bool offeringNow(SimContext& ctx) const;
   BitVec valueNow(SimContext& ctx) const;
 
@@ -193,6 +199,8 @@ class NondetSink : public Node {
   bool emitsAntiTokens() const { return emitsAnti_; }
 
  private:
+  friend class compile::Vm;
+
   bool stopNow(SimContext& ctx) const;
   bool antiNow(SimContext& ctx) const;
 

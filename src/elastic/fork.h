@@ -34,6 +34,8 @@ class ForkNode : public Node {
   unsigned branches() const { return numOutputs(); }
 
  private:
+  friend class compile::Vm;
+
   /// Branch copy consumed this cycle (settled signals).
   bool branchDoneNow(SimContext& ctx, unsigned i, bool inVf) const;
 

@@ -49,6 +49,8 @@ class FuncNode : public Node {
   std::uint64_t firings() const { return firings_; }
 
  private:
+  friend class compile::Vm;
+
   CombFn fn_;
   logic::Cost datapathCost_;
   std::string role_;

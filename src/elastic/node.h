@@ -24,6 +24,13 @@ namespace esl {
 
 class SimContext;
 
+namespace compile {
+/// Bytecode VM of the compiled backend (compile/vm.h). A friend of the node
+/// catalog: its specialized ops transcribe each node's evalComb/clockEdge
+/// over raw board addresses, reading the same private state.
+class Vm;
+}  // namespace compile
+
 /// Timing nets: per channel, the forward (valid/data) and backward
 /// (stop/anti-token) signal groups settle at separate times.
 enum class NetKind { kFwd, kBwd };

@@ -62,6 +62,8 @@ class SharedModule : public Node {
   std::uint64_t totalServed() const;
 
  private:
+  friend class compile::Vm;
+
   unsigned predictNow(SimContext& ctx);
 
   unsigned channels_;

@@ -53,6 +53,8 @@ struct ShardPlan {
 class SignalBoard {
  public:
   static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+  /// dataOffAt() flag bit: offset indexes the spill table, not the word arena.
+  static constexpr std::uint32_t kWideFlag = 0x80000000u;
 
   /// (Re)computes the slot layout for the netlist's live channels and
   /// zero-initializes all signals. Audits every channel width against the
@@ -234,9 +236,23 @@ class SignalBoard {
     return s;
   }
 
+  // --- raw arena access (compiled backend) -----------------------------------
+  // The bytecode VM (compile/vm.h) addresses the planes and payload arenas
+  // directly, with all offsets resolved at program-compile time; its write
+  // helpers mirror setBitAt/setDataAt exactly, including change tracking.
+  // Raw writes are only valid while staging is inactive — the compiled
+  // backend requires shards == 1, where the boundary region is empty.
+
+  std::uint64_t* ctrlData() { return ctrl_.data(); }
+  std::uint64_t* payloadData() { return words_.data(); }
+  BitVec* spillData() { return spill_.data(); }
+  std::uint64_t* changedData() { return changed_.data(); }
+  /// Payload arena offset of a slot: word index, or spill index | kWideFlag,
+  /// or kNoSlot for zero-width channels.
+  std::uint32_t dataOffAt(std::uint32_t slot) const { return dataOff_[slot]; }
+
  private:
   static constexpr unsigned kWordBits = 64;
-  static constexpr std::uint32_t kWideFlag = 0x80000000u;
 
   static std::size_t groupBase(std::uint32_t slot) {
     return static_cast<std::size_t>(slot >> 6) * 4;

@@ -45,6 +45,8 @@ class StallingVLU : public Node {
   std::uint64_t stalls() const { return stalls_; }
 
  private:
+  friend class compile::Vm;
+
   unsigned inWidth_;
   unsigned outWidth_;
   UnaryFn exact_;

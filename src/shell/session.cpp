@@ -98,7 +98,8 @@ std::string Session::helpText() {
       "  early <mux>               convert a join mux to early evaluation\n"
       "  speculate <mux> <func> [sched]   full speculation recipe\n"
       "  undo | redo               replay-based undo/redo of transformations\n"
-      "  sim <cycles> [shards]     simulate; report sink transfers + violations\n"
+      "  sim <cycles> [shards|compiled|interpreted|cross-check]\n"
+      "                            simulate; report sink transfers + violations\n"
       "  tput <cycles> <channel>   measured throughput on a channel\n"
       "  trace <cycles> <ch...>    Table-1 style trace of selected channels\n"
       "  timing                    cycle time + critical path\n"
@@ -260,9 +261,19 @@ std::string Session::dispatch(const std::string& line, bool replaying) {
   }
 
   if (verb == "sim") {
-    ESL_CHECK(t.size() == 2 || t.size() == 3, "usage: sim <cycles> [shards]");
+    ESL_CHECK(t.size() >= 2,
+              "usage: sim <cycles> [shards|compiled|interpreted|cross-check]");
     sim::SimOptions opts{.checkProtocol = true, .throwOnViolation = false};
-    if (t.size() == 3) opts.shards = static_cast<unsigned>(std::stoul(t[2]));
+    for (std::size_t i = 2; i < t.size(); ++i) {
+      if (t[i] == "compiled")
+        opts.backend = SimContext::Backend::kCompiled;
+      else if (t[i] == "interpreted")
+        opts.backend = SimContext::Backend::kInterpreted;
+      else if (t[i] == "cross-check")
+        opts.crossCheckKernels = true;
+      else
+        opts.shards = static_cast<unsigned>(std::stoul(t[i]));
+    }
     sim::Simulator s(nl, opts);
     s.run(std::stoull(t[1]));
     for (const NodeId id : nl.nodeIds()) {

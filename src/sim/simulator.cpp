@@ -9,6 +9,7 @@ Simulator::Simulator(Netlist& netlist, SimOptions options)
   ctx_.setKernel(options_.kernel);
   ctx_.setCrossCheck(options_.crossCheckKernels);
   ctx_.setShards(options_.shards);
+  ctx_.setBackend(options_.backend);
   // Stateless per-(cycle, node, index) draw: order-independent by design, so
   // every kernel (and every shard count) sees the same choice stream. The
   // cycle is hashed separately before mixing in (node, index) so distinct

@@ -37,6 +37,10 @@ struct SimOptions {
   /// Shard the netlist across N worker lanes per cycle (1 = serial). Settled
   /// signals and packed state are bit-identical for every value.
   unsigned shards = 1;
+  /// Simulation backend: the interpreted node kernels, or the compiled
+  /// bytecode VM (bit-identical, no virtual dispatch on the hot path).
+  /// The compiled backend requires shards == 1.
+  SimContext::Backend backend = SimContext::Backend::kInterpreted;
 };
 
 struct ChannelStats {

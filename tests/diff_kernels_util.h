@@ -1,13 +1,14 @@
-// Shared driver for the event-vs-sweep differential fuzz (PR-fast suite in
+// Shared driver for the three-way kernel differential fuzz (PR-fast suite in
 // test_diff_kernels.cpp, large seeded campaign in test_diff_nightly.cpp).
 //
-// One trial builds the same synthetic system twice, runs one instance per
-// settle kernel in lockstep, and asserts identical packed netlist state after
-// EVERY cycle (plus identical sink transfer streams at the end) — a much
-// stronger oracle than end-of-run outputs, since a kernel divergence that
-// later self-corrects still fails. On failure the driver greedily shrinks the
-// offending SynthConfig (fewer nodes, plainer traffic, fewer cycles) while
-// the mismatch reproduces, so the reported seed/config is a minimal repro.
+// One trial builds the same synthetic system three times — reference sweep,
+// event-driven interpreter, compiled bytecode VM — runs the instances in
+// lockstep, and asserts identical packed netlist state after EVERY cycle
+// (plus identical sink transfer streams at the end) — a much stronger oracle
+// than end-of-run outputs, since a divergence that later self-corrects still
+// fails. On failure the driver greedily shrinks the offending SynthConfig
+// (fewer nodes, plainer traffic, fewer cycles) while the mismatch reproduces,
+// so the reported seed/config is a minimal repro.
 #pragma once
 
 #include <optional>
@@ -18,37 +19,81 @@
 
 namespace esl::test {
 
-/// Runs one differential trial; returns a description of the first mismatch,
-/// or nullopt when both kernels agree everywhere.
+/// Compares the two sinks' transfer streams; `label` names the pair.
+inline std::optional<std::string> diffSinkStreams(const TokenSink* a,
+                                                  const TokenSink* b,
+                                                  const std::string& label) {
+  if (a == nullptr || b == nullptr) return std::nullopt;
+  const auto& ta = a->transfers();
+  const auto& tb = b->transfers();
+  if (ta.size() != tb.size())
+    return label + ": sink transfer counts differ (" +
+           std::to_string(ta.size()) + " vs " + std::to_string(tb.size()) + ")";
+  for (std::size_t i = 0; i < ta.size(); ++i)
+    if (ta[i].cycle != tb[i].cycle || !(ta[i].data == tb[i].data))
+      return label + ": sink transfer " + std::to_string(i) + " differs";
+  return std::nullopt;
+}
+
+/// Runs one three-way differential trial (sweep vs event vs compiled);
+/// returns a description of the first mismatch naming the diverging pair, or
+/// nullopt when all three agree everywhere.
 inline std::optional<std::string> diffKernelsOnce(const synth::SynthConfig& cfg,
                                                   std::uint64_t cycles) {
   synth::SynthSystem sweep = synth::build(cfg);
   synth::SynthSystem event = synth::build(cfg);
+  synth::SynthSystem comp = synth::build(cfg);
   sim::SimOptions base;
   base.checkProtocol = false;  // the oracle is state equality, keep runs lean
-  sim::SimOptions sweepOpts = base, eventOpts = base;
+  sim::SimOptions sweepOpts = base, eventOpts = base, compOpts = base;
   sweepOpts.kernel = SimContext::SettleKernel::kSweep;
   eventOpts.kernel = SimContext::SettleKernel::kEventDriven;
+  compOpts.kernel = SimContext::SettleKernel::kEventDriven;
+  compOpts.backend = SimContext::Backend::kCompiled;
   sim::Simulator ss(sweep.nl, sweepOpts);
   sim::Simulator se(event.nl, eventOpts);
+  sim::Simulator sc(comp.nl, compOpts);
 
   for (std::uint64_t c = 0; c < cycles; ++c) {
     ss.step();
     se.step();
+    sc.step();
     if (ss.ctx().packState() != se.ctx().packState())
+      return "sweep-vs-event: packed state diverged at cycle " +
+             std::to_string(c);
+    if (se.ctx().packState() != sc.ctx().packState())
+      return "event-vs-compiled: packed state diverged at cycle " +
+             std::to_string(c);
+  }
+  if (auto d = diffSinkStreams(sweep.mainSink, event.mainSink, "sweep-vs-event"))
+    return d;
+  if (auto d =
+          diffSinkStreams(event.mainSink, comp.mainSink, "event-vs-compiled"))
+    return d;
+  return std::nullopt;
+}
+
+/// Two-way compiled-vs-interpreted differential (the compiled-kernel suite's
+/// workhorse; the three-way diffKernelsOnce subsumes it but costs a third
+/// sweep-kernel run).
+inline std::optional<std::string> diffCompiledOnce(const synth::SynthConfig& cfg,
+                                                   std::uint64_t cycles) {
+  synth::SynthSystem interp = synth::build(cfg);
+  synth::SynthSystem comp = synth::build(cfg);
+  sim::SimOptions base;
+  base.checkProtocol = false;
+  sim::SimOptions compOpts = base;
+  compOpts.backend = SimContext::Backend::kCompiled;
+  sim::Simulator si(interp.nl, base);
+  sim::Simulator sc(comp.nl, compOpts);
+
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    si.step();
+    sc.step();
+    if (si.ctx().packState() != sc.ctx().packState())
       return "packed state diverged at cycle " + std::to_string(c);
   }
-  if (sweep.mainSink != nullptr && event.mainSink != nullptr) {
-    const auto& a = sweep.mainSink->transfers();
-    const auto& b = event.mainSink->transfers();
-    if (a.size() != b.size())
-      return "sink transfer counts differ (" + std::to_string(a.size()) + " vs " +
-             std::to_string(b.size()) + ")";
-    for (std::size_t i = 0; i < a.size(); ++i)
-      if (a[i].cycle != b[i].cycle || !(a[i].data == b[i].data))
-        return "sink transfer " + std::to_string(i) + " differs";
-  }
-  return std::nullopt;
+  return diffSinkStreams(interp.mainSink, comp.mainSink, "interp-vs-compiled");
 }
 
 /// Sharded-vs-serial differential: the same system, one instance on the

@@ -1,7 +1,8 @@
-// Property-based differential test: event-driven vs sweep settle kernels
-// co-simulated over seeded synthetic netlists, asserting identical packed
-// state every cycle (see diff_kernels_util.h for the oracle and the
-// shrink-on-failure reporting). This is the PR-fast slice — a spread of
+// Property-based differential test: sweep kernel, event-driven kernel and
+// compiled bytecode VM co-simulated over seeded synthetic netlists, asserting
+// identical packed state every cycle (see diff_kernels_util.h for the
+// three-way oracle and the shrink-on-failure reporting, which names the
+// diverging pair). This is the PR-fast slice — a spread of
 // seeds, topologies and traffic patterns per family; the multi-hundred-config
 // campaign lives in test_diff_nightly.cpp behind the `nightly` CTest label.
 #include <gtest/gtest.h>

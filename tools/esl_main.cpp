@@ -35,6 +35,11 @@ int usage(const char* argv0) {
       << "  --sim N            simulate N cycles (sink transfers + violations)\n"
       << "  --shards N         with --sim: shard the netlist across N worker\n"
       << "                     lanes (bit-identical to serial for every N)\n"
+      << "  --backend B        with --sim: 'interpreted' (default) or\n"
+      << "                     'compiled' (bytecode VM, bit-identical)\n"
+      << "  --cross-check      with --sim: settle every cycle on both the\n"
+      << "                     selected backend and the sweep oracle, and\n"
+      << "                     audit every clock edge; throws on divergence\n"
       << "  --tput CHANNEL     with --sim N: measured throughput of CHANNEL\n"
       << "  --check            model-check the SELF suite from the design's IR\n"
       << "  --workers N        checker worker lanes (default 1)\n"
@@ -98,9 +103,10 @@ int main(int argc, char** argv) {
   using namespace esl;
 
   std::string input, transforms, emit, outFile, saveFile, tputChannel;
+  std::string simBackend;
   std::uint64_t simCycles = 0;
   std::uint64_t simShards = 1;
-  bool doSim = false, doCheck = false, doRoundtrip = false;
+  bool doSim = false, doCheck = false, doRoundtrip = false, doCrossCheck = false;
   verify::ProtocolSuiteOptions checkOptions;
 
   for (int i = 1; i < argc; ++i) {
@@ -127,6 +133,15 @@ int main(int argc, char** argv) {
       simCycles = parseNum(arg, value());
     } else if (arg == "--shards") {
       simShards = parseNum(arg, value());
+    } else if (arg == "--backend") {
+      simBackend = value();
+      if (simBackend != "compiled" && simBackend != "interpreted") {
+        std::cerr << "esl: --backend expects compiled|interpreted, got '"
+                  << simBackend << "'\n";
+        return 1;
+      }
+    } else if (arg == "--cross-check") {
+      doCrossCheck = true;
     } else if (arg == "--tput") {
       tputChannel = value();
     } else if (arg == "--check") {
@@ -167,6 +182,14 @@ int main(int argc, char** argv) {
     std::cerr << "esl: --shards requires --sim N\n";
     return 1;
   }
+  if ((!simBackend.empty() || doCrossCheck) && !doSim) {
+    std::cerr << "esl: --backend/--cross-check require --sim N\n";
+    return 1;
+  }
+  if (simBackend == "compiled" && simShards != 1) {
+    std::cerr << "esl: --backend compiled does not compose with --shards yet\n";
+    return 1;
+  }
 
   try {
     shell::Session session;
@@ -194,9 +217,11 @@ int main(int argc, char** argv) {
     }
 
     if (doSim) {
-      const std::string shardArg =
-          simShards > 1 ? " " + std::to_string(simShards) : "";
-      if (!run(session, "sim " + std::to_string(simCycles) + shardArg,
+      std::string simCmd = "sim " + std::to_string(simCycles);
+      if (simShards > 1) simCmd += " " + std::to_string(simShards);
+      if (!simBackend.empty()) simCmd += " " + simBackend;
+      if (doCrossCheck) simCmd += " cross-check";
+      if (!run(session, simCmd,
                /*toStdout=*/true))
         return 2;
       if (!tputChannel.empty() &&
