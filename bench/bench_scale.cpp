@@ -250,6 +250,43 @@ bool shardedIdentityCheck() {
   return true;
 }
 
+/// CI gate (--check): packState bit-identity of `--backend compiled
+/// --shards N` against the serial interpreted reference (which the serial
+/// compiled backend is separately gated against), for every tested shard
+/// count. Interior nodes run specialized arena ops over shard-sliced state
+/// records while boundary-adjacent nodes take the staging-aware interpreted
+/// path — this gate pins that composition end to end.
+bool compiledShardedIdentityCheck() {
+  synth::SynthConfig cfg;
+  cfg.topology = synth::Topology::kRandomDag;
+  cfg.targetNodes = 3000;
+  cfg.seed = 5;
+  cfg.injectPeriod = 1;
+  synth::SynthSystem ref = synth::build(cfg);
+  sim::Simulator sref(ref.nl, {.checkProtocol = false});
+  sref.run(400);
+  const auto want = sref.ctx().packState();
+  const auto received = ref.mainSink != nullptr ? ref.mainSink->received() : 0;
+  for (const unsigned shards : {1u, 2u, 8u}) {
+    synth::SynthSystem sys = synth::build(cfg);
+    sim::Simulator s(sys.nl, {.checkProtocol = false,
+                              .shards = shards,
+                              .backend = SimContext::Backend::kCompiled});
+    s.run(400);
+    if (s.ctx().packState() != want ||
+        (sys.mainSink != nullptr && sys.mainSink->received() != received)) {
+      std::printf("CHECK FAILED: compiled backend with %u shard(s) diverged "
+                  "from the serial reference on %s\n",
+                  shards, synth::describe(cfg).c_str());
+      return false;
+    }
+  }
+  std::printf("CHECK OK: compiled x sharded bit-identical to serial for 1/2/8 "
+              "shards on %s\n",
+              synth::describe(cfg).c_str());
+  return true;
+}
+
 /// CI gate (--check): packState bit-identity of the compiled bytecode backend
 /// against the interpreted event kernel, across topologies and traffic shapes.
 bool compiledIdentityCheck() {
@@ -314,8 +351,8 @@ int main(int argc, char** argv) {
   // Cycle budgets sized so every timed window is well above the timer/noise
   // floor (>=tens of ms): the sweep kernel's per-cycle cost grows linearly
   // with nodes, the event kernel's does not (that asymmetry is the result).
-  std::vector<Tier> tiers = {{1000, 50000, 3000}, {10000, 10000, 300}};
-  if (!quick) tiers.push_back({100000, 20000, 100});
+  std::vector<Tier> tiers = {{1000, 50000, 3000}, {10000, 10000, 300},
+                             {100000, 20000, 100}};
 
   const synth::Topology topologies[] = {synth::Topology::kPipeline,
                                         synth::Topology::kRandomDag};
@@ -334,38 +371,59 @@ int main(int argc, char** argv) {
         // Saturated runs at 100k nodes would spend minutes in the sweep
         // kernel for no extra information; the sparse point is the story.
         if (inject == 1 && tier.nodes >= 100000) continue;
+        // Quick runs skip the 100k sweep (linear per-cycle cost, minutes of
+        // wall clock, and the event-vs-sweep gate is already decided at 10k)
+        // but KEEP the 100k event+compiled pair: 100k nodes is where the
+        // interpreted kernel's heap-scattered node state decisively misses
+        // cache, so that pair anchors the compiled-vs-interpreted gate at
+        // its most noise-robust margin.
+        const bool skipSweep = quick && tier.nodes >= 100000;
+        // At 100k the default cycles/10 warmup still sits in the filling
+        // transient (the pipeline is ~6k stages deep), and min-of-N would
+        // pick the emptiest window — understating in-flight state and with
+        // it the ratio the gate reasons about. Warm past fill so every
+        // window measures the filled steady state.
+        const std::uint64_t warmup = tier.nodes >= 100000 ? tier.nodes / 8 : 0;
         synth::SynthConfig cfg;
         cfg.topology = topo;
         cfg.targetNodes = tier.nodes;
         cfg.seed = 1;
         cfg.injectPeriod = inject;
-        const Row sweep =
-            measure(cfg, SimContext::SettleKernel::kSweep, tier.sweepCycles);
-        const Row event =
-            measure(cfg, SimContext::SettleKernel::kEventDriven, tier.eventCycles);
+        Row sweep;
+        if (!skipSweep)
+          sweep = measure(cfg, SimContext::SettleKernel::kSweep, tier.sweepCycles);
+        const Row event = measure(cfg, SimContext::SettleKernel::kEventDriven,
+                                  tier.eventCycles, 3, 1, warmup);
         const Row compiled =
             measure(cfg, SimContext::SettleKernel::kEventDriven, tier.eventCycles,
-                    3, 1, 0, SimContext::Backend::kCompiled);
-        const double speedup = sweep.nsPerCycle / event.nsPerCycle;
+                    3, 1, warmup, SimContext::Backend::kCompiled);
         const double compiledSpeedup = event.nsPerCycle / compiled.nsPerCycle;
-        rows.push_back(sweep);
         rows.push_back(event);
         rows.push_back(compiled);
         speedups.push_back(
-            {"scale/" + synth::describe(cfg) + "/speedup", "event_vs_sweep",
-             speedup});
-        speedups.push_back(
             {"scale/" + synth::describe(cfg) + "/compiled-speedup",
              "compiled_vs_event", compiledSpeedup});
-        std::printf("%-44s %8zu %12.0f %12.0f %12.0f %8.1fx %8.2fx\n",
-                    synth::describe(cfg).c_str(), sweep.nodes, sweep.nsPerCycle,
-                    event.nsPerCycle, compiled.nsPerCycle, speedup,
-                    compiledSpeedup);
-        if (inject == 64 && tier.nodes >= 10000) {
-          if (speedup > check10kSparse) check10kSparse = speedup;
-          if (compiledSpeedup > check10kSparseCompiled)
-            check10kSparseCompiled = compiledSpeedup;
+        if (skipSweep) {
+          std::printf("%-44s %8zu %12s %12.0f %12.0f %9s %8.2fx\n",
+                      synth::describe(cfg).c_str(), event.nodes, "-",
+                      event.nsPerCycle, compiled.nsPerCycle, "-",
+                      compiledSpeedup);
+        } else {
+          const double speedup = sweep.nsPerCycle / event.nsPerCycle;
+          rows.push_back(sweep);
+          speedups.push_back(
+              {"scale/" + synth::describe(cfg) + "/speedup", "event_vs_sweep",
+               speedup});
+          std::printf("%-44s %8zu %12.0f %12.0f %12.0f %8.1fx %8.2fx\n",
+                      synth::describe(cfg).c_str(), sweep.nodes,
+                      sweep.nsPerCycle, event.nsPerCycle, compiled.nsPerCycle,
+                      speedup, compiledSpeedup);
+          if (inject == 64 && tier.nodes >= 10000 && speedup > check10kSparse)
+            check10kSparse = speedup;
         }
+        if (inject == 64 && tier.nodes >= 10000 &&
+            compiledSpeedup > check10kSparseCompiled)
+          check10kSparseCompiled = compiledSpeedup;
       }
     }
   }
@@ -399,25 +457,32 @@ int main(int argc, char** argv) {
     std::printf("CHECK OK: event kernel %.1fx vs sweep on >=10k-node sparse "
                 "netlists\n",
                 check10kSparse);
-    // Hard floor at 1.2x — a regression below that means the compiled backend
-    // lost its advantage outright. The measured ratio on these tiers is
-    // ~1.3-1.8x: both backends bottleneck on the same node-object and plane
-    // cache misses, so removing dispatch/lookup overhead alone cannot reach
-    // the 2x/5x target (that needs VM-owned node state; see ROADMAP). The
-    // ratio itself is reported for tracking, not gated tighter, because CI
-    // runners are too noisy to pin an optimization ratio.
-    if (check10kSparseCompiled < 1.2) {
+    // Hard floor at 1.8x — with per-node state packed into the VM-owned
+    // arena, a specialized op streams its op/port/state records instead of
+    // chasing into heap node objects. The win scales with working-set size:
+    // at 10k nodes the interpreted kernel's node state is still largely
+    // cache-resident and the measured ratio is ~1.2-1.6x; at 100k nodes the
+    // scattered node objects miss cache on nearly every touch and the
+    // filled-steady-state pipeline tier measures ~2.6x (random DAGs ~1.6x).
+    // The gate takes the best >=10k-node sparse tier — the 100k
+    // event+compiled pair runs even under --quick for exactly this reason —
+    // so a drop below 1.8x means the arena stopped paying at any scale
+    // (e.g. a regression reintroduced node-object loads on the hot path).
+    // The floor sits well below the measured best — not at it — because CI
+    // runners are too noisy to pin an optimization ratio exactly; the ratio
+    // itself is reported in the JSON for tracking.
+    if (check10kSparseCompiled < 1.8) {
       std::printf("CHECK FAILED: compiled backend only %.2fx vs interpreted "
-                  "event kernel on >=10k-node sparse netlists (need >=1.2x)\n",
+                  "event kernel on >=10k-node sparse netlists (need >=1.8x)\n",
                   check10kSparseCompiled);
       return 1;
     }
     std::printf("CHECK OK: compiled backend %.2fx vs interpreted event kernel "
-                "on >=10k-node sparse netlists (floor 1.2x; 2x/5x target "
-                "tracked in ROADMAP)\n",
+                "on >=10k-node sparse netlists (floor 1.8x)\n",
                 check10kSparseCompiled);
     if (!shardedIdentityCheck()) return 1;
     if (!compiledIdentityCheck()) return 1;
+    if (!compiledShardedIdentityCheck()) return 1;
   }
   return 0;
 }

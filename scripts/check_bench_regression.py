@@ -36,6 +36,11 @@ METRICS = ("ns_per_cycle", "real_time", "cpu_time")
 # `bench_scale --check` and the sharded-kernel test label).
 UNGATED_SUBSTRINGS = ("/n100000/", "/shards", "/workers")
 
+# Median normalization needs enough matched entries to be meaningful: with one
+# or two matches the "median" is a single noisy ratio (or the mean of two) and
+# normalizing by it silently cancels exactly the regression being measured.
+MIN_NORMALIZATION_MATCHES = 3
+
 
 def load_entries(path):
     """name -> (metric, value); google-benchmark aggregates are skipped."""
@@ -123,13 +128,26 @@ def main():
         ratios[name] = cur / base
 
     if not ratios:
+        if args.allow_new_entries:
+            # Every current entry was NEW (e.g. a freshly added benchmark feed
+            # before its baseline refresh lands): nothing is gated this run,
+            # which is exactly what --allow-new-entries promises.
+            print("OK: no baseline-matched benchmarks to gate "
+                  f"({len(unbaselined)} new entries reported above)")
+            return 0
         print("FAIL: no comparable benchmarks found")
         return 1
 
     norm = 1.0
     if not args.absolute:
-        norm = statistics.median(ratios.values())
-        print(f"machine-speed normalization: median time ratio {norm:.3f}")
+        if len(ratios) < MIN_NORMALIZATION_MATCHES:
+            print(f"WARNING: only {len(ratios)} matched benchmark(s) — "
+                  f"median normalization needs at least "
+                  f"{MIN_NORMALIZATION_MATCHES}; comparing absolute ratios "
+                  "(machine speed differences will show through)")
+        else:
+            norm = statistics.median(ratios.values())
+            print(f"machine-speed normalization: median time ratio {norm:.3f}")
 
     failed = []
     for name, ratio in sorted(ratios.items()):

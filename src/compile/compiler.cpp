@@ -1,5 +1,6 @@
 #include "compile/compiler.h"
 
+#include <optional>
 #include <typeinfo>
 
 #include "elastic/buffer.h"
@@ -22,12 +23,8 @@ SlotAddr addrFor(const SignalBoard& board, ChannelId ch) {
   const std::uint32_t slot = board.slotOf(ch);
   if (slot == SignalBoard::kNoSlot) return a;
   a.slot = slot;
-  a.ctrlBase = (slot >> 6) * 4;
-  a.chWord = slot >> 6;
-  a.bitMask = std::uint64_t{1} << (slot & 63);
   a.dataOff = board.dataOffAt(slot);
   a.width = board.widthAtSlot(slot);
-  a.bound = true;
   return a;
 }
 
@@ -138,36 +135,129 @@ FuncKind specializeFunc(const Node& node, const Op& op,
   return FuncKind::kOpaque;
 }
 
+/// Plans the op's node-state arena record: how many u64 words it needs, with
+/// the per-kind constants the VM reads every evaluation stashed in fnA/fnB
+/// (one op load instead of a node-object load). Returns nullopt when the
+/// state does not fit the word arena (payloads wider than 64 bits, forks
+/// wider than 64 branches) — the caller downgrades to kGeneric, keeping the
+/// virtual (interpreter) path, which handles arbitrary widths.
+///
+/// 0 words means the op is specialized but keeps its state on the node:
+/// kFunc/kShared sequential "state" is a memo or a polymorphic scheduler
+/// (virtual predict/observe — pointer-chasing is inherent), and kGeneric
+/// state is whatever the subclass holds.
+std::optional<std::uint32_t> planStateWords(Op& op,
+                                            const std::vector<SlotAddr>& ports) {
+  const SlotAddr* P = ports.data() + op.portBase;
+  switch (op.code) {
+    case OpCode::kEb: {
+      const auto& eb = *static_cast<const ElasticBuffer*>(op.obj);
+      if (P[1].width > 64) return std::nullopt;
+      op.fnA = eb.capacity();
+      op.fnB = eb.antiCapacity();
+      // head|count, antiTokens, then one payload word per ring slot.
+      return 2 + static_cast<std::uint32_t>(eb.capacity());
+    }
+    case OpCode::kEb0:
+    case OpCode::kBrokenEb:
+      // has|stopReg flags word + payload word.
+      return P[1].width > 64 ? std::nullopt : std::make_optional(2u);
+    case OpCode::kFork:
+      // done_ bits as one mask word.
+      return op.nOut > 64 ? std::nullopt : std::make_optional(1u);
+    case OpCode::kEeMux:
+      // One pendingAnti_ counter word per data input (payload routing goes
+      // through copyData, which handles wide channels).
+      return static_cast<std::uint32_t>(op.nIn - 1);
+    case OpCode::kSource:
+      return 2u;  // index; offering|killCredit
+    case OpCode::kSink:
+      return 1u;  // antiActive|antiRemaining
+    case OpCode::kNondetSource: {
+      const auto& ns = *static_cast<const NondetSource*>(op.obj);
+      if (P[0].width > 64) return std::nullopt;
+      op.fnA = ns.killCreditCap();
+      op.fnB = ns.maxIdle();
+      return 3u;  // offering; value; killCredit|idleStreak
+    }
+    case OpCode::kNondetSink: {
+      const auto& nk = *static_cast<const NondetSink*>(op.obj);
+      op.fnA = nk.maxConsecutiveStops();
+      op.fnB = nk.emitsAntiTokens() ? 1 : 0;
+      return 1u;  // antiActive|consecutiveStops
+    }
+    case OpCode::kVlu:
+      // pending/result flags + pending word + result word.
+      return P[0].width > 64 || P[1].width > 64 ? std::nullopt
+                                                : std::make_optional(3u);
+    case OpCode::kFunc:
+    case OpCode::kShared:
+    case OpCode::kGeneric:
+      return 0u;
+  }
+  return 0u;
+}
+
 }  // namespace
 
-Program compileProgram(Netlist& nl, const SignalBoard& board) {
+Program compileProgram(Netlist& nl, const SignalBoard& board,
+                       const ShardPlan* plan) {
   Program prog;
   prog.topologyVersion = nl.topologyVersion();
+  prog.boardLayout = board.layoutGeneration();
   prog.opOf.assign(nl.nodeCapacity(), Program::kNoOp);
   const std::vector<NodeId> ids = nl.nodeIds();
   prog.ops.reserve(ids.size());
+  const bool sharded = plan != nullptr && plan->shards > 1;
+  unsigned prevShard = ~0u;
   for (const NodeId id : ids) {
     Node& node = nl.node(id);
     Op op;
     op.node = &node;
+    op.nodeId = id;
     op.nIn = static_cast<std::uint16_t>(node.numInputs());
     op.nOut = static_cast<std::uint16_t>(node.numOutputs());
     op.portBase = static_cast<std::uint32_t>(prog.ports.size());
     bool allBound = true;
+    bool anyBoundary = false;
     for (unsigned i = 0; i < node.numInputs(); ++i) {
       prog.ports.push_back(addrFor(board, node.input(i)));
-      allBound = allBound && prog.ports.back().bound;
+      allBound = allBound && prog.ports.back().bound();
+      anyBoundary = anyBoundary || (prog.ports.back().bound() &&
+                                    board.inBoundary(prog.ports.back().slot));
     }
     for (unsigned o = 0; o < node.numOutputs(); ++o) {
       prog.ports.push_back(addrFor(board, node.output(o)));
-      allBound = allBound && prog.ports.back().bound;
+      allBound = allBound && prog.ports.back().bound();
+      anyBoundary = anyBoundary || (prog.ports.back().bound() &&
+                                    board.inBoundary(prog.ports.back().slot));
     }
     // An op may only touch raw addresses when every port resolved; a node
     // caught mid-surgery (dangling port) keeps the virtual path, which throws
     // the usual accessor error if the dangling channel is actually touched.
-    op.code = allBound ? classify(node, &op.obj) : OpCode::kGeneric;
+    // Under sharding, a node adjacent to a boundary slot also stays generic:
+    // boundary writes must go through the staging-aware Sig accessors.
+    op.code = allBound && !(sharded && anyBoundary) ? classify(node, &op.obj)
+                                                    : OpCode::kGeneric;
     if (op.code == OpCode::kFunc)
       op.fnKind = specializeFunc(node, op, prog.ports, &op.fnA, &op.fnB);
+    const std::optional<std::uint32_t> words = planStateWords(op, prog.ports);
+    if (!words) {
+      // State too wide for the word arena: virtual path handles any width.
+      op.code = OpCode::kGeneric;
+      op.obj = nullptr;
+      op.fnA = op.fnB = 0;
+    } else if (*words > 0) {
+      if (sharded) {
+        // Cache-line-align each shard's first record so concurrent shard
+        // workers never false-share a state record across the slice border.
+        const unsigned s = plan->nodeShard[id];
+        if (s != prevShard) prog.stateWords = (prog.stateWords + 7) & ~7u;
+        prevShard = s;
+      }
+      op.stateOff = prog.stateWords;
+      prog.stateWords += *words;
+    }
     prog.opOf[id] = static_cast<std::uint32_t>(prog.ops.size());
     prog.ops.push_back(op);
   }

@@ -2,21 +2,29 @@
 //
 // compileProgram() lowers a netlist once into a flat program of per-node ops:
 // each op carries the node's kind (resolved to a specialized opcode by exact
-// type), a concrete object pointer (the downcast done at compile time) and a
-// table of port addresses with every SignalBoard coordinate — control-plane
-// word base, bit mask, payload arena offset, width — resolved against the
-// board's current layout. The VM (src/compile/vm.h) then executes settle
-// rounds and clock edges with raw word loads/stores: no virtual dispatch, no
-// Sig accessor proxies, no slot lookups on the hot path.
+// type), a concrete object pointer (the downcast done at compile time), an
+// offset into the VM's node-state arena, and a table of port addresses
+// resolved against the board's current layout. The VM (src/compile/vm.h) then
+// executes settle rounds and clock edges with raw word loads/stores: no
+// virtual dispatch, no Sig accessor proxies, no slot lookups — and no
+// pointer-chasing into node objects — on the hot path.
 //
-// Nodes whose exact type is not in the catalog (user subclasses) and nodes
-// with unbound ports compile to OpCode::kGeneric, which falls back to the
-// virtual evalComb/clockEdge — the program is always total over the netlist.
+// The op and port records are deliberately flat and small (SlotAddr is 12
+// bytes; derived coordinates are shifts off the slot index) so one settle
+// step streams the op, its ports and its arena record from a couple of cache
+// lines instead of touching 5–8 scattered heap objects per active node.
 //
-// A Program is valid for one (topologyVersion, board layout) pair; the VM
-// recompiles whenever the netlist's topologyVersion moves (transformations,
-// splices), which also covers every board re-layout, since layout() is a pure
-// function of the topology and the shard plan.
+// Nodes whose exact type is not in the catalog (user subclasses), nodes with
+// unbound ports, nodes whose state does not fit the word arena (payloads
+// wider than 64 bits, forks with more than 64 branches), and — under
+// sharding — nodes touching a boundary slot compile to OpCode::kGeneric,
+// which falls back to the virtual evalComb/clockEdge through the staging-
+// aware Sig accessors: the program is always total over the netlist.
+//
+// A Program is valid for one (topologyVersion, board layoutGeneration) pair;
+// the VM recompiles whenever either moves. Topology changes (transformations,
+// splices) bump the former; shard-count changes permute the board WITHOUT a
+// topology bump, which only the latter catches.
 #pragma once
 
 #include <cstdint>
@@ -48,15 +56,19 @@ enum class OpCode : std::uint8_t {
   kGeneric,       ///< fallback: virtual evalComb/clockEdge
 };
 
-/// One channel endpoint with every board coordinate resolved at compile time.
+/// One channel endpoint, 12 bytes. The plane/word coordinates the VM needs
+/// are pure shifts of the slot index, computed inline — keeping the record
+/// small matters more than pre-computing two shifts: a node's whole port
+/// table now fits one cache line.
 struct SlotAddr {
   std::uint32_t slot = SignalBoard::kNoSlot;
-  std::uint32_t ctrlBase = 0;  ///< ctrl_ index of the slot group's vf word
-  std::uint32_t chWord = 0;    ///< changed_ word index (slot / 64)
   std::uint32_t dataOff = SignalBoard::kNoSlot;  ///< words_ | spill_+kWideFlag
-  std::uint64_t bitMask = 0;                     ///< 1 << (slot % 64)
-  unsigned width = 0;                            ///< payload width
-  bool bound = false;  ///< false: port had no live channel slot
+  std::uint32_t width = 0;                       ///< payload width
+
+  bool bound() const { return slot != SignalBoard::kNoSlot; }
+  std::uint32_t ctrlBase() const { return (slot >> 6) * 4; }
+  std::uint32_t chWord() const { return slot >> 6; }
+  std::uint64_t bitMask() const { return std::uint64_t{1} << (slot & 63); }
 };
 
 /// Datapath specialization of a registry-built FuncNode: known catalog
@@ -76,15 +88,25 @@ enum class FuncKind : std::uint8_t {
 };
 
 /// One node lowered to an op. Ports live in Program::ports at [portBase,
-/// portBase + nIn + nOut): inputs first, then outputs.
+/// portBase + nIn + nOut): inputs first, then outputs. Sequential state lives
+/// in the VM's arena at stateOff (kNoState: the op keeps its state on the
+/// node object — kFunc/kShared, whose "state" is memos/a polymorphic
+/// scheduler — or is kGeneric).
 struct Op {
+  static constexpr std::uint32_t kNoState = ~std::uint32_t{0};
+
   OpCode code = OpCode::kGeneric;
   FuncKind fnKind = FuncKind::kOpaque;  ///< kFunc only
   std::uint16_t nIn = 0;
   std::uint16_t nOut = 0;
   std::uint32_t portBase = 0;
-  std::uint64_t fnA = 0;  ///< addk constant / permille threshold
-  std::uint64_t fnB = 0;  ///< permille salt
+  std::uint32_t stateOff = kNoState;  ///< arena word offset (VM assigns)
+  NodeId nodeId = 0;                  ///< owning node (arena flush liveness)
+  std::uint64_t fnA = 0;  ///< kFunc: addk constant / permille threshold;
+                          ///< kEb: capacity; kNondetSource: killCredit cap;
+                          ///< kNondetSink: max consecutive stops
+  std::uint64_t fnB = 0;  ///< kFunc: permille salt; kEb: anti capacity;
+                          ///< kNondetSource: maxIdle; kNondetSink: emitsAnti
   Node* node = nullptr;  ///< always set (names in errors, generic fallback)
   void* obj = nullptr;   ///< exact-type downcast for specialized opcodes
 };
@@ -95,10 +117,16 @@ struct Program {
   std::vector<Op> ops;                ///< live nodes, insertion order
   std::vector<std::uint32_t> opOf;    ///< NodeId -> ops index (kNoOp = dead id)
   std::vector<SlotAddr> ports;
+  std::uint32_t stateWords = 0;       ///< node-state arena size (u64 words)
   std::uint64_t topologyVersion = 0;  ///< netlist version compiled against
+  std::uint64_t boardLayout = 0;      ///< board layoutGeneration compiled against
 };
 
-/// Lowers the netlist against the board's current layout.
-Program compileProgram(Netlist& nl, const SignalBoard& board);
+/// Lowers the netlist against the board's current layout. With a shard plan
+/// (shards > 1) nodes touching boundary slots stay generic, and each shard's
+/// arena slice starts cache-line-aligned so shard workers never false-share a
+/// state record.
+Program compileProgram(Netlist& nl, const SignalBoard& board,
+                       const ShardPlan* plan = nullptr);
 
 }  // namespace esl::compile

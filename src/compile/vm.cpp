@@ -1,5 +1,6 @@
 #include "compile/vm.h"
 
+#include "base/executor.h"
 #include "base/rng.h"
 #include "elastic/buffer.h"
 #include "elastic/context.h"
@@ -18,15 +19,60 @@ constexpr unsigned kVf = SignalBoard::kVf;
 constexpr unsigned kSf = SignalBoard::kSf;
 constexpr unsigned kVb = SignalBoard::kVb;
 constexpr unsigned kSb = SignalBoard::kSb;
+
+std::uint32_t lo32(std::uint64_t v) { return static_cast<std::uint32_t>(v); }
+std::uint32_t hi32(std::uint64_t v) {
+  return static_cast<std::uint32_t>(v >> 32);
+}
+std::uint64_t pack32(std::uint32_t lo, std::uint32_t hi) {
+  return static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+}
+
+/// Node payload -> arena word. The compiler only assigns a state record when
+/// every payload the record must carry fits one word, so a width mismatch
+/// here means the node holds a token that disagrees with its channel width —
+/// unrepresentable in the arena (and unreachable through pushes from the
+/// bound channel or unpackState of a matching netlist).
+std::uint64_t packWord(const BitVec& v, std::uint32_t width) {
+  ESL_CHECK(v.width() == width,
+            "state arena: stored payload width disagrees with the channel");
+  return width == 0 ? 0 : v.word0();
+}
+
+/// Arena word -> optional node payload (flush side of kEb0/kBrokenEb/kVlu).
+void storeOpt(std::optional<BitVec>& dst, bool has, std::uint32_t width,
+              std::uint64_t word) {
+  if (!has) {
+    dst.reset();
+  } else if (width == 0) {
+    if (!dst || dst->width() != 0) dst = BitVec(0);
+  } else if (dst && dst->width() == width) {
+    dst->assignNarrow(width, word);  // reuse the slot's storage
+  } else {
+    dst = BitVec(width, word);
+  }
+}
 }  // namespace
 
 // --- lifecycle ---------------------------------------------------------------
 
 void Vm::ensureProgram() {
-  if (hasProgram_ && prog_.topologyVersion == ctx_.netlist_.topologyVersion())
+  // A program is valid for one (topologyVersion, board layoutGeneration)
+  // pair: topology moves on splices/transformations, the layout moves on
+  // every board re-layout — including shard-count changes, which permute
+  // slots WITHOUT a topology bump. Reusing a program across either would
+  // store through stale raw offsets.
+  if (hasProgram_ && prog_.topologyVersion == ctx_.netlist_.topologyVersion() &&
+      prog_.boardLayout == ctx_.board_.layoutGeneration())
     return;
-  prog_ = compileProgram(ctx_.netlist_, ctx_.board_);
+  // The old arena may be the authoritative copy of node state: publish it
+  // through the OLD offsets into every node that survived the change before
+  // the offsets are recomputed.
+  flushState();
+  prog_ = compileProgram(ctx_.netlist_, ctx_.board_,
+                         ctx_.shards_ > 1 ? &ctx_.plan_ : nullptr);
   hasProgram_ = true;
+  state_.assign(prog_.stateWords, 0);
 }
 
 void Vm::bind() {
@@ -41,14 +87,22 @@ void Vm::settle() {
   ctx_.ensureTopologyCache();  // board layout current before addressing it
   ensureProgram();
   bind();
-  ctx_.settleEventDrivenWith([this](NodeId id) { evalNode(id); });
+  adoptArena();
+  if (ctx_.shards_ > 1)
+    ctx_.settleShardedWith([this](NodeId id) { evalNode(id); });
+  else
+    ctx_.settleEventDrivenWith([this](NodeId id) { evalNode(id); });
 }
 
 void Vm::edge() {
   ctx_.ensureTopologyCache();
   ensureProgram();
   bind();
-  ctx_.edgeSparseWith([this](NodeId id) { edgeNode(id, true); });
+  adoptArena();
+  if (ctx_.shards_ > 1)
+    ctx_.edgeShardedWith([this](NodeId id) { edgeNode(id, true); });
+  else
+    ctx_.edgeSparseWith([this](NodeId id) { edgeNode(id, true); });
 }
 
 void Vm::prepare() {
@@ -63,7 +117,194 @@ bool Vm::hasSpecializedOpFor(NodeId id) const {
   return idx != Program::kNoOp && prog_.ops[idx].code != OpCode::kGeneric;
 }
 
-void Vm::edgeNodeForAudit(NodeId id) { edgeNode(id, false); }
+void Vm::edgeNodeForAudit(NodeId id) {
+  const Op& op = prog_.ops[prog_.opOf[id]];
+  // The audit just rewound the node OBJECT, so re-adopt it, replay the op
+  // against the arena, and flush so packState() sees the compiled result.
+  // The global arena validity is untouched: the audit edge runs interpreted
+  // around these replays, so the node objects stay authoritative throughout.
+  if (op.stateOff != Op::kNoState) adoptOp(op);
+  edgeNode(id, false);
+  if (op.stateOff != Op::kNoState) flushOp(op);
+}
+
+// --- node-state arena adoption/flush -----------------------------------------
+
+void Vm::adoptArena() {
+  if (arenaValid_) return;
+  for (const Op& op : prog_.ops)
+    if (op.stateOff != Op::kNoState) adoptOp(op);
+  arenaValid_ = true;
+}
+
+void Vm::flushState() {
+  if (!arenaValid_) return;
+  arenaValid_ = false;
+  for (const Op& op : prog_.ops) {
+    if (op.stateOff == Op::kNoState) continue;
+    // NodeIds are never recycled, so liveness is airtight: a node removed by
+    // surgery since the compile simply drops its (now unowned) state.
+    if (!ctx_.netlist_.hasNode(op.nodeId)) continue;
+    flushOp(op);
+  }
+}
+
+void Vm::adoptOp(const Op& op) {
+  std::uint64_t* S = &state_[op.stateOff];
+  const SlotAddr* P = prog_.ports.data() + op.portBase;
+  switch (op.code) {
+    case OpCode::kEb: {
+      const auto& eb = *static_cast<const ElasticBuffer*>(op.obj);
+      S[0] = pack32(eb.head_, eb.count_);
+      S[1] = static_cast<std::uint64_t>(static_cast<std::int64_t>(eb.antiTokens_));
+      for (unsigned i = 0; i < eb.count_; ++i) {
+        unsigned idx = eb.head_ + i;
+        if (idx >= eb.capacity_) idx -= eb.capacity_;
+        S[2 + idx] = packWord(eb.ring_[idx], P[1].width);
+      }
+      break;
+    }
+    case OpCode::kEb0: {
+      const auto& eb = *static_cast<const ElasticBuffer0*>(op.obj);
+      S[0] = eb.slot_.has_value() ? 1 : 0;
+      S[1] = eb.slot_ ? packWord(*eb.slot_, P[1].width) : 0;
+      break;
+    }
+    case OpCode::kBrokenEb: {
+      const auto& bb = *static_cast<const BrokenBuffer*>(op.obj);
+      S[0] = (bb.slot_.has_value() ? 1u : 0u) | (bb.stopReg_ ? 2u : 0u);
+      S[1] = bb.slot_ ? packWord(*bb.slot_, P[1].width) : 0;
+      break;
+    }
+    case OpCode::kFork: {
+      const auto& fk = *static_cast<const ForkNode*>(op.obj);
+      std::uint64_t mask = 0;
+      for (unsigned i = 0; i < op.nOut; ++i)
+        if (fk.done_[i]) mask |= std::uint64_t{1} << i;
+      S[0] = mask;
+      break;
+    }
+    case OpCode::kEeMux: {
+      const auto& mx = *static_cast<const EarlyEvalMux*>(op.obj);
+      for (unsigned i = 0; i + 1 < op.nIn; ++i) S[i] = mx.pendingAnti_[i];
+      break;
+    }
+    case OpCode::kSource: {
+      const auto& src = *static_cast<const TokenSource*>(op.obj);
+      S[0] = src.index_;
+      S[1] = pack32(src.offering_ ? 1 : 0, src.killCredit_);
+      break;
+    }
+    case OpCode::kSink: {
+      const auto& sk = *static_cast<const TokenSink*>(op.obj);
+      S[0] = pack32(sk.antiActive_ ? 1 : 0, sk.antiRemaining_);
+      break;
+    }
+    case OpCode::kNondetSource: {
+      const auto& ns = *static_cast<const NondetSource*>(op.obj);
+      S[0] = ns.offering_ ? 1 : 0;
+      S[1] = packWord(ns.value_, P[0].width);
+      S[2] = pack32(ns.killCredit_, ns.idleStreak_);
+      break;
+    }
+    case OpCode::kNondetSink: {
+      const auto& nk = *static_cast<const NondetSink*>(op.obj);
+      S[0] = pack32(nk.antiActive_ ? 1 : 0, nk.consecutiveStops_);
+      break;
+    }
+    case OpCode::kVlu: {
+      const auto& vu = *static_cast<const StallingVLU*>(op.obj);
+      S[0] = (vu.pending_.has_value() ? 1u : 0u) |
+             (vu.result_.has_value() ? 2u : 0u);
+      S[1] = vu.pending_ ? packWord(*vu.pending_, P[0].width) : 0;
+      S[2] = vu.result_ ? packWord(*vu.result_, P[1].width) : 0;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Vm::flushOp(const Op& op) {
+  const std::uint64_t* S = &state_[op.stateOff];
+  const SlotAddr* P = prog_.ports.data() + op.portBase;
+  switch (op.code) {
+    case OpCode::kEb: {
+      auto& eb = *static_cast<ElasticBuffer*>(op.obj);
+      eb.head_ = lo32(S[0]);
+      eb.count_ = hi32(S[0]);
+      eb.antiTokens_ = static_cast<int>(static_cast<std::int64_t>(S[1]));
+      if (P[1].width > 0)
+        for (unsigned i = 0; i < eb.count_; ++i) {
+          unsigned idx = eb.head_ + i;
+          if (idx >= eb.capacity_) idx -= eb.capacity_;
+          eb.ring_[idx].assignNarrow(P[1].width, S[2 + idx]);
+        }
+      break;
+    }
+    case OpCode::kEb0: {
+      auto& eb = *static_cast<ElasticBuffer0*>(op.obj);
+      storeOpt(eb.slot_, (S[0] & 1) != 0, P[1].width, S[1]);
+      break;
+    }
+    case OpCode::kBrokenEb: {
+      auto& bb = *static_cast<BrokenBuffer*>(op.obj);
+      storeOpt(bb.slot_, (S[0] & 1) != 0, P[1].width, S[1]);
+      bb.stopReg_ = (S[0] & 2) != 0;
+      break;
+    }
+    case OpCode::kFork: {
+      auto& fk = *static_cast<ForkNode*>(op.obj);
+      for (unsigned i = 0; i < op.nOut; ++i)
+        fk.done_[i] = (S[0] >> i) & 1;
+      break;
+    }
+    case OpCode::kEeMux: {
+      auto& mx = *static_cast<EarlyEvalMux*>(op.obj);
+      for (unsigned i = 0; i + 1 < op.nIn; ++i)
+        mx.pendingAnti_[i] = static_cast<unsigned>(S[i]);
+      break;
+    }
+    case OpCode::kSource: {
+      auto& src = *static_cast<TokenSource*>(op.obj);
+      src.index_ = S[0];
+      src.offering_ = (S[1] & 1) != 0;
+      src.killCredit_ = hi32(S[1]);
+      break;
+    }
+    case OpCode::kSink: {
+      auto& sk = *static_cast<TokenSink*>(op.obj);
+      sk.antiActive_ = (S[0] & 1) != 0;
+      sk.antiRemaining_ = hi32(S[0]);
+      break;
+    }
+    case OpCode::kNondetSource: {
+      auto& ns = *static_cast<NondetSource*>(op.obj);
+      ns.offering_ = S[0] != 0;
+      if (P[0].width > 0)
+        ns.value_.assignNarrow(P[0].width, S[1]);
+      else if (ns.value_.width() != 0)
+        ns.value_ = BitVec(0);
+      ns.killCredit_ = lo32(S[2]);
+      ns.idleStreak_ = hi32(S[2]);
+      break;
+    }
+    case OpCode::kNondetSink: {
+      auto& nk = *static_cast<NondetSink*>(op.obj);
+      nk.antiActive_ = (S[0] & 1) != 0;
+      nk.consecutiveStops_ = hi32(S[0]);
+      break;
+    }
+    case OpCode::kVlu: {
+      auto& vu = *static_cast<StallingVLU*>(op.obj);
+      storeOpt(vu.pending_, (S[0] & 1) != 0, P[0].width, S[1]);
+      storeOpt(vu.result_, (S[0] & 2) != 0, P[1].width, S[2]);
+      break;
+    }
+    default:
+      break;
+  }
+}
 
 // --- raw payload access (mirrors SignalBoard::setDataAt and friends) ---------
 
@@ -102,7 +343,7 @@ void Vm::wrData(const SlotAddr& a, const BitVec& v) {
     if (w == nv) return;
     w = nv;
   }
-  changed_[a.chWord] |= a.bitMask;
+  changed_[a.chWord()] |= a.bitMask();
 }
 
 void Vm::copyData(const SlotAddr& dst, const SlotAddr& src) {
@@ -119,7 +360,7 @@ void Vm::copyData(const SlotAddr& dst, const SlotAddr& src) {
     if (out == words_[src.dataOff]) return;
     out = words_[src.dataOff];
   }
-  changed_[dst.chWord] |= dst.bitMask;
+  changed_[dst.chWord()] |= dst.bitMask();
 }
 
 std::uint64_t Vm::funcWord(const Op& op, const SlotAddr* P) const {
@@ -175,43 +416,37 @@ bool Vm::bwdAt(const SlotAddr& a) const {
 
 // --- combinational ops -------------------------------------------------------
 // Each case is a line-for-line transcription of the node's evalComb against
-// raw addresses; node state is read/written through friendship. The order and
-// values of every signal write match the interpreted node exactly, so both
-// backends settle to the same fixpoint through the shared worklist loop.
+// raw addresses and the node's arena record (S). The order and values of
+// every signal write match the interpreted node exactly, so both backends
+// settle to the same fixpoint through the shared worklist loop.
 
 void Vm::evalNode(NodeId id) {
   const Op& op = prog_.ops[prog_.opOf[id]];
   const SlotAddr* P = prog_.ports.data() + op.portBase;
   switch (op.code) {
     case OpCode::kEb: {
-      auto& eb = *static_cast<ElasticBuffer*>(op.obj);
+      const std::uint64_t* S = &state_[op.stateOff];
       const SlotAddr& in = P[0];
       const SlotAddr& out = P[1];
-      const bool hasTok = eb.count_ > 0;
+      const std::uint32_t count = hi32(S[0]);
+      const std::int64_t anti = static_cast<std::int64_t>(S[1]);
+      const bool hasTok = count > 0;
       wrBit(out, kVf, hasTok);
-      if (hasTok) {
-        // Ring tokens normally carry the channel width (pushed from this very
-        // channel), so the narrow case moves one word; the BitVec path keeps
-        // the width audit for externally injected tokens.
-        const BitVec& tok = eb.ring_[eb.head_];
-        if (narrow(out) && tok.width() == out.width)
-          wrWord(out, tok.word0());
-        else
-          wrData(out, tok);
-      }
-      wrBit(out, kSb,
-            !hasTok && eb.antiTokens_ >= static_cast<int>(eb.antiCapacity_));
-      wrBit(in, kSf, eb.occupancy() >= static_cast<int>(eb.capacity_));
-      wrBit(in, kVb, eb.antiTokens_ > 0);
+      if (hasTok) wrWord(out, S[2 + lo32(S[0])]);  // front = ring[head]
+      wrBit(out, kSb, !hasTok && anti >= static_cast<std::int64_t>(op.fnB));
+      wrBit(in, kSf,
+            static_cast<std::int64_t>(count) - anti >=
+                static_cast<std::int64_t>(op.fnA));
+      wrBit(in, kVb, anti > 0);
       break;
     }
     case OpCode::kEb0: {
-      auto& eb = *static_cast<ElasticBuffer0*>(op.obj);
+      const std::uint64_t* S = &state_[op.stateOff];
       const SlotAddr& in = P[0];
       const SlotAddr& out = P[1];
-      const bool full = eb.slot_.has_value();
+      const bool full = (S[0] & 1) != 0;
       wrBit(out, kVf, full);
-      if (full) wrData(out, *eb.slot_);
+      if (full) wrWord(out, S[1]);
       const bool leave = full && (!rdBit(out, kSf) || rdBit(out, kVb));
       wrBit(in, kSf, full && !leave);
       wrBit(in, kVb, !full && rdBit(out, kVb));
@@ -219,24 +454,25 @@ void Vm::evalNode(NodeId id) {
       break;
     }
     case OpCode::kBrokenEb: {
-      auto& bb = *static_cast<BrokenBuffer*>(op.obj);
+      const std::uint64_t* S = &state_[op.stateOff];
       const SlotAddr& in = P[0];
       const SlotAddr& out = P[1];
-      wrBit(out, kVf, bb.slot_.has_value());
-      if (bb.slot_) wrData(out, *bb.slot_);
+      const bool full = (S[0] & 1) != 0;
+      wrBit(out, kVf, full);
+      if (full) wrWord(out, S[1]);
       wrBit(out, kSb, true);
-      wrBit(in, kSf, bb.stopReg_);
+      wrBit(in, kSf, (S[0] & 2) != 0);
       wrBit(in, kVb, false);
       break;
     }
     case OpCode::kFork: {
-      auto& fk = *static_cast<ForkNode*>(op.obj);
+      const std::uint64_t done = state_[op.stateOff];
       const SlotAddr& in = P[0];
       const unsigned n = op.nOut;
       const bool inVf = rdBit(in, kVf);
       for (unsigned i = 0; i < n; ++i) {
         const SlotAddr& br = P[1 + i];
-        const bool pending = inVf && !fk.done_[i];
+        const bool pending = inVf && !((done >> i) & 1);
         wrBit(br, kVf, pending);
         if (pending) copyData(br, in);
         wrBit(br, kSb, !pending);
@@ -244,7 +480,8 @@ void Vm::evalNode(NodeId id) {
       bool allDone = inVf;
       for (unsigned i = 0; i < n && allDone; ++i) {
         const SlotAddr& br = P[1 + i];
-        allDone = fk.done_[i] || (inVf && (rdBit(br, kVb) || !rdBit(br, kSf)));
+        allDone =
+            ((done >> i) & 1) || (inVf && (rdBit(br, kVb) || !rdBit(br, kSf)));
       }
       wrBit(in, kSf, !allDone);
       wrBit(in, kVb, false);
@@ -292,20 +529,20 @@ void Vm::evalNode(NodeId id) {
       break;
     }
     case OpCode::kEeMux: {
-      auto& mx = *static_cast<EarlyEvalMux*>(op.obj);
-      const unsigned k = mx.dataInputs_;
+      const std::uint64_t* S = &state_[op.stateOff];
+      const unsigned k = op.nIn - 1u;
       const SlotAddr& sel = P[0];
       const SlotAddr& out = P[1 + k];
       const bool selValid = rdBit(sel, kVf);
       unsigned selIdx = 0;
       if (selValid) {
         const std::uint64_t idx = rdLow64(sel);
-        ESL_CHECK(idx < k,
-                  "EarlyEvalMux '" + mx.name() + "': select value out of range");
+        ESL_CHECK(idx < k, "EarlyEvalMux '" + op.node->name() +
+                               "': select value out of range");
         selIdx = static_cast<unsigned>(idx);
       }
       const bool usable =
-          selValid && mx.pendingAnti_[selIdx] == 0 && rdBit(P[1 + selIdx], kVf);
+          selValid && S[selIdx] == 0 && rdBit(P[1 + selIdx], kVf);
       const bool fire = usable && (!rdBit(out, kSf) || rdBit(out, kVb));
       wrBit(out, kVf, usable);
       if (usable) copyData(out, P[1 + selIdx]);
@@ -314,8 +551,7 @@ void Vm::evalNode(NodeId id) {
       wrBit(sel, kVb, false);
       for (unsigned i = 0; i < k; ++i) {
         const SlotAddr& in = P[1 + i];
-        const bool anti =
-            mx.pendingAnti_[i] + ((fire && i != selIdx) ? 1u : 0u) > 0;
+        const bool anti = S[i] + ((fire && i != selIdx) ? 1u : 0u) > 0;
         wrBit(in, kVb, anti);
         if (anti)
           wrBit(in, kSf, false);  // kill and stop are mutually exclusive
@@ -328,10 +564,11 @@ void Vm::evalNode(NodeId id) {
     }
     case OpCode::kSource: {
       auto& src = *static_cast<TokenSource*>(op.obj);
+      const std::uint64_t* S = &state_[op.stateOff];
       const SlotAddr& out = P[0];
       const std::optional<BitVec> tok =
-          src.offering_ ? src.tokenAt(src.index_) : std::nullopt;
-      const bool offer = tok.has_value() && src.killCredit_ == 0;
+          (S[1] & 1) ? src.tokenAt(S[0]) : std::nullopt;
+      const bool offer = tok.has_value() && hi32(S[1]) == 0;
       wrBit(out, kVf, offer);
       if (offer) wrData(out, *tok);
       wrBit(out, kSb, false);  // sources always absorb anti-tokens
@@ -339,29 +576,43 @@ void Vm::evalNode(NodeId id) {
     }
     case OpCode::kSink: {
       auto& sk = *static_cast<TokenSink*>(op.obj);
+      const std::uint64_t* S = &state_[op.stateOff];
       const SlotAddr& in = P[0];
       const bool wantAnti =
-          sk.antiActive_ ||
-          (sk.antiRemaining_ > 0 && sk.antiGate_ && sk.antiGate_(ctx_.cycle()));
+          (S[0] & 1) ||
+          (hi32(S[0]) > 0 && sk.antiGate_ && sk.antiGate_(ctx_.cycle()));
       wrBit(in, kVb, wantAnti);
       wrBit(in, kSf, !wantAnti && sk.ready_ && !sk.ready_(ctx_.cycle()));
       break;
     }
     case OpCode::kNondetSource: {
-      auto& ns = *static_cast<NondetSource*>(op.obj);
+      const auto& ns = *static_cast<const NondetSource*>(op.obj);
+      const std::uint64_t* S = &state_[op.stateOff];
       const SlotAddr& out = P[0];
-      const bool offer = ns.offeringNow(ctx_) && ns.killCredit_ == 0;
+      const bool held = S[0] != 0;  // Retry+ persistence
+      const bool offeringNow =
+          held || ctx_.choice(*op.node, 0) || hi32(S[2]) >= op.fnB;
+      const bool offer = offeringNow && lo32(S[2]) == 0;
       wrBit(out, kVf, offer);
-      if (offer) wrData(out, ns.valueNow(ctx_));
-      wrBit(out, kSb, !offer && ns.killCredit_ >= ns.cap_);
+      if (offer) {
+        std::uint64_t v = S[1];
+        if (!held) {
+          v = 0;
+          for (unsigned b = 0; b < ns.dataBits_; ++b)
+            if (ctx_.choice(*op.node, 1 + b)) v |= std::uint64_t{1} << b;
+        }
+        wrWord(out, v);
+      }
+      wrBit(out, kSb, !offer && lo32(S[2]) >= op.fnA);
       break;
     }
     case OpCode::kNondetSink: {
-      auto& nk = *static_cast<NondetSink*>(op.obj);
+      const std::uint64_t* S = &state_[op.stateOff];
       const SlotAddr& in = P[0];
-      const bool anti = nk.antiNow(ctx_);
+      const bool anti = (S[0] & 1) || (op.fnB != 0 && ctx_.choice(*op.node, 1));
       wrBit(in, kVb, anti);
-      wrBit(in, kSf, !anti && nk.stopNow(ctx_));
+      wrBit(in, kSf,
+            !anti && hi32(S[0]) < op.fnA && ctx_.choice(*op.node, 0));
       break;
     }
     case OpCode::kShared: {
@@ -401,15 +652,15 @@ void Vm::evalNode(NodeId id) {
       break;
     }
     case OpCode::kVlu: {
-      auto& vu = *static_cast<StallingVLU*>(op.obj);
+      const std::uint64_t* S = &state_[op.stateOff];
       const SlotAddr& in = P[0];
       const SlotAddr& out = P[1];
-      const bool haveResult = vu.result_.has_value();
+      const bool haveResult = (S[0] & 2) != 0;
       wrBit(out, kVf, haveResult);
-      if (haveResult) wrData(out, *vu.result_);
+      if (haveResult) wrWord(out, S[2]);
       wrBit(out, kSb, !haveResult);
       const bool leave = haveResult && (!rdBit(out, kSf) || rdBit(out, kVb));
-      const bool canAccept = !vu.pending_ && (!haveResult || leave);
+      const bool canAccept = !(S[0] & 1) && (!haveResult || leave);
       wrBit(in, kSf, !canAccept);
       wrBit(in, kVb, false);
       break;
@@ -421,88 +672,97 @@ void Vm::evalNode(NodeId id) {
 }
 
 // --- clock-edge ops ----------------------------------------------------------
-// Transcriptions of each node's clockEdge. `applyStats == false` (the edge
-// audit's replay) suppresses only the statistics that packState() excludes —
-// serialized state always advances, so replaying an edge from a rewound
-// snapshot lands on the same bytes.
+// Transcriptions of each node's clockEdge against the arena records.
+// `applyStats == false` (the edge audit's replay) suppresses only the
+// statistics that packState() excludes — serialized state always advances, so
+// replaying an edge from a rewound snapshot lands on the same bytes.
 
 void Vm::edgeNode(NodeId id, bool applyStats) {
   const Op& op = prog_.ops[prog_.opOf[id]];
   const SlotAddr* P = prog_.ports.data() + op.portBase;
   switch (op.code) {
     case OpCode::kEb: {
-      auto& eb = *static_cast<ElasticBuffer*>(op.obj);
+      std::uint64_t* S = &state_[op.stateOff];
       const Ev in = evAt(P[0]);
       const Ev out = evAt(P[1]);
+      const std::uint32_t cap = static_cast<std::uint32_t>(op.fnA);
+      std::uint32_t head = lo32(S[0]);
+      std::uint32_t count = hi32(S[0]);
+      std::int64_t anti = static_cast<std::int64_t>(S[1]);
       if (out.kill || out.fwd) {
-        ESL_ASSERT(eb.count_ > 0);
-        eb.popToken();
+        ESL_ASSERT(count > 0);
+        head = head + 1 == cap ? 0 : head + 1;
+        --count;
       } else if (out.bwd) {
-        ESL_ASSERT(eb.count_ == 0);
-        ++eb.antiTokens_;
+        ESL_ASSERT(count == 0);
+        ++anti;
       }
       if (in.kill) {
-        ESL_ASSERT(eb.antiTokens_ > 0);
-        --eb.antiTokens_;
+        ESL_ASSERT(anti > 0);
+        --anti;
       } else if (in.fwd) {
-        if (narrow(P[0])) {
-          // pushToken() with the incoming word written in place (channel
-          // payloads always carry the channel width; no BitVec temporary).
-          unsigned tail = eb.head_ + eb.count_;
-          if (tail >= eb.capacity_) tail -= eb.capacity_;
-          eb.ring_[tail].assignNarrow(P[0].width, words_[P[0].dataOff]);
-          ++eb.count_;
-        } else {
-          eb.pushToken(rdData(P[0]));
-        }
-        ESL_ASSERT(eb.count_ <= eb.capacity_);
+        std::uint32_t tail = head + count;
+        if (tail >= cap) tail -= cap;
+        S[2 + tail] = rdLow64(P[0]);
+        ++count;
+        ESL_ASSERT(count <= cap);
       } else if (in.bwd) {
-        ESL_ASSERT(eb.antiTokens_ > 0);
-        --eb.antiTokens_;
+        ESL_ASSERT(anti > 0);
+        --anti;
       }
-      while (eb.count_ > 0 && eb.antiTokens_ > 0) {
-        eb.popToken();
-        --eb.antiTokens_;
+      while (count > 0 && anti > 0) {
+        head = head + 1 == cap ? 0 : head + 1;
+        --count;
+        --anti;
       }
-      ESL_ASSERT(eb.count_ == 0 || eb.antiTokens_ == 0);
+      ESL_ASSERT(count == 0 || anti == 0);
+      S[0] = pack32(head, count);
+      S[1] = static_cast<std::uint64_t>(anti);
       break;
     }
     case OpCode::kEb0: {
-      auto& eb = *static_cast<ElasticBuffer0*>(op.obj);
+      std::uint64_t* S = &state_[op.stateOff];
       const Ev in = evAt(P[0]);
       const Ev out = evAt(P[1]);
-      if (out.kill || out.fwd) eb.slot_.reset();
+      bool has = (S[0] & 1) != 0;
+      if (out.kill || out.fwd) has = false;
       if (in.fwd) {
-        ESL_ASSERT(!eb.slot_.has_value());
-        eb.slot_ = rdData(P[0]);
+        ESL_ASSERT(!has);
+        has = true;
+        S[1] = rdLow64(P[0]);
       }
+      S[0] = has ? 1 : 0;
       break;
     }
     case OpCode::kBrokenEb: {
-      auto& bb = *static_cast<BrokenBuffer*>(op.obj);
+      std::uint64_t* S = &state_[op.stateOff];
       const Ev in = evAt(P[0]);
       const Ev out = evAt(P[1]);
-      bb.stopReg_ = bb.slot_.has_value();
-      if (out.fwd) bb.slot_.reset();
-      if (in.fwd) bb.slot_ = rdData(P[0]);  // may overwrite a live token
+      bool has = (S[0] & 1) != 0;
+      const bool stopReg = has;  // the bug: stop lags the state by a cycle
+      if (out.fwd) has = false;
+      if (in.fwd) {  // may overwrite a live token
+        has = true;
+        S[1] = rdLow64(P[0]);
+      }
+      S[0] = (has ? 1u : 0u) | (stopReg ? 2u : 0u);
       break;
     }
     case OpCode::kFork: {
-      auto& fk = *static_cast<ForkNode*>(op.obj);
+      std::uint64_t* S = &state_[op.stateOff];
       const SlotAddr& in = P[0];
       const unsigned n = op.nOut;
       if (!rdBit(in, kVf)) break;
+      std::uint64_t next = 0;
       bool all = true;
-      forkScratch_.resize(n);
       for (unsigned i = 0; i < n; ++i) {
         const SlotAddr& br = P[1 + i];
-        forkScratch_[i] = fk.done_[i] || rdBit(br, kVb) || !rdBit(br, kSf);
-        all = all && forkScratch_[i];
+        const bool d =
+            ((S[0] >> i) & 1) || rdBit(br, kVb) || !rdBit(br, kSf);
+        if (d) next |= std::uint64_t{1} << i;
+        all = all && d;
       }
-      if (all)
-        fk.done_.assign(n, false);
-      else
-        fk.done_.assign(forkScratch_.begin(), forkScratch_.end());
+      S[0] = all ? 0 : next;
       break;
     }
     case OpCode::kFunc: {
@@ -512,107 +772,130 @@ void Vm::edgeNode(NodeId id, bool applyStats) {
     }
     case OpCode::kEeMux: {
       auto& mx = *static_cast<EarlyEvalMux*>(op.obj);
-      const unsigned k = mx.dataInputs_;
+      std::uint64_t* S = &state_[op.stateOff];
+      const unsigned k = op.nIn - 1u;
       const SlotAddr& sel = P[0];
       const SlotAddr& out = P[1 + k];
       const bool selValid = rdBit(sel, kVf);
       unsigned selIdx = 0;
       if (selValid) {
         const std::uint64_t idx = rdLow64(sel);
-        ESL_CHECK(idx < k,
-                  "EarlyEvalMux '" + mx.name() + "': select value out of range");
+        ESL_CHECK(idx < k, "EarlyEvalMux '" + op.node->name() +
+                               "': select value out of range");
         selIdx = static_cast<unsigned>(idx);
       }
       const bool usable =
-          selValid && mx.pendingAnti_[selIdx] == 0 && rdBit(P[1 + selIdx], kVf);
+          selValid && S[selIdx] == 0 && rdBit(P[1 + selIdx], kVf);
       const bool fire = usable && (!rdBit(out, kSf) || rdBit(out, kVb));
       for (unsigned i = 0; i < k; ++i) {
         const Ev in = evAt(P[1 + i]);
-        unsigned avail = mx.pendingAnti_[i] + ((fire && i != selIdx) ? 1u : 0u);
+        std::uint64_t avail = S[i] + ((fire && i != selIdx) ? 1u : 0u);
         if (in.vb && (in.vf || !in.sb)) {
           ESL_ASSERT(avail > 0);
           --avail;  // delivered: killed a token or moved upstream
         }
         if (fire && i != selIdx && applyStats) ++mx.antiEmitted_;
-        mx.pendingAnti_[i] = avail;
+        S[i] = avail;
       }
       if (fwdAt(out) && applyStats) ++mx.firings_;
       break;
     }
     case OpCode::kSource: {
       auto& src = *static_cast<TokenSource*>(op.obj);
+      std::uint64_t* S = &state_[op.stateOff];
       const Ev out = evAt(P[0]);
+      std::uint64_t index = S[0];
+      bool offering = (S[1] & 1) != 0;
+      std::uint32_t killCredit = hi32(S[1]);
       if (out.kill) {
-        ++src.index_;
+        ++index;
         if (applyStats) ++src.killedCount_;
-        src.offering_ = false;
+        offering = false;
       } else if (out.fwd) {
-        ++src.index_;
+        ++index;
         if (applyStats) ++src.emitted_;
-        src.offering_ = false;
+        offering = false;
       } else if (out.bwd) {
-        ++src.killCredit_;
+        ++killCredit;
       }
       // An owed kill silently consumes the next available token (one per
       // cycle).
-      if (src.killCredit_ > 0 && src.tokenAt(src.index_).has_value() &&
-          !out.vf) {
-        ++src.index_;
-        --src.killCredit_;
+      if (killCredit > 0 && src.tokenAt(index).has_value() && !out.vf) {
+        ++index;
+        --killCredit;
         if (applyStats) ++src.killedCount_;
-        src.offering_ = false;
+        offering = false;
       }
       // Offer the next token when the gate opens for the upcoming cycle.
-      if (!src.offering_ && (!src.gate_ || src.gate_(ctx_.cycle() + 1)) &&
-          src.tokenAt(src.index_).has_value() && src.killCredit_ == 0)
-        src.offering_ = true;
+      if (!offering && (!src.gate_ || src.gate_(ctx_.cycle() + 1)) &&
+          src.tokenAt(index).has_value() && killCredit == 0)
+        offering = true;
+      S[0] = index;
+      S[1] = pack32(offering ? 1 : 0, killCredit);
       break;
     }
     case OpCode::kSink: {
       auto& sk = *static_cast<TokenSink*>(op.obj);
+      std::uint64_t* S = &state_[op.stateOff];
       const Ev in = evAt(P[0]);
       if (in.fwd && applyStats)
         sk.transfers_.push_back({ctx_.cycle(), rdData(P[0])});
       if (in.vb) {
+        bool antiActive = (S[0] & 1) != 0;
+        std::uint32_t remaining = hi32(S[0]);
         const bool delivered = in.vf || !in.sb;
         if (delivered) {
-          ESL_ASSERT(sk.antiRemaining_ > 0);
-          --sk.antiRemaining_;
-          sk.antiActive_ = false;
+          ESL_ASSERT(remaining > 0);
+          --remaining;
+          antiActive = false;
         } else {
-          sk.antiActive_ = true;  // Retry-: persist until delivered
+          antiActive = true;  // Retry-: persist until delivered
         }
+        S[0] = pack32(antiActive ? 1 : 0, remaining);
       }
       break;
     }
     case OpCode::kNondetSource: {
-      auto& ns = *static_cast<NondetSource*>(op.obj);
+      const auto& ns = *static_cast<const NondetSource*>(op.obj);
+      std::uint64_t* S = &state_[op.stateOff];
       const Ev out = evAt(P[0]);
-      bool offered = ns.offeringNow(ctx_);
-      const BitVec v = ns.valueNow(ctx_);
-      if (out.kill || out.fwd) offered = false;
-      if (out.bwd) ++ns.killCredit_;
-      if (offered && ns.killCredit_ > 0) {
-        offered = false;
-        --ns.killCredit_;
+      const bool held = S[0] != 0;
+      std::uint32_t killCredit = lo32(S[2]);
+      std::uint32_t idleStreak = hi32(S[2]);
+      bool offered =
+          held || ctx_.choice(*op.node, 0) || idleStreak >= op.fnB;
+      std::uint64_t v = S[1];  // Retry+ persistence: value fixed while held
+      if (!held) {
+        v = 0;
+        for (unsigned b = 0; b < ns.dataBits_; ++b)
+          if (ctx_.choice(*op.node, 1 + b)) v |= std::uint64_t{1} << b;
       }
-      ns.offering_ = offered;
-      ns.value_ = offered ? v : BitVec(ns.width_);
+      if (out.kill || out.fwd) offered = false;
+      if (out.bwd) ++killCredit;
+      // An owed kill annihilates the (hidden) offered token.
+      if (offered && killCredit > 0) {
+        offered = false;
+        --killCredit;
+      }
+      S[0] = offered ? 1 : 0;
+      S[1] = offered ? v : 0;
       // Bounded fairness: count consecutive cycles without an offer. Must
-      // re-query offeringNow() AFTER the offering_ update, like the node.
-      if (ns.offeringNow(ctx_))
-        ns.idleStreak_ = 0;
-      else if (ns.idleStreak_ < ns.maxIdle_)
-        ++ns.idleStreak_;
+      // re-query the offer decision AFTER the offering update, like the node.
+      if (offered || ctx_.choice(*op.node, 0) || idleStreak >= op.fnB)
+        idleStreak = 0;
+      else if (idleStreak < op.fnB)
+        ++idleStreak;
+      S[2] = pack32(killCredit, idleStreak);
       break;
     }
     case OpCode::kNondetSink: {
-      auto& nk = *static_cast<NondetSink*>(op.obj);
+      std::uint64_t* S = &state_[op.stateOff];
       const Ev in = evAt(P[0]);
-      nk.consecutiveStops_ = in.sf ? nk.consecutiveStops_ + 1 : 0;
-      if (nk.consecutiveStops_ > nk.maxStops_)
-        nk.consecutiveStops_ = nk.maxStops_;
-      if (in.vb) nk.antiActive_ = !(in.vf || !in.sb);
+      std::uint32_t stops = in.sf ? hi32(S[0]) + 1 : 0;
+      if (stops > op.fnA) stops = static_cast<std::uint32_t>(op.fnA);
+      bool antiActive = (S[0] & 1) != 0;
+      if (in.vb) antiActive = !(in.vf || !in.sb);
+      S[0] = pack32(antiActive ? 1 : 0, stops);
       break;
     }
     case OpCode::kShared: {
@@ -643,25 +926,33 @@ void Vm::edgeNode(NodeId id, bool applyStats) {
     }
     case OpCode::kVlu: {
       auto& vu = *static_cast<StallingVLU*>(op.obj);
+      std::uint64_t* S = &state_[op.stateOff];
       const Ev in = evAt(P[0]);
       const Ev out = evAt(P[1]);
+      bool hasPending = (S[0] & 1) != 0;
+      bool hasResult = (S[0] & 2) != 0;
       if (out.kill || out.fwd) {
         if (out.fwd && applyStats) ++vu.completed_;
-        vu.result_.reset();
+        hasResult = false;
       }
-      if (vu.pending_) {
-        ESL_ASSERT(!vu.result_.has_value());
-        vu.result_ = vu.exact_(*vu.pending_);
-        vu.pending_.reset();
+      if (hasPending) {
+        ESL_ASSERT(!hasResult);
+        S[2] = packWord(vu.exact_(BitVec(P[0].width, S[1])), P[1].width);
+        hasResult = true;
+        hasPending = false;
       } else if (in.fwd) {
         const BitVec x = rdData(P[0]);
         if (vu.err_(x)) {
-          vu.pending_ = x;  // bubble next cycle, sender stalled
+          S[1] = rdLow64(P[0]);  // bubble next cycle, sender stalled
+          hasPending = true;
           if (applyStats) ++vu.stalls_;
         } else {
-          vu.result_ = vu.exact_(x);  // approx == exact when no error flagged
+          // approx == exact when no error flagged
+          S[2] = packWord(vu.exact_(x), P[1].width);
+          hasResult = true;
         }
       }
+      S[0] = (hasPending ? 1u : 0u) | (hasResult ? 2u : 0u);
       break;
     }
     case OpCode::kGeneric:

@@ -2,26 +2,54 @@
 //
 // Executes the Program produced by compile/compiler.h over the SimContext's
 // SignalBoard arena. The VM reuses the context's event-driven kernel loops
-// verbatim (the drainShardWith/edgeSparseWith templates), swapping only the
-// per-node dispatch: instead of `nodePtr_[id]->evalComb(ctx)` it runs a
-// specialized op over pre-resolved word/bitplane addresses — the settle stays
-// a bitmap worklist and the edge stays a hot-group event scan, so cycles stay
-// O(active) while per-node cost drops to raw loads/stores.
+// verbatim (the drainShardWith/edgeSparseWith templates — and their sharded
+// counterparts settleShardedWith/edgeShardedWith when shards > 1), swapping
+// only the per-node dispatch: instead of `nodePtr_[id]->evalComb(ctx)` it
+// runs a specialized op over pre-resolved word/bitplane addresses — the
+// settle stays a bitmap worklist and the edge stays a hot-group event scan,
+// so cycles stay O(active) while per-node cost drops to raw loads/stores.
+//
+// --- Node-state arena --------------------------------------------------------
+//
+// Per-node sequential state (EB rings, fork done bits, source cursors, VLU
+// operands, pending anti-token counters) lives in one contiguous VM-owned
+// u64 arena, indexed by each op's precomputed stateOff: a settle step streams
+// the op record, its port records and its state record instead of chasing
+// into a heap-allocated node object (~5–8 cache lines per active op before,
+// ~2–3 sequential streams after). The node objects remain the authoritative
+// store whenever the VM is not running: every compiled phase adopts
+// (node → arena) lazily on entry, and flushState() publishes (arena → node)
+// before anything interprets node state — packState(), the sweep/interpreted
+// kernels, the cross-check audits. Snapshots therefore stay byte-identical
+// to the interpreter: packState always reads freshly flushed node objects.
+// Statistics (firings, transfer logs) are excluded from the arena and written
+// directly to the nodes — packState excludes them too, so they need no flush
+// discipline.
 //
 // Every specialized op is a line-for-line transcription of the node's
-// evalComb/clockEdge against raw addresses (the VM is a friend of the node
-// catalog), preserving exact write order and change-tracking semantics; the
-// write helpers mirror SignalBoard::setBitAt/setDataAt, so settled fixpoints
-// — and therefore packState() — are bit-identical to the interpreted kernels.
-// Cross-check mode keeps the interpreted kernels as the runtime oracle.
+// evalComb/clockEdge against raw addresses and arena words (the VM is a
+// friend of the node catalog), preserving exact write order and
+// change-tracking semantics; the write helpers mirror
+// SignalBoard::setBitAt/setDataAt, so settled fixpoints — and therefore
+// packState() — are bit-identical to the interpreted kernels. Cross-check
+// mode keeps the interpreted kernels as the runtime oracle.
 //
-// The program is recompiled whenever the netlist's topologyVersion moves, so
-// transform-then-resume (speculation rewrites between cycles) works without
-// explicit invalidation. Raw board pointers are re-fetched at every phase
-// (bind()), surviving board re-layouts.
+// The program is recompiled whenever the netlist's topologyVersion OR the
+// board's layoutGeneration moves (a shard-count change permutes slots without
+// a topology bump). Recompiling first flushes the old arena into every node
+// that is still alive, so state survives netlist surgery and re-layouts. Raw
+// board pointers are re-fetched at every phase (bind()).
+//
+// Sharded composition (shards > 1): the compiler keeps every boundary-
+// adjacent node generic (staging-aware Sig accessors), interior specialized
+// ops write owner-exclusive planes, and each shard's arena slice starts
+// cache-line-aligned — so the staged boundary exchange of the sharded
+// kernels carries over unchanged and packState stays bit-identical to the
+// serial compiled backend for every shard count.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "compile/compiler.h"
 
@@ -35,7 +63,8 @@ class Vm {
  public:
   explicit Vm(SimContext& ctx) : ctx_(ctx) {}
 
-  /// Compiled settle: event-driven worklist over specialized ops.
+  /// Compiled settle: event-driven worklist over specialized ops (sharded
+  /// level-synchronous rounds when the context is sharded).
   void settle();
   /// Compiled clock edge: dirty-tracked hot-group scan over specialized ops.
   void edge();
@@ -47,28 +76,44 @@ class Vm {
   bool hasSpecializedOpFor(NodeId id) const;
   /// Runs one node's compiled clock edge without statistics side effects
   /// (the edge audit replays state transitions; stats must count once).
+  /// Self-contained arena surgery: adopts the node object (which the audit
+  /// just rewound), replays the op, and flushes the result back so the
+  /// caller's packState() comparison sees the compiled transition.
   void edgeNodeForAudit(NodeId id);
+
+  /// Publishes the arena into the node objects (no-op unless a compiled
+  /// phase ran since the last flush) and hands authority back to the nodes.
+  /// SimContext calls this before ANY interpreted read of node state:
+  /// packState, the sweep/interpreted kernels, unpack/reset invalidation.
+  void flushState();
+  /// Drops the arena without flushing (node objects were just overwritten:
+  /// unpackState/reset). The next compiled phase re-adopts.
+  void invalidateState() { arenaValid_ = false; }
 
  private:
   void ensureProgram();
   void bind();
   void evalNode(NodeId id);
   void edgeNode(NodeId id, bool applyStats);
+  /// Node → arena for every stateful op (phase entry with a stale arena).
+  void adoptArena();
+  void adoptOp(const Op& op);
+  void flushOp(const Op& op);
 
   // --- raw board access (mirrors SignalBoard::setBitAt/setDataAt exactly) ---
   bool rdBit(const SlotAddr& a, unsigned plane) const {
-    return (ctrl_[a.ctrlBase + plane] & a.bitMask) != 0;
+    return (ctrl_[a.ctrlBase() + plane] & a.bitMask()) != 0;
   }
   void wrBit(const SlotAddr& a, unsigned plane, bool v) {
     // Branch-free equivalent of "flip and mark changed iff different": delta
     // is bitMask when the stored bit differs from v, else 0. Signal writes
     // follow token movement, so a compare-then-write branch mispredicts
     // chronically; straight-line xor/or is cheaper than the flush.
-    std::uint64_t& w = ctrl_[a.ctrlBase + plane];
+    std::uint64_t& w = ctrl_[a.ctrlBase() + plane];
     const std::uint64_t delta =
-        (w ^ (0 - static_cast<std::uint64_t>(v))) & a.bitMask;
+        (w ^ (0 - static_cast<std::uint64_t>(v))) & a.bitMask();
     w ^= delta;
-    changed_[a.chWord] |= delta;
+    changed_[a.chWord()] |= delta;
   }
   BitVec rdData(const SlotAddr& a) const;
   std::uint64_t rdLow64(const SlotAddr& a) const;
@@ -81,9 +126,9 @@ class Vm {
   void wrWord(const SlotAddr& a, std::uint64_t v) {
     if (a.dataOff == SignalBoard::kNoSlot) return;
     std::uint64_t& w = words_[a.dataOff];
-    const std::uint64_t diff = w == v ? 0 : a.bitMask;  // cmov, not a branch
+    const std::uint64_t diff = w == v ? 0 : a.bitMask();  // cmov, not a branch
     w = v;
-    changed_[a.chWord] |= diff;
+    changed_[a.chWord()] |= diff;
   }
   /// True when the slot's payload lives in the narrow word arena (width in
   /// [1, 64]) — the precondition for the wrWord/word0 fast paths.
@@ -105,10 +150,12 @@ class Vm {
     bool fwd, kill, bwd;
   };
   Ev evAt(const SlotAddr& a) const {
-    const bool vf = (ctrl_[a.ctrlBase + 0] & a.bitMask) != 0;
-    const bool sf = (ctrl_[a.ctrlBase + 1] & a.bitMask) != 0;
-    const bool vb = (ctrl_[a.ctrlBase + 2] & a.bitMask) != 0;
-    const bool sb = (ctrl_[a.ctrlBase + 3] & a.bitMask) != 0;
+    const std::uint32_t base = a.ctrlBase();
+    const std::uint64_t m = a.bitMask();
+    const bool vf = (ctrl_[base + 0] & m) != 0;
+    const bool sf = (ctrl_[base + 1] & m) != 0;
+    const bool vb = (ctrl_[base + 2] & m) != 0;
+    const bool sb = (ctrl_[base + 3] & m) != 0;
     return {vf, sf, vb, sb, vf && !sf && !vb, vf && vb, vb && !sb && !vf};
   }
 
@@ -122,7 +169,10 @@ class Vm {
   BitVec* spill_ = nullptr;
   std::uint64_t* changed_ = nullptr;
 
-  std::vector<bool> forkScratch_;  ///< fork edge: next done_ bits
+  /// Node-state arena (u64 records at each op's stateOff). Authoritative only
+  /// while arenaValid_; otherwise the node objects are.
+  std::vector<std::uint64_t> state_;
+  bool arenaValid_ = false;
 };
 
 }  // namespace esl::compile

@@ -15,6 +15,9 @@ SimContext::SimContext(Netlist& netlist) : netlist_(netlist) {
 SimContext::~SimContext() = default;
 
 void SimContext::reset() {
+  // The node objects are about to be overwritten wholesale: drop the compiled
+  // backend's arena without flushing (re-adopted at the next compiled phase).
+  if (vm_) vm_->invalidateState();
   for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).reset();
   cycle_ = 0;
   havePrev_ = false;
@@ -142,21 +145,25 @@ void SimContext::ensureTopologyCache() {
 
 void SimContext::setShards(unsigned n) {
   if (n == 0) n = 1;
-  ESL_CHECK(n == 1 || backend_ != Backend::kCompiled,
-            "SimContext::setShards: the compiled backend does not compose "
-            "with sharding yet (select one of the two)");
   if (n == shards_) return;
+  // The re-layout below permutes board slots and bumps the layout generation,
+  // so a compiled program (keyed on it) recompiles at the next phase —
+  // flushing its arena through the old offsets first.
   shards_ = n;
   exec_.reset();
   invalidateSignals();
   ensureTopologyCache();  // re-partition + re-layout, preserving signal values
 }
 
-void SimContext::setBackend(Backend backend) {
-  ESL_CHECK(backend != Backend::kCompiled || shards_ == 1,
-            "SimContext::setBackend: the compiled backend does not compose "
-            "with sharding yet (setShards(1) first)");
-  backend_ = backend;
+void SimContext::setBackend(Backend backend) { backend_ = backend; }
+
+void SimContext::parallelShards(const std::function<void(unsigned)>& fn) {
+  exec().parallelFor(shards_,
+                     [&](std::size_t s, unsigned) { fn(static_cast<unsigned>(s)); });
+}
+
+void SimContext::flushCompiledState() const {
+  if (vm_) vm_->flushState();
 }
 
 compile::Vm& SimContext::vm() {
@@ -266,6 +273,7 @@ void SimContext::settle() {
 
 void SimContext::settleSweep() {
   ensureTopologyCache();
+  flushCompiledState();       // interpreted evals read node-object state
   changeTrackValid_ = false;  // sweep writes bypass the consume loop
   edgeTrackValid_ = false;    // ... and the settled-board guarantee
   const std::vector<NodeId>& ids = liveNodes_;
@@ -283,6 +291,7 @@ void SimContext::settleSweep() {
 }
 
 void SimContext::settleEventDriven() {
+  flushCompiledState();  // interpreted evals read node-object state
   settleEventDrivenWith([this](NodeId id) { nodePtr_[id]->evalComb(*this); });
 }
 
@@ -301,63 +310,9 @@ void SimContext::seedShards(std::uint64_t gen) {
   needFullSeed_ = false;
 }
 
-void SimContext::drainShard(unsigned s, std::uint64_t gen, std::uint32_t maxEvals) {
-  drainShardWith(s, gen, maxEvals,
-                 [this](NodeId id) { nodePtr_[id]->evalComb(*this); });
-}
-
 void SimContext::settleSharded() {
-  ensureTopologyCache();
-  if (!changeTrackValid_) {
-    board_.clearChanged();
-    changeTrackValid_ = true;
-    rebuildHotGroups();
-  }
-  resolveAllChoices();
-
-  const std::uint64_t gen = ++settleGen_;
-  const std::uint32_t maxEvals = evalBudget();
-  for (Shard& sh : shardState_) {
-    sh.pending = 0;
-    sh.cursorW = (static_cast<std::size_t>(sh.hiId) >> 6) + 1;
-  }
-  seedShards(gen);
-
-  board_.setStagingActive(true);
-  try {
-    bool any = false;
-    for (const Shard& sh : shardState_) any = any || sh.pending > 0;
-    while (any) {
-      // One level-synchronous round: every shard drains its worklist fully.
-      exec().parallelFor(shards_, [&](std::size_t s, unsigned) {
-        drainShard(static_cast<unsigned>(s), gen, maxEvals);
-      });
-      // Barrier step (single-threaded): publish staged boundary changes and
-      // seed their readers. Both endpoints are seeded — the consumer-side
-      // reader of producer-driven fields, the producer-side reader of
-      // consumer-driven fields, and the unaudited writer's confirming
-      // re-eval all collapse into this conservative push. A re-evaluation on
-      // unchanged inputs is a no-op, so the fixed point is unaffected.
-      any = false;
-      board_.syncBoundary([&](ChannelId ch) {
-        const Channel& c = netlist_.channel(ch);
-        if (!nodeStateDriven_[c.producer])
-          pushInto(shardState_[plan_.nodeShard[c.producer]], gen, c.producer);
-        if (!nodeStateDriven_[c.consumer])
-          pushInto(shardState_[plan_.nodeShard[c.consumer]], gen, c.consumer);
-      });
-      for (const Shard& sh : shardState_) any = any || sh.pending > 0;
-    }
-  } catch (...) {
-    // A worker threw (CombinationalCycleError, a node's own error): leave
-    // the board usable — staged-but-unpublished boundary writes must not
-    // swallow the next kernel's (or an external writer's) stores.
-    board_.setStagingActive(false);
-    invalidateSignals();
-    throw;
-  }
-  board_.setStagingActive(false);
-  edgeTrackValid_ = true;
+  flushCompiledState();  // interpreted evals read node-object state
+  settleShardedWith([this](NodeId id) { nodePtr_[id]->evalComb(*this); });
 }
 
 void SimContext::settleCrossChecked() {
@@ -441,65 +396,23 @@ void SimContext::edge() {
 }
 
 void SimContext::edgeFull() {
+  flushCompiledState();  // interpreted clockEdges read node-object state
   for (const NodeId id : liveNodes_) netlist_.node(id).clockEdge(*this);
   sparseSeedValid_ = false;  // anything may have changed state
 }
 
 void SimContext::edgeSparse() {
+  flushCompiledState();  // interpreted clockEdges read node-object state
   edgeSparseWith([this](NodeId id) { nodePtr_[id]->clockEdge(*this); });
 }
 
 void SimContext::edgeSharded() {
-  // Same dirty-tracked edge, one worker per shard: each scans its interior
-  // plane range unfiltered (interior endpoints are owned by construction)
-  // plus the shared boundary region filtered by ownership, then clocks only
-  // its own nodes. clockEdge writes node-local state, so the only shared
-  // writes are the ownership-filtered (word-exclusive) edge-mark bitmap.
-  const std::uint64_t gen = ++edgeGen_;
-  const auto [blo, bhi] = board_.boundaryGroupRange();
-  exec().parallelFor(shards_, [&](std::size_t si, unsigned) {
-    const unsigned s = static_cast<unsigned>(si);
-    Shard& sh = shardState_[s];
-    sh.edgeList.clear();
-    const auto mark = [&](NodeId id) {
-      if (id == kNoNode || plan_.nodeShard[id] != s) return;
-      const std::size_t w = id >> 6;  // bitmap words are owner-exclusive
-      if (edgeWordGen_[w] != gen) {
-        edgeWordGen_[w] = gen;
-        edgeBits_[w] = 0;
-      }
-      const std::uint64_t m = std::uint64_t{1} << (id & 63);
-      if (!(edgeBits_[w] & m)) {
-        edgeBits_[w] |= m;
-        sh.edgeList.push_back(id);
-      }
-    };
-    for (const NodeId id : sh.alwaysEdge) mark(id);
-    std::size_t keep = 0;
-    for (const std::uint32_t g : sh.hotGroups) {
-      if (board_.activityAtGroup(g) == 0) {
-        groupHot_[g] = 0;
-        continue;
-      }
-      sh.hotGroups[keep++] = g;
-      scanEventGroups(g, g + 1, mark);
-    }
-    sh.hotGroups.resize(keep);
-    // The boundary region is shared and small: scan it unconditionally,
-    // ownership-filtered by mark().
-    scanEventGroups(blo, bhi, mark);
-    for (const NodeId id : sh.edgeList) nodePtr_[id]->clockEdge(*this);
-    sh.clocked.clear();
-    for (const NodeId id : sh.edgeList)
-      if (nodeStateful_[id]) sh.clocked.push_back(id);
-  });
-  prevClocked_.clear();
-  for (const Shard& sh : shardState_)
-    prevClocked_.insert(prevClocked_.end(), sh.clocked.begin(), sh.clocked.end());
-  sparseSeedValid_ = true;
+  flushCompiledState();  // interpreted clockEdges read node-object state
+  edgeShardedWith([this](NodeId id) { nodePtr_[id]->clockEdge(*this); });
 }
 
 void SimContext::edgeAudited() {
+  flushCompiledState();  // runs interpreted edges and per-node state surgery
   // Reference clockEdge sweep over every node, auditing the EdgeActivity
   // declarations: a node the sparse path would have skipped (kOnEvents, no
   // adjacent event) must not change its serialized state. Channel events are
@@ -587,13 +500,23 @@ void SimContext::step() {
 }
 
 std::vector<std::uint8_t> SimContext::packState() const {
-  std::vector<std::uint8_t> out;
-  packStateInto(out);
-  return out;
+  flushCompiledState();
+  StateWriter w;
+  w.writeU32(kSnapshotMagic);
+  w.writeU32(kSnapshotVersion);
+  w.writeU64(cycle_);
+  packNodeState(w);
+  return w.take();
 }
 
 void SimContext::packStateInto(std::vector<std::uint8_t>& out) const {
+  flushCompiledState();
   StateWriter w(std::move(out));
+  packNodeState(w);
+  out = w.take();
+}
+
+void SimContext::packNodeState(StateWriter& w) const {
   // The live-node cache avoids the nodeIds() allocation on the hot path; it
   // is valid whenever the topology has not moved since the last settle/reset.
   if (topologySeen_ == netlist_.topologyVersion()) {
@@ -601,16 +524,42 @@ void SimContext::packStateInto(std::vector<std::uint8_t>& out) const {
   } else {
     for (const NodeId id : netlist_.nodeIds()) netlist_.node(id).packState(w);
   }
-  out = w.take();
 }
+
+namespace {
+std::uint32_t readLeU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+std::uint64_t readLeU64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(readLeU32(p)) |
+         (static_cast<std::uint64_t>(readLeU32(p + 4)) << 32);
+}
+}  // namespace
 
 void SimContext::unpackState(const std::vector<std::uint8_t>& bytes) {
   // Same cached-liveNodes_ fast path as packStateInto: restore runs once per
   // explored edge in the model checker, so the nodeIds() allocation matters.
   ensureTopologyCache();
-  StateReader r(bytes);
+  // Sniff the versioned packState() header (magic/version/cycle); headerless
+  // packStateInto() snapshots skip straight to node bytes. A raw snapshot
+  // whose first node happens to serialize the 8-byte pattern
+  // magic|version == 0x00000001'E51A7E01 would be misread, but the leading
+  // field of every catalog node is a bool/index far below 2^32, so the
+  // collision requires a TokenSource at index_ == 0x1E51A7E01 (~8.1e9 cycles
+  // into a run) fed through the headerless API — negligible, and the vector
+  // API always carries the header.
+  std::size_t off = 0;
+  if (bytes.size() >= 16 && readLeU32(bytes.data()) == kSnapshotMagic &&
+      readLeU32(bytes.data() + 4) == kSnapshotVersion) {
+    cycle_ = readLeU64(bytes.data() + 8);
+    off = 16;
+  }
+  StateReader r(bytes, off);
   for (const NodeId id : liveNodes_) netlist_.node(id).unpackState(r);
   ESL_CHECK(r.done(), "unpackState: trailing bytes (netlist/state mismatch)");
+  if (vm_) vm_->invalidateState();  // node objects are now authoritative
   havePrev_ = false;
   sparseSeedValid_ = false;  // arbitrary state replacement: reseed stateful set
 }

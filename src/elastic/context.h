@@ -69,6 +69,7 @@
 namespace esl {
 
 class Executor;
+class StateWriter;
 
 class SimContext {
  public:
@@ -120,10 +121,13 @@ class SimContext {
 
   /// Selects the execution backend for the event-driven kernel. The compiled
   /// backend lowers the netlist once into bytecode (recompiled whenever the
-  /// topology moves) and runs settle/edge over raw board offsets; settled
+  /// topology or the board layout moves) and runs settle/edge over raw board
+  /// offsets, with per-node sequential state in a VM-owned arena; settled
   /// signals and packState() are bit-identical to the interpreted kernels.
-  /// Applies when kernel() == kEventDriven and shards() == 1 (the sweep
-  /// kernel stays interpreted — it is the reference oracle); with
+  /// Applies when kernel() == kEventDriven (the sweep kernel stays
+  /// interpreted — it is the reference oracle) and composes with setShards:
+  /// boundary-adjacent nodes fall back to the staging-aware interpreted path,
+  /// so the sharded compiled cycle reaches the same fixpoint. With
   /// setCrossCheck(true) the compiled backend is what the sweep audits.
   void setBackend(Backend backend);
   Backend backend() const { return backend_; }
@@ -180,6 +184,17 @@ class SimContext {
 
   // --- State snapshots (model checker) ---------------------------------------
 
+  /// packState() snapshots begin with a 16-byte versioned header: magic u32,
+  /// version u32, cycle u64 (all little-endian), then the raw per-node state
+  /// bytes. The cycle counter rides in the header so a cross-backend or
+  /// cross-context resume keeps every cycle-gated environment node (gated
+  /// sources/sinks, every-cycle env nodes) in phase. packStateInto() — the
+  /// model checker's per-transition path — stays headerless: the checker
+  /// compares states within one fixed context, and the cycle counter would
+  /// blow up its state space. unpackState() accepts both (header sniffed).
+  static constexpr std::uint32_t kSnapshotMagic = 0xE51A7E01;
+  static constexpr std::uint32_t kSnapshotVersion = 1;
+
   std::vector<std::uint8_t> packState() const;
   /// Allocation-free variant: clears `out` but reuses its capacity. This is
   /// the model checker's per-transition fast path (one full-netlist snapshot
@@ -235,7 +250,6 @@ class SimContext {
   void settleEventDriven();
   void settleSharded();
   void settleCrossChecked();
-  void drainShard(unsigned s, std::uint64_t gen, std::uint32_t maxEvals);
   void pushInto(Shard& sh, std::uint64_t gen, NodeId id) {
     const std::size_t w = id >> 6;
     if (pendingWordGen_[w] != gen) {
@@ -379,6 +393,128 @@ class SimContext {
     sparseSeedValid_ = true;
     edgeDirty_.clear();
   }
+
+  /// The sharded level-synchronous settle (the body of settleSharded): every
+  /// shard drains its worklist with `eval` under boundary staging; a serial
+  /// barrier step between rounds publishes staged boundary changes and seeds
+  /// their cross-shard readers.
+  template <typename Eval>
+  void settleShardedWith(const Eval& eval) {
+    ensureTopologyCache();
+    if (!changeTrackValid_) {
+      board_.clearChanged();
+      changeTrackValid_ = true;
+      rebuildHotGroups();
+    }
+    resolveAllChoices();
+
+    const std::uint64_t gen = ++settleGen_;
+    const std::uint32_t maxEvals = evalBudget();
+    for (Shard& sh : shardState_) {
+      sh.pending = 0;
+      sh.cursorW = (static_cast<std::size_t>(sh.hiId) >> 6) + 1;
+    }
+    seedShards(gen);
+
+    board_.setStagingActive(true);
+    try {
+      bool any = false;
+      for (const Shard& sh : shardState_) any = any || sh.pending > 0;
+      while (any) {
+        // One level-synchronous round: every shard drains its worklist fully.
+        parallelShards(
+            [&](unsigned s) { drainShardWith(s, gen, maxEvals, eval); });
+        // Barrier step (single-threaded): publish staged boundary changes and
+        // seed their readers. Both endpoints are seeded — the consumer-side
+        // reader of producer-driven fields, the producer-side reader of
+        // consumer-driven fields, and the unaudited writer's confirming
+        // re-eval all collapse into this conservative push. A re-evaluation
+        // on unchanged inputs is a no-op, so the fixed point is unaffected.
+        any = false;
+        board_.syncBoundary([&](ChannelId ch) {
+          const Channel& c = netlist_.channel(ch);
+          if (!nodeStateDriven_[c.producer])
+            pushInto(shardState_[plan_.nodeShard[c.producer]], gen, c.producer);
+          if (!nodeStateDriven_[c.consumer])
+            pushInto(shardState_[plan_.nodeShard[c.consumer]], gen, c.consumer);
+        });
+        for (const Shard& sh : shardState_) any = any || sh.pending > 0;
+      }
+    } catch (...) {
+      // A worker threw (CombinationalCycleError, a node's own error): leave
+      // the board usable — staged-but-unpublished boundary writes must not
+      // swallow the next kernel's (or an external writer's) stores.
+      board_.setStagingActive(false);
+      invalidateSignals();
+      throw;
+    }
+    board_.setStagingActive(false);
+    edgeTrackValid_ = true;
+  }
+
+  /// The sharded dirty-tracked clock edge (the body of edgeSharded): each
+  /// shard scans its interior plane range unfiltered (interior endpoints are
+  /// owned by construction) plus the shared boundary region filtered by
+  /// ownership, then runs `clock` on only its own nodes. clock(id) must write
+  /// node-local state only, so the only shared writes are the
+  /// ownership-filtered (word-exclusive) edge-mark bitmap.
+  template <typename Clock>
+  void edgeShardedWith(const Clock& clock) {
+    const std::uint64_t gen = ++edgeGen_;
+    const auto [blo, bhi] = board_.boundaryGroupRange();
+    parallelShards([&](unsigned s) {
+      Shard& sh = shardState_[s];
+      sh.edgeList.clear();
+      const auto mark = [&](NodeId id) {
+        if (id == kNoNode || plan_.nodeShard[id] != s) return;
+        const std::size_t w = id >> 6;  // bitmap words are owner-exclusive
+        if (edgeWordGen_[w] != gen) {
+          edgeWordGen_[w] = gen;
+          edgeBits_[w] = 0;
+        }
+        const std::uint64_t m = std::uint64_t{1} << (id & 63);
+        if (!(edgeBits_[w] & m)) {
+          edgeBits_[w] |= m;
+          sh.edgeList.push_back(id);
+        }
+      };
+      for (const NodeId id : sh.alwaysEdge) mark(id);
+      std::size_t keep = 0;
+      for (const std::uint32_t g : sh.hotGroups) {
+        if (board_.activityAtGroup(g) == 0) {
+          groupHot_[g] = 0;
+          continue;
+        }
+        sh.hotGroups[keep++] = g;
+        scanEventGroups(g, g + 1, mark);
+      }
+      sh.hotGroups.resize(keep);
+      // The boundary region is shared and small: scan it unconditionally,
+      // ownership-filtered by mark().
+      scanEventGroups(blo, bhi, mark);
+      for (const NodeId id : sh.edgeList) clock(id);
+      sh.clocked.clear();
+      for (const NodeId id : sh.edgeList)
+        if (nodeStateful_[id]) sh.clocked.push_back(id);
+    });
+    prevClocked_.clear();
+    for (const Shard& sh : shardState_)
+      prevClocked_.insert(prevClocked_.end(), sh.clocked.begin(),
+                          sh.clocked.end());
+    sparseSeedValid_ = true;
+  }
+
+  /// Runs fn(shard) on the executor, one worker lane per shard (type-erased
+  /// so the kernel-loop templates stay free of the executor header).
+  void parallelShards(const std::function<void(unsigned)>& fn);
+  /// Publishes the compiled backend's node-state arena into the node objects
+  /// (no-op without a VM or with a clean arena). Every interpreted read of
+  /// node state — the sweep/interpreted kernels, packState, the audits —
+  /// goes through this first.
+  void flushCompiledState() const;
+  /// Serializes every live node's state (shared tail of packState and
+  /// packStateInto; the former prepends the versioned snapshot header).
+  void packNodeState(StateWriter& w) const;
 
   void edgeSparse();
   void edgeSharded();

@@ -54,7 +54,10 @@ class StateWriter {
 
 class StateReader {
  public:
-  explicit StateReader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  /// `offset` skips a caller-parsed prefix (SimContext's snapshot header).
+  explicit StateReader(const std::vector<std::uint8_t>& bytes,
+                       std::size_t offset = 0)
+      : bytes_(bytes), pos_(offset) {}
 
   bool readBool() { return byte() != 0; }
 

@@ -39,7 +39,8 @@ struct SimOptions {
   unsigned shards = 1;
   /// Simulation backend: the interpreted node kernels, or the compiled
   /// bytecode VM (bit-identical, no virtual dispatch on the hot path).
-  /// The compiled backend requires shards == 1.
+  /// Composes with shards > 1: interior nodes run specialized ops while
+  /// boundary-adjacent nodes take the staging-aware interpreted path.
   SimContext::Backend backend = SimContext::Backend::kInterpreted;
 };
 

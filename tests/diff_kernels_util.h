@@ -132,6 +132,34 @@ inline std::optional<std::string> diffShardedOnce(const synth::SynthConfig& cfg,
   return std::nullopt;
 }
 
+/// Compiled×sharded differential: the compiled backend sharded across
+/// `shards` lanes against the serial compiled backend, packState-identical
+/// after every cycle. Interior nodes run specialized arena ops while
+/// boundary-adjacent nodes take the staging-aware interpreted path, so this
+/// pins both the shard-sliced arena and the mixed-dispatch seam.
+inline std::optional<std::string> diffCompiledShardedOnce(
+    const synth::SynthConfig& cfg, std::uint64_t cycles, unsigned shards) {
+  synth::SynthSystem serial = synth::build(cfg);
+  synth::SynthSystem sharded = synth::build(cfg);
+  sim::SimOptions base;
+  base.checkProtocol = false;
+  base.backend = SimContext::Backend::kCompiled;
+  sim::SimOptions shardedOpts = base;
+  shardedOpts.shards = shards;
+  sim::Simulator ss(serial.nl, base);
+  sim::Simulator sh(sharded.nl, shardedOpts);
+
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    ss.step();
+    sh.step();
+    if (ss.ctx().packState() != sh.ctx().packState())
+      return "compiled packed state diverged at cycle " + std::to_string(c) +
+             " (" + std::to_string(shards) + " shards)";
+  }
+  return diffSinkStreams(serial.mainSink, sharded.mainSink,
+                         "compiled-serial-vs-sharded");
+}
+
 struct DiffFailure {
   synth::SynthConfig config;  ///< minimal failing config
   std::uint64_t cycles = 0;

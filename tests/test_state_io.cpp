@@ -116,10 +116,11 @@ void expectSnapshotsLossless(const std::function<Netlist()>& build,
 
   // Warm both instances up — with DIFFERENT choice streams, so b's node state
   // genuinely differs before the restore (a restore into an already-equal
-  // instance would not catch an unpacked field). packState deliberately
-  // excludes the cycle counter (it would blow up the checker's state space),
-  // so restore targets must be cycle-aligned — which the lockstep warmup
-  // provides, and which the checker's cycle-free environments never need.
+  // instance would not catch an unpacked field). The vector-API packState()
+  // carries the cycle counter in its versioned header, so the restore below
+  // realigns b's cycle automatically; only the headerless packStateInto()
+  // (the model checker's per-transition path, whose environments are
+  // cycle-free by construction) leaves the counter out.
   Rng rngB(choiceSeed ^ 0xb0b0b0b0ULL);
   for (std::uint64_t i = 0; i < warmup; ++i) {
     stepWith(ca, drawFrom(rng));
@@ -219,6 +220,91 @@ TEST(StateIo, NondetEnvironments) {
         return nl;
       },
       15, 60);
+}
+
+// ---------------------------------------------------------------------------
+// Versioned snapshot header: cycle-gated environment resume
+// ---------------------------------------------------------------------------
+
+/// Source/sink gated on ctx.cycle() via per-cycle permille draws: resume is
+/// phase-sensitive, so the restored instance must inherit the cycle counter.
+Netlist buildGatedEnvChain() {
+  Netlist nl;
+  auto& src = nl.make<TokenSource>("src", 8, TokenSource::counting(8));
+  auto& eb = nl.make<ElasticBuffer>("eb", 8, 2u);
+  auto& sink = nl.make<TokenSink>(
+      "sink", 8, [](std::uint64_t c) { return hashChancePermille(c, 500, 3); },
+      /*antiBudget=*/2,
+      [](std::uint64_t c) { return hashChancePermille(c, 200, 7); });
+  nl.connect(src, 0, eb, 0);
+  nl.connect(eb, 0, sink, 0);
+  return nl;
+}
+
+TEST(StateIo, SnapshotHeaderCarriesCycleForGatedEnvResume) {
+  // Deliberately misalign the two instances' cycle counters before the
+  // restore. The gated sink draws from hashChancePermille(cycle), so without
+  // the header's cycle field the restored instance would phase-shift every
+  // draw and diverge within a few cycles.
+  Netlist a = buildGatedEnvChain();
+  SimContext ca(a);
+  Netlist b = buildGatedEnvChain();
+  SimContext cb(b);
+  for (int i = 0; i < 23; ++i) ca.step();
+  for (int i = 0; i < 5; ++i) cb.step();
+  ASSERT_NE(ca.cycle(), cb.cycle());
+
+  const std::vector<std::uint8_t> snap = ca.packState();
+  cb.unpackState(snap);
+  EXPECT_EQ(cb.cycle(), ca.cycle()) << "header cycle not restored";
+  EXPECT_EQ(cb.packState(), snap);
+
+  for (int i = 0; i < 40; ++i) {
+    ca.step();
+    cb.step();
+    ASSERT_EQ(ca.packState(), cb.packState())
+        << "gated-env resume diverged " << i << " cycles after restore";
+  }
+}
+
+TEST(StateIo, SnapshotHeaderLayout) {
+  Netlist nl = buildGatedEnvChain();
+  SimContext ctx(nl);
+  for (int i = 0; i < 7; ++i) ctx.step();
+  const std::vector<std::uint8_t> snap = ctx.packState();
+  ASSERT_GE(snap.size(), 16u);
+  const auto le32 = [&](std::size_t off) {
+    return static_cast<std::uint32_t>(snap[off]) |
+           (static_cast<std::uint32_t>(snap[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(snap[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(snap[off + 3]) << 24);
+  };
+  EXPECT_EQ(le32(0), SimContext::kSnapshotMagic);
+  EXPECT_EQ(le32(4), SimContext::kSnapshotVersion);
+  EXPECT_EQ(static_cast<std::uint64_t>(le32(8)) |
+                (static_cast<std::uint64_t>(le32(12)) << 32),
+            ctx.cycle());
+  // The header is exactly the 16-byte prefix: stripping it yields the
+  // headerless per-transition encoding, byte for byte.
+  std::vector<std::uint8_t> raw;
+  ctx.packStateInto(raw);
+  EXPECT_EQ(std::vector<std::uint8_t>(snap.begin() + 16, snap.end()), raw);
+}
+
+TEST(StateIo, HeaderlessSnapshotsStillRestore) {
+  // The model checker's per-transition path (packStateInto) stays headerless;
+  // unpackState must keep accepting those raw byte strings unchanged.
+  Netlist a = buildGatedEnvChain();
+  SimContext ca(a);
+  Netlist b = buildGatedEnvChain();
+  SimContext cb(b);
+  for (int i = 0; i < 11; ++i) ca.step();
+  std::vector<std::uint8_t> raw;
+  ca.packStateInto(raw);
+  cb.unpackState(raw);
+  std::vector<std::uint8_t> again;
+  cb.packStateInto(again);
+  EXPECT_EQ(again, raw);
 }
 
 TEST(StateIo, UnpackRejectsForeignNetlistState) {

@@ -186,11 +186,6 @@ int main(int argc, char** argv) {
     std::cerr << "esl: --backend/--cross-check require --sim N\n";
     return 1;
   }
-  if (simBackend == "compiled" && simShards != 1) {
-    std::cerr << "esl: --backend compiled does not compose with --shards yet\n";
-    return 1;
-  }
-
   try {
     shell::Session session;
     if (!run(session, (fileExists(input) ? "load " : "build ") + input)) return 2;
