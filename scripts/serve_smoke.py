@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""CI smoke for `esl serve`: concurrent sessions must match the one-shot CLI.
+
+Phase 1 (concurrency): start a daemon, drive 8+ scripted `esl client`
+processes at once — mixed golden designs, backends and shard counts, a
+small scheduler quantum so long steps interleave — and byte-diff each
+session's stdout against the equivalent one-shot `esl <design> --sim N` run.
+This is the end-to-end determinism contract over the real wire.
+
+Phase 2 (residency): a second daemon with --max-resident 2 is driven
+serially through open/step cycles over three sessions, so LRU spool
+eviction and transparent restore are on the measured path; outputs are
+byte-diffed the same way and the eviction/restore counters are asserted.
+
+Both daemons must exit 0 on `shutdown` with no leaked sessions
+(stats sessions=0 before shutdown). Exit 1 on any mismatch.
+
+Usage: serve_smoke.py [--esl build/esl] [--clients 8]
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+
+
+def wait_listening(daemon):
+    line = daemon.stdout.readline()
+    if b"listening on" not in line:
+        raise RuntimeError(f"daemon did not come up: {line!r}")
+
+
+def run_client(esl, sock, script):
+    return subprocess.run(
+        [esl, "client", "--socket", sock],
+        input=script.encode(),
+        capture_output=True,
+        timeout=300,
+    )
+
+
+def one_shot(esl, design, cycles, extra):
+    return subprocess.run(
+        [esl, design, "--sim", str(cycles)] + extra,
+        capture_output=True,
+        timeout=300,
+    )
+
+
+def shutdown_daemon(esl, sock, daemon, failures):
+    stats = run_client(esl, sock, "stats\n")
+    if stats.returncode != 0:
+        failures.append(f"stats client failed: {stats.stderr.decode()}")
+    elif b"sessions=0 " not in stats.stdout:
+        failures.append(f"leaked sessions: {stats.stdout.decode().strip()}")
+    down = run_client(esl, sock, "shutdown\n")
+    if down.returncode != 0:
+        failures.append(f"shutdown client failed: {down.stderr.decode()}")
+    code = daemon.wait(timeout=60)
+    if code != 0:
+        failures.append(f"daemon exited {code}, want 0")
+    return stats.stdout.decode()
+
+
+def concurrency_phase(esl, tmp, clients, failures):
+    # (design, cycles, client option words, one-shot CLI flags)
+    shapes = [
+        ("fig1a", 2000, "", []),
+        ("fig1b", 1500, "", []),
+        ("fig1c", 1200, "", []),
+        ("fig1d", 2000, "compiled shards 2",
+         ["--backend", "compiled", "--shards", "2"]),
+        ("table1", 1000, "", []),
+        ("vlu-stall", 1500, "compiled", ["--backend", "compiled"]),
+        ("vlu-spec", 1500, "", []),
+        ("secded-spec", 2000, "compiled shards 2", ["--backend", "compiled", "--shards", "2"]),
+    ]
+    sock = os.path.join(tmp, "serve-conc.sock")
+    daemon = subprocess.Popen(
+        [esl, "serve", "--socket", sock, "--quantum", "300"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        wait_listening(daemon)
+        results = [None] * clients
+
+        def drive(i):
+            design, cycles, words, _ = shapes[i % len(shapes)]
+            sid = f"smoke{i}"
+            script = (
+                f"open {sid} {design} {words}\n"
+                f"step {sid} {cycles}\n"
+                f"close {sid}\n"
+            )
+            results[i] = run_client(esl, sock, script)
+
+        threads = [threading.Thread(target=drive, args=(i,)) for i in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for i, got in enumerate(results):
+            design, cycles, _, flags = shapes[i % len(shapes)]
+            tag = f"client {i} ({design} x{cycles} {' '.join(flags)})"
+            if got.returncode != 0:
+                failures.append(f"{tag}: exit {got.returncode}: {got.stderr.decode()}")
+                continue
+            want = one_shot(esl, design, cycles, flags)
+            if want.returncode != 0:
+                failures.append(f"{tag}: one-shot CLI failed: {want.stderr.decode()}")
+            elif got.stdout != want.stdout:
+                failures.append(
+                    f"{tag}: serve output differs from one-shot CLI\n"
+                    f"--- serve ---\n{got.stdout.decode()}"
+                    f"--- cli ---\n{want.stdout.decode()}"
+                )
+        shutdown_daemon(esl, sock, daemon, failures)
+    finally:
+        daemon.kill()
+
+
+def residency_phase(esl, tmp, failures):
+    sock = os.path.join(tmp, "serve-evict.sock")
+    daemon = subprocess.Popen(
+        [esl, "serve", "--socket", sock, "--max-resident", "2", "--quantum", "250"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        wait_listening(daemon)
+        # Three sessions through two resident slots, touched round-robin:
+        # every revisit pages one session out and another back in. A serve
+        # step's report is cumulative, so the Nth touch of a session must be
+        # byte-identical to a one-shot CLI run of N*500 cycles — reports
+        # carry across the spool or this diff catches it. Each step rides
+        # its own client process: sessions are daemon state, not connection
+        # state, and that persistence is part of what this phase checks.
+        sessions = [("a", "fig1a"), ("b", "fig1d"), ("c", "table1")]
+        opens = run_client(
+            esl, sock, "".join(f"open {sid} {d}\n" for sid, d in sessions))
+        if opens.returncode != 0:
+            failures.append(f"eviction opens: exit {opens.returncode}: "
+                            f"{opens.stderr.decode()}")
+        for round_ in (1, 2):
+            for sid, design in sessions:
+                got = run_client(esl, sock, f"step {sid} 500\n")
+                want = one_shot(esl, design, 500 * round_, [])
+                tag = f"eviction {sid} ({design}, touch {round_})"
+                if got.returncode != 0:
+                    failures.append(
+                        f"{tag}: exit {got.returncode}: {got.stderr.decode()}")
+                elif got.stdout != want.stdout:
+                    failures.append(
+                        f"{tag}: serve report differs from one-shot CLI\n"
+                        f"--- serve ---\n{got.stdout.decode()}"
+                        f"--- cli ---\n{want.stdout.decode()}")
+        closes = run_client(
+            esl, sock, "".join(f"close {sid}\n" for sid, _ in sessions))
+        if closes.returncode != 0:
+            failures.append(f"eviction closes: exit {closes.returncode}: "
+                            f"{closes.stderr.decode()}")
+        stats = shutdown_daemon(esl, sock, daemon, failures)
+        for needle in ("evictions=", "restores="):
+            field = next((f for f in stats.split() if f.startswith(needle)), "=0")
+            if int(field.split("=")[1]) == 0:
+                failures.append(
+                    f"eviction phase: expected nonzero {needle} "
+                    f"got '{stats.strip()}'")
+    finally:
+        daemon.kill()
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--esl", default="build/esl")
+    ap.add_argument("--clients", type=int, default=8)
+    args = ap.parse_args()
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="esl-serve-smoke-") as tmp:
+        concurrency_phase(args.esl, tmp, args.clients, failures)
+        residency_phase(args.esl, tmp, failures)
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"OK: serve smoke clean ({args.clients} concurrent clients, "
+          "eviction phase byte-identical, daemons exited 0)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "base/error.h"
@@ -48,6 +50,9 @@ struct Executor::Impl {
       threads.emplace_back([this, lane] { threadMain(lane); });
   }
 
+  // Tasks queued after shutdown begins — i.e. without an intervening
+  // waitIdle() — are dropped unstarted; completion guarantees come from
+  // waitIdle(), not the destructor.
   ~Impl() {
     {
       std::lock_guard<std::mutex> lock(m);
@@ -61,15 +66,41 @@ struct Executor::Impl {
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Job> job;
+      std::function<void()> task;
       {
         std::unique_lock<std::mutex> lock(m);
-        cv.wait(lock, [&] { return shutdown || (jobSeq != seen && current); });
+        cv.wait(lock, [&] {
+          return shutdown || (jobSeq != seen && current) || !tasks.empty();
+        });
         if (shutdown) return;
-        seen = jobSeq;
-        job = current;  // shared ownership: the job outlives a late waker
+        if (jobSeq != seen && current) {
+          seen = jobSeq;
+          job = current;  // shared ownership: the job outlives a late waker
+        } else {
+          task = std::move(tasks.front());
+          tasks.pop_front();
+          ++tasksActive;
+        }
       }
-      work(*job, lane);
+      if (job) {
+        work(*job, lane);
+      } else {
+        runTask(task);
+      }
     }
+  }
+
+  void runTask(std::function<void()>& task) {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(m);
+      if (!taskError) taskError = std::current_exception();
+    }
+    task = nullptr;  // release captures before reporting idle
+    std::lock_guard<std::mutex> lock(m);
+    --tasksActive;
+    if (tasksActive == 0 && tasks.empty()) idleCv.notify_all();
   }
 
   void work(Job& job, unsigned lane) {
@@ -149,19 +180,59 @@ struct Executor::Impl {
   bool shutdown = false;
   std::mutex doneMu;
   std::condition_variable doneCv;
+
+  // External task queue (submit/waitIdle), guarded by m.
+  std::deque<std::function<void()>> tasks;
+  std::size_t tasksActive = 0;
+  std::exception_ptr taskError;
+  std::condition_variable idleCv;
 };
 
-Executor::Executor(unsigned threads) : lanes_(resolveLanes(threads)) {
-  if (lanes_ > 1) impl_ = std::make_unique<Impl>(lanes_);
-}
+Executor::Executor(unsigned threads)
+    : lanes_(resolveLanes(threads)), impl_(std::make_unique<Impl>(lanes_)) {}
 
 Executor::~Executor() = default;
+
+void Executor::submit(std::function<void()> task) {
+  ESL_CHECK(static_cast<bool>(task), "Executor::submit: task required");
+  if (lanes_ == 1) {
+    // No worker threads: run inline on the caller so a single-lane pool stays
+    // a working (if serial) scheduling substrate.
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(impl_->m);
+      if (!impl_->taskError) impl_->taskError = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->tasks.push_back(std::move(task));
+  }
+  // notify_all, not notify_one: the one woken worker may prefer a concurrent
+  // parallelFor job and leave the task queued until it finishes.
+  impl_->cv.notify_all();
+}
+
+void Executor::waitIdle() {
+  std::unique_lock<std::mutex> lock(impl_->m);
+  impl_->idleCv.wait(lock, [&] {
+    return impl_->tasks.empty() && impl_->tasksActive == 0;
+  });
+  if (impl_->taskError) {
+    std::exception_ptr e;
+    std::swap(e, impl_->taskError);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
 
 void Executor::parallelFor(std::size_t n,
                            const std::function<void(std::size_t, unsigned)>& body) {
   ESL_CHECK(static_cast<bool>(body), "Executor::parallelFor: body required");
   if (n == 0) return;
-  if (impl_ == nullptr) {
+  if (lanes_ == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i, 0);
     return;
   }

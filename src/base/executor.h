@@ -41,10 +41,30 @@ class Executor {
   void parallelFor(std::size_t n,
                    const std::function<void(std::size_t, unsigned)>& body);
 
+  // --- External task submission ---------------------------------------------
+  // The serve daemon's substrate: connection threads (which are NOT pool
+  // lanes) enqueue one-off tasks from outside; worker lanes drain them FIFO,
+  // interleaved with any parallelFor jobs the owner thread runs. Unlike
+  // parallelFor, submit() is thread-safe and non-blocking.
+
+  /// Enqueues `task` to run on a worker lane. Safe to call from any thread,
+  /// including from inside a running task (a task may resubmit itself — the
+  /// serve scheduler's per-quantum requeue). With a single lane the task runs
+  /// inline on the calling thread before submit() returns. If the task
+  /// throws, the first exception is captured and rethrown from waitIdle();
+  /// later exceptions (before that waitIdle) are dropped.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished (tasks submitted
+  /// concurrently with the wait extend it). Rethrows the first captured task
+  /// exception, clearing it — the pool stays usable afterwards. Safe from any
+  /// thread that is not a pool lane.
+  void waitIdle();
+
  private:
   struct Impl;
   unsigned lanes_;
-  std::unique_ptr<Impl> impl_;  ///< null when lanes_ == 1 (inline execution)
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace esl

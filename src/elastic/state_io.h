@@ -34,6 +34,12 @@ class StateWriter {
     for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
   }
 
+  /// Raw byte run (strings, nested byte blobs — the serve spool format).
+  void writeBytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
   void writeBitVec(const BitVec& v) {
     writeU32(v.width());
     std::uint8_t acc = 0;
@@ -71,6 +77,14 @@ class StateReader {
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(byte()) << (8 * i);
     return v;
+  }
+
+  std::vector<std::uint8_t> readBytes(std::size_t n) {
+    ESL_CHECK(n <= bytes_.size() - pos_, "StateReader: out of data");
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
   }
 
   BitVec readBitVec() {

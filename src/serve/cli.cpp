@@ -1,0 +1,254 @@
+#include "serve/cli.h"
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "sim/state_file.h"
+
+namespace esl::serve {
+
+namespace {
+
+int serveUsage() {
+  std::cerr
+      << "usage: esl serve --socket PATH [options]\n"
+      << "  --socket PATH      Unix socket to listen on (required)\n"
+      << "  --workers N        executor lanes (default: hardware threads)\n"
+      << "  --max-resident N   resident session cap before LRU eviction\n"
+      << "  --quantum N        max step cycles per scheduler turn\n"
+      << "  --high-water N     stream outbox bytes before a session parks\n"
+      << "  --spool-dir PATH   eviction spool directory (default: temp dir)\n";
+  return 1;
+}
+
+int clientUsage() {
+  std::cerr
+      << "usage: esl client --socket PATH [script.txt]\n"
+      << "reads commands from script.txt (or stdin), one per line:\n"
+      << "  open SID DESIGN [compiled] [shards N] [seed N] [no-check]\n"
+      << "  open-esl SID FILE.esl [compiled] [shards N] [seed N] [no-check]\n"
+      << "  cmd SID COMMAND...     run a shell command in the session\n"
+      << "  step SID N             advance N cycles, print the run report\n"
+      << "  sinks SID | tput SID CHANNEL | cycle SID\n"
+      << "  snapshot SID FILE | restore SID FILE\n"
+      << "  watch SID [CHANNEL...] | drain SID\n"
+      << "  close SID | stats | shutdown\n";
+  return 1;
+}
+
+std::uint64_t parseNum(const std::string& what, const std::string& value) {
+  try {
+    if (!value.empty() && value[0] >= '0' && value[0] <= '9') {
+      std::size_t used = 0;
+      const std::uint64_t v = std::stoull(value, &used);
+      if (used == value.size()) return v;
+    }
+  } catch (const std::exception&) {
+  }
+  throw EslError(what + " expects a number, got '" + value + "'");
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+/// Trailing [compiled] [shards N] [seed N] [no-check] option words.
+SimSession::Options parseOptionWords(const std::vector<std::string>& t,
+                                     std::size_t from) {
+  SimSession::Options opts;
+  for (std::size_t i = from; i < t.size(); ++i) {
+    if (t[i] == "compiled") {
+      opts.backend = SimContext::Backend::kCompiled;
+    } else if (t[i] == "interpreted") {
+      opts.backend = SimContext::Backend::kInterpreted;
+    } else if (t[i] == "no-check") {
+      opts.checkProtocol = false;
+    } else if (t[i] == "cross-check") {
+      opts.crossCheck = true;
+    } else if (t[i] == "shards" && i + 1 < t.size()) {
+      opts.shards = static_cast<unsigned>(parseNum("shards", t[++i]));
+    } else if (t[i] == "seed" && i + 1 < t.size()) {
+      opts.seed = parseNum("seed", t[++i]);
+    } else {
+      throw EslError("unknown open option '" + t[i] + "'");
+    }
+  }
+  return opts;
+}
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ESL_CHECK(static_cast<bool>(in), "cannot read '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Executes one client-script line; returns false on `shutdown` (end of
+/// script: the server is gone).
+bool clientLine(Client& client, const std::string& line) {
+  const std::vector<std::string> t = tokenize(line);
+  if (t.empty() || t[0][0] == '#') return true;
+  const std::string& verb = t[0];
+  const auto arg = [&](std::size_t i) -> const std::string& {
+    ESL_CHECK(i < t.size(), "'" + verb + "' needs more arguments");
+    return t[i];
+  };
+  if (verb == "open") {
+    std::cerr << client.openDesign(arg(1), arg(2), parseOptionWords(t, 3));
+  } else if (verb == "open-esl") {
+    std::cerr << client.openEsl(arg(1), readWholeFile(arg(2)), arg(2),
+                                parseOptionWords(t, 3));
+  } else if (verb == "cmd") {
+    // The command is everything after the verb and sid tokens.
+    std::size_t at = line.find_first_not_of(" \t") + verb.size();
+    at = line.find_first_not_of(" \t", at) + arg(1).size();
+    at = line.find_first_not_of(" \t", at);
+    ESL_CHECK(at != std::string::npos, "cmd needs a command");
+    std::cout << client.cmd(t[1], line.substr(at));
+  } else if (verb == "step") {
+    std::cout << client.step(arg(1), parseNum("step", arg(2)));
+  } else if (verb == "sinks") {
+    std::cout << client.sinks(arg(1));
+  } else if (verb == "tput") {
+    std::cout << client.tput(arg(1), arg(2));
+  } else if (verb == "cycle") {
+    std::cout << client.cycle(arg(1)) << "\n";
+  } else if (verb == "snapshot") {
+    sim::writeSnapshotFile(arg(2), client.snapshot(t[1]));
+    std::cerr << "snapshot of '" << t[1] << "' written to '" << t[2] << "'\n";
+  } else if (verb == "restore") {
+    client.restore(arg(1), sim::readSnapshotFile(arg(2)));
+    std::cerr << "session '" << t[1] << "' restored from '" << t[2] << "'\n";
+  } else if (verb == "watch") {
+    client.watch(arg(1), std::vector<std::string>(t.begin() + 2, t.end()));
+  } else if (verb == "drain") {
+    std::cout << client.drainAll(arg(1));
+  } else if (verb == "close") {
+    client.close(arg(1));
+  } else if (verb == "stats") {
+    const json::Value s = client.stats();
+    std::cout << "sessions=" << s.find("sessions")->asU64()
+              << " resident=" << s.find("resident")->asU64()
+              << " peak-resident=" << s.find("peak-resident")->asU64()
+              << " evictions=" << s.find("evictions")->asU64()
+              << " restores=" << s.find("restores")->asU64()
+              << " denied=" << s.find("denied")->asU64() << "\n";
+  } else if (verb == "shutdown") {
+    client.shutdownServer();
+    return false;
+  } else {
+    throw EslError("unknown client command '" + verb + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+int serveMain(int argc, char** argv) {
+  Server::Config config;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "esl serve: " << arg << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--socket")
+        config.socketPath = value();
+      else if (arg == "--workers")
+        config.service.workers = static_cast<unsigned>(parseNum(arg, value()));
+      else if (arg == "--max-resident")
+        config.service.maxResident =
+            static_cast<std::size_t>(parseNum(arg, value()));
+      else if (arg == "--quantum")
+        config.service.quantumCycles = parseNum(arg, value());
+      else if (arg == "--high-water")
+        config.service.streamHighWater =
+            static_cast<std::size_t>(parseNum(arg, value()));
+      else if (arg == "--spool-dir")
+        config.service.spoolDir = value();
+      else if (arg == "--help" || arg == "-h")
+        return serveUsage(), 0;
+      else
+        return std::cerr << "esl serve: unknown option " << arg << "\n",
+               serveUsage();
+    } catch (const std::exception& e) {
+      std::cerr << "esl serve: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (config.socketPath.empty()) return serveUsage();
+  try {
+    Server server(std::move(config));
+    // The smoke/bench harnesses wait for this line before connecting.
+    std::cout << "esl serve: listening on " << server.socketPath() << std::endl;
+    server.run();
+  } catch (const std::exception& e) {
+    std::cerr << "esl serve: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int clientMain(int argc, char** argv) {
+  std::string socketPath, scriptPath;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      if (i + 1 >= argc) {
+        std::cerr << "esl client: --socket needs a value\n";
+        return 1;
+      }
+      socketPath = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return clientUsage(), 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "esl client: unknown option " << arg << "\n";
+      return clientUsage();
+    } else if (scriptPath.empty()) {
+      scriptPath = arg;
+    } else {
+      std::cerr << "esl client: more than one script\n";
+      return clientUsage();
+    }
+  }
+  if (socketPath.empty()) return clientUsage();
+  std::ifstream file;
+  if (!scriptPath.empty()) {
+    file.open(scriptPath);
+    if (!file) {
+      std::cerr << "esl client: cannot read '" << scriptPath << "'\n";
+      return 1;
+    }
+  }
+  std::istream& script = scriptPath.empty() ? std::cin : file;
+  std::string line;
+  try {
+    Client client(socketPath);
+    while (std::getline(script, line)) {
+      if (!clientLine(client, line)) break;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "esl client: " << (line.empty() ? "" : line + ": ") << e.what()
+              << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace esl::serve

@@ -1,0 +1,18 @@
+// Command-line front-ends for the serve subsystem, dispatched from the `esl`
+// driver: `esl serve --socket PATH ...` runs the daemon, `esl client --socket
+// PATH [script]` drives it with a line-oriented mini-language (one command
+// per line, '#' comments) whose outputs byte-match the one-shot CLI — which
+// is what lets the CI smoke diff a served session against `esl --sim`.
+#pragma once
+
+namespace esl::serve {
+
+/// `esl serve`: runs the daemon until a client sends the shutdown op.
+/// argv excludes the "serve" word itself.
+int serveMain(int argc, char** argv);
+
+/// `esl client`: executes a script (file argument, or stdin) against a
+/// daemon. Command outputs go to stdout verbatim; status goes to stderr.
+int clientMain(int argc, char** argv);
+
+}  // namespace esl::serve

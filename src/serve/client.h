@@ -1,0 +1,66 @@
+// Client: a blocking connection to an `esl serve` daemon — the scripting/CI
+// counterpart of the Server (used by `esl client`, the serve tests and the
+// CI smoke). Connects, validates the greeting, performs the hello handshake,
+// then exposes one method per protocol op. Server-side failures come back as
+// thrown EslError carrying "<kind>: <message>".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+
+namespace esl::serve {
+
+class Client {
+ public:
+  /// Connects to the daemon at `socketPath` and completes the handshake.
+  explicit Client(const std::string& socketPath);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Opens a session over a named design (fig1a, table1, ...).
+  std::string openDesign(const std::string& sid, const std::string& design,
+                         const SimSession::Options& options = {});
+  /// Opens a session over inline `.esl` text.
+  std::string openEsl(const std::string& sid, const std::string& eslText,
+                      const std::string& origin,
+                      const SimSession::Options& options = {});
+  std::string cmd(const std::string& sid, const std::string& line);
+  /// Returns the run report (CLI `--sim` format).
+  std::string step(const std::string& sid, std::uint64_t cycles);
+  std::string sinks(const std::string& sid);
+  std::string tput(const std::string& sid, const std::string& channel);
+  std::uint64_t cycle(const std::string& sid);
+  std::vector<std::uint8_t> snapshot(const std::string& sid);
+  void restore(const std::string& sid, const std::vector<std::uint8_t>& bytes);
+  void watch(const std::string& sid, const std::vector<std::string>& channels);
+  /// One drain round-trip; appends to `out`, returns whether bytes remain.
+  bool drainOnce(const std::string& sid, std::string& out,
+                 std::uint64_t maxBytes = 1 << 20);
+  /// Drains until the outbox is empty.
+  std::string drainAll(const std::string& sid);
+  void close(const std::string& sid);
+  /// Raw stats head (fields: sessions, resident, evictions, ...).
+  json::Value stats();
+  void shutdownServer();
+
+  /// Low-level escape hatch: sends `head` (+payload), returns the reply head
+  /// (payload in *payloadOut when non-null); throws on ok=false replies.
+  json::Value request(json::Value head, const std::string& payload = {},
+                      std::string* payloadOut = nullptr);
+
+ private:
+  json::Value sessionHead(const std::string& op, const std::string& sid);
+
+  int fd_ = -1;
+  std::uint64_t nextId_ = 1;
+  FrameReader reader_;
+};
+
+}  // namespace esl::serve

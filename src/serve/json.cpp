@@ -1,0 +1,417 @@
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/error.h"
+
+namespace esl::serve::json {
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = n;
+  return v;
+}
+
+Value Value::number(std::uint64_t n) {
+  ESL_CHECK(n < (std::uint64_t{1} << 53),
+            "json: integer " + std::to_string(n) + " exceeds the exact range");
+  return number(static_cast<double>(n));
+}
+
+Value Value::str(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool Value::asBool() const {
+  ESL_CHECK(isBool(), "json: expected bool");
+  return bool_;
+}
+
+double Value::asNumber() const {
+  ESL_CHECK(isNumber(), "json: expected number");
+  return num_;
+}
+
+std::uint64_t Value::asU64() const {
+  ESL_CHECK(isNumber(), "json: expected number");
+  ESL_CHECK(num_ >= 0 && num_ < 9007199254740992.0 && num_ == std::floor(num_),
+            "json: expected a non-negative integer");
+  return static_cast<std::uint64_t>(num_);
+}
+
+const std::string& Value::asString() const {
+  ESL_CHECK(isString(), "json: expected string");
+  return str_;
+}
+
+const std::vector<Value>& Value::items() const {
+  ESL_CHECK(isArray(), "json: expected array");
+  return items_;
+}
+
+std::vector<Value>& Value::items() {
+  ESL_CHECK(isArray(), "json: expected array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  ESL_CHECK(isObject(), "json: expected object");
+  return members_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (!isObject()) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Value::set(const std::string& key, Value v) {
+  ESL_CHECK(isObject(), "json: set on a non-object");
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+void Value::push(Value v) {
+  ESL_CHECK(isArray(), "json: push on a non-array");
+  items_.push_back(std::move(v));
+}
+
+namespace {
+
+void dumpString(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dumpValue(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += v.asBool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber: {
+      const double n = v.asNumber();
+      ESL_CHECK(std::isfinite(n), "json: non-finite number");
+      char buf[32];
+      if (n == std::floor(n) && std::fabs(n) < 9007199254740992.0) {
+        std::snprintf(buf, sizeof buf, "%.0f", n);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.17g", n);
+      }
+      out += buf;
+      break;
+    }
+    case Value::Kind::kString:
+      dumpString(v.asString(), out);
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        dumpValue(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, item] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        dumpString(k, out);
+        out += ':';
+        dumpValue(item, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& origin)
+      : text_(text), origin_(origin) {}
+
+  Value parseDocument() {
+    Value v = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(origin_ + ": " + msg + " at offset " +
+                     std::to_string(pos_));
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeWord(const char* w) {
+    std::size_t n = 0;
+    while (w[n] != '\0') ++n;
+    if (text_.compare(pos_, n, w) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parseValue() {
+    skipWs();
+    const char c = peek();
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == '"') return Value::str(parseString());
+    if (c == 't') {
+      if (!consumeWord("true")) fail("bad literal");
+      return Value::boolean(true);
+    }
+    if (c == 'f') {
+      if (!consumeWord("false")) fail("bad literal");
+      return Value::boolean(false);
+    }
+    if (c == 'n') {
+      if (!consumeWord("null")) fail("bad literal");
+      return Value();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parseNumber();
+    fail("unexpected character");
+  }
+
+  Value parseObject() {
+    expect('{');
+    Value obj = Value::object();
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skipWs();
+      const std::string key = parseString();
+      skipWs();
+      expect(':');
+      // Duplicate keys are a protocol error, not last-wins: silently folding
+      // them would let a request smuggle two different payload sizes.
+      if (obj.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      obj.set(key, parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Value parseArray() {
+    expect('[');
+    Value arr = Value::array();
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push(parseValue());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("bad \\u escape");
+    }
+    return v;
+  }
+
+  void appendUtf8(unsigned cp, std::string& out) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = peek();
+      ++pos_;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // surrogate pair
+            if (peek() != '\\') fail("unpaired surrogate");
+            ++pos_;
+            if (peek() != 'u') fail("unpaired surrogate");
+            ++pos_;
+            const unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          appendUtf8(cp, out);
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size() || !std::isfinite(v)) fail("bad number");
+    return Value::number(v);
+  }
+
+  const std::string& text_;
+  const std::string& origin_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dumpValue(*this, out);
+  return out;
+}
+
+Value Value::parse(const std::string& text, const std::string& origin) {
+  return Parser(text, origin).parseDocument();
+}
+
+}  // namespace esl::serve::json

@@ -1,0 +1,69 @@
+// Server: the `esl serve` daemon — a Unix-domain socket front-end for
+// serve::Service.
+//
+// One accept loop, one thread per connection, strictly synchronous
+// request/response per connection (concurrency comes from running many
+// connections; session work is scheduled by the Service, not by socket
+// threads). Sessions are service-global: any connection may address any
+// session id — which is also how a second connection drains a parked
+// session's stream while the first is blocked in a long step.
+//
+// Shutdown (the "shutdown" op or requestStop()): stop accepting, close every
+// session (aborting in-flight steps at their next quantum boundary), then
+// shut down the remaining connection sockets and join their threads. run()
+// returns once the service is idle and empty.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/service.h"
+
+namespace esl::serve {
+
+class Server {
+ public:
+  struct Config {
+    std::string socketPath;
+    Service::Config service;
+  };
+
+  /// Binds and listens (removing a stale socket file first); throws EslError
+  /// when the socket cannot be created.
+  explicit Server(Config config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves until a shutdown request; returns after all connections closed.
+  void run();
+  /// Asks run() to return (safe from any thread, including handlers).
+  void requestStop();
+
+  Service& service() { return service_; }
+  const std::string& socketPath() const { return config_.socketPath; }
+
+ private:
+  void handleConnection(int fd);
+  /// Handles one request frame; returns the response frame. `wantShutdown`
+  /// is set for the shutdown op — the caller writes the reply first, then
+  /// triggers requestStop(), so the acknowledgement is never torn down with
+  /// the connection.
+  Frame dispatch(const Frame& request, bool& helloDone, bool& wantShutdown);
+
+  Config config_;
+  Service service_;
+  int listenFd_ = -1;
+
+  std::mutex m_;
+  bool stopping_ = false;
+  std::vector<int> connFds_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace esl::serve

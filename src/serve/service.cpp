@@ -1,0 +1,432 @@
+#include "serve/service.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/state_file.h"
+
+namespace esl::serve {
+
+namespace {
+
+bool validSessionId(const std::string& sid) {
+  if (sid.empty() || sid.size() > 64) return false;
+  for (const char c : sid) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Service::Service(Config config)
+    : config_(std::move(config)), executor_(config_.workers) {
+  ESL_CHECK(config_.quantumCycles > 0, "quantumCycles must be positive");
+  ESL_CHECK(config_.maxResident > 0, "maxResident must be positive");
+  if (config_.spoolDir.empty()) {
+    char tmpl[] = "/tmp/esl-serve-spool-XXXXXX";
+    ESL_CHECK(::mkdtemp(tmpl) != nullptr, "cannot create a spool directory");
+    config_.spoolDir = tmpl;
+    ownsSpoolDir_ = true;
+  } else {
+    ::mkdir(config_.spoolDir.c_str(), 0700);  // EEXIST is fine; writes check
+  }
+}
+
+Service::~Service() {
+  // Turns re-submit themselves while work remains, each before its own task
+  // returns, so waitIdle() cannot wake between chunks of a chain. Parked
+  // sessions with queued work hold no task, so this returns; the server is
+  // expected to close every session before destroying the service.
+  try {
+    executor_.waitIdle();
+  } catch (...) {
+    // Turns catch their own exceptions into op promises; nothing expected.
+  }
+  for (const auto& [id, e] : table_)
+    if (!e->spoolPath.empty()) std::remove(e->spoolPath.c_str());
+  if (ownsSpoolDir_) ::rmdir(config_.spoolDir.c_str());
+}
+
+Service::Entry* Service::findLocked(const std::string& sid) {
+  const auto it = table_.find(sid);
+  if (it == table_.end() || it->second->closing)
+    throw NotFoundError("no session '" + sid + "'");
+  return it->second.get();
+}
+
+std::string Service::open(const std::string& sid, NetlistSpec spec,
+                          const std::string& origin,
+                          SimSession::Options options) {
+  ESL_CHECK(validSessionId(sid),
+            "session id must be 1-64 chars of [A-Za-z0-9._-], got '" + sid + "'");
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    ESL_CHECK(table_.find(sid) == table_.end(),
+              "session '" + sid + "' already exists");
+    // Placeholder claims the name; `running` parks arriving ops in its queue
+    // until the build below installs the session.
+    auto e = std::make_unique<Entry>();
+    e->id = sid;
+    e->running = true;
+    e->lastUse = ++tick_;
+    table_.emplace(sid, std::move(e));
+  }
+  std::string status;
+  try {
+    reserveResidency();
+    try {
+      auto session = std::make_unique<SimSession>(std::move(spec), origin, options);
+      Netlist& nl = session->netlist();
+      status = "session '" + sid + "': " + std::to_string(nl.nodeIds().size()) +
+               " nodes, " + std::to_string(nl.channelIds().size()) + " channels\n";
+      std::unique_lock<std::mutex> lk(m_);
+      Entry* e = table_.at(sid).get();
+      e->session = std::move(session);
+      ++stats_.opened;
+    } catch (...) {
+      std::unique_lock<std::mutex> lk(m_);
+      --resident_;
+      throw;
+    }
+  } catch (...) {
+    std::unique_lock<std::mutex> lk(m_);
+    Entry* e = table_.at(sid).get();
+    // Ops that raced in while the name was claimed fail with the close path.
+    e->closing = true;
+    e->running = false;
+    finishClose(lk, *e);
+    throw;
+  }
+  bool kickIt = false;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    Entry* e = table_.at(sid).get();
+    e->lastUse = ++tick_;
+    if (e->closing) {
+      finishClose(lk, *e);
+      return status;
+    }
+    if (!e->queue.empty() && !e->parked)
+      kickIt = true;
+    else
+      e->running = false;
+  }
+  if (kickIt)
+    executor_.submit([this, sid] { runTurn(sid); });
+  return status;
+}
+
+std::string Service::enqueue(const std::string& sid,
+                             std::function<std::string(SimSession&)> fn,
+                             std::uint64_t stepCycles) {
+  auto done = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> fut = done->get_future();
+  bool kickIt = false;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    Entry* e = findLocked(sid);
+    e->queue.push_back(Op{std::move(fn), stepCycles, done});
+    e->lastUse = ++tick_;
+    if (!e->running && !e->parked) {
+      e->running = true;
+      kickIt = true;
+    }
+  }
+  if (kickIt)
+    executor_.submit([this, sid] { runTurn(sid); });
+  return fut.get();
+}
+
+std::string Service::command(const std::string& sid, const std::string& line) {
+  return enqueue(sid, [line](SimSession& s) { return s.command(line); });
+}
+
+std::string Service::step(const std::string& sid, std::uint64_t cycles) {
+  if (cycles == 0) return sinks(sid);
+  return enqueue(sid, nullptr, cycles);
+}
+
+std::string Service::sinks(const std::string& sid) {
+  return enqueue(sid, [](SimSession& s) { return s.report(); });
+}
+
+std::string Service::tput(const std::string& sid, const std::string& channel) {
+  return enqueue(sid, [channel](SimSession& s) { return s.tputLine(channel); });
+}
+
+std::uint64_t Service::cycle(const std::string& sid) {
+  return std::stoull(
+      enqueue(sid, [](SimSession& s) { return std::to_string(s.cycle()); }));
+}
+
+std::vector<std::uint8_t> Service::snapshot(const std::string& sid) {
+  const std::string bytes = enqueue(sid, [](SimSession& s) {
+    const std::vector<std::uint8_t> snap = s.snapshot();
+    return std::string(snap.begin(), snap.end());
+  });
+  return std::vector<std::uint8_t>(bytes.begin(), bytes.end());
+}
+
+void Service::restore(const std::string& sid, std::vector<std::uint8_t> bytes) {
+  enqueue(sid, [bytes = std::move(bytes)](SimSession& s) {
+    s.restore(bytes);
+    return std::string("restored at cycle ") + std::to_string(s.cycle()) + "\n";
+  });
+}
+
+void Service::watch(const std::string& sid, std::vector<std::string> channels) {
+  enqueue(sid, [channels = std::move(channels)](SimSession& s) {
+    s.watch(channels);
+    return std::string();
+  });
+}
+
+std::string Service::drain(const std::string& sid, std::size_t maxBytes,
+                           bool* more) {
+  std::string out;
+  bool kickIt = false;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    Entry* e = findLocked(sid);
+    const std::size_t n = std::min(maxBytes, e->outbox.size());
+    out = e->outbox.substr(0, n);
+    e->outbox.erase(0, n);
+    if (more != nullptr) *more = !e->outbox.empty();
+    e->lastUse = ++tick_;
+    if (e->parked && e->outbox.size() <= config_.streamHighWater / 2) {
+      e->parked = false;
+      if (!e->running && !e->queue.empty()) {
+        e->running = true;
+        kickIt = true;
+      }
+    }
+  }
+  if (kickIt)
+    executor_.submit([this, sid] { runTurn(sid); });
+  return out;
+}
+
+void Service::close(const std::string& sid) {
+  std::future<void> fut;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    Entry* e = findLocked(sid);
+    e->closing = true;
+    if (!e->running) {
+      finishClose(lk, *e);
+      return;
+    }
+    auto waiter = std::make_shared<std::promise<void>>();
+    fut = waiter->get_future();
+    e->closeWaiters.push_back(std::move(waiter));
+  }
+  fut.get();
+}
+
+std::vector<std::string> Service::sessionIds() {
+  std::unique_lock<std::mutex> lk(m_);
+  std::vector<std::string> ids;
+  ids.reserve(table_.size());
+  for (const auto& [id, e] : table_)
+    if (!e->closing) ids.push_back(id);
+  return ids;
+}
+
+Service::Stats Service::stats() {
+  std::unique_lock<std::mutex> lk(m_);
+  Stats s = stats_;
+  s.sessions = table_.size();
+  s.resident = resident_;
+  return s;
+}
+
+void Service::finishClose(std::unique_lock<std::mutex>& lk, Entry& e) {
+  std::deque<Op> dropped = std::move(e.queue);
+  auto waiters = std::move(e.closeWaiters);
+  const std::string spool = e.spoolPath;
+  const std::string sid = e.id;
+  if (e.session != nullptr) --resident_;
+  table_.erase(sid);  // destroys e
+  lk.unlock();
+  if (!spool.empty()) std::remove(spool.c_str());
+  for (const Op& op : dropped)
+    op.done->set_exception(
+        std::make_exception_ptr(NotFoundError("session '" + sid + "' closed")));
+  for (const auto& w : waiters) w->set_value();
+}
+
+void Service::reserveResidency() {
+  while (true) {
+    Entry* victim = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      if (resident_ < config_.maxResident) {
+        ++resident_;
+        stats_.peakResident =
+            std::max<std::uint64_t>(stats_.peakResident, resident_);
+        return;
+      }
+      for (const auto& [id, ep] : table_) {
+        Entry& c = *ep;
+        // Evictable = resident and fully idle. Watching sessions are pinned:
+        // the trace letter table is stream state the spool does not carry.
+        if (c.session == nullptr || c.running || c.closing || c.watching ||
+            !c.queue.empty())
+          continue;
+        if (victim == nullptr || c.lastUse < victim->lastUse) victim = &c;
+      }
+      if (victim == nullptr) {
+        ++stats_.denied;
+        throw AdmissionError(
+            "resident session cap (" + std::to_string(config_.maxResident) +
+            ") reached and no idle session is evictable; close or drain "
+            "sessions and retry");
+      }
+      victim->running = true;  // claims `session` for the spool write
+    }
+    const std::string path = config_.spoolDir + "/" + victim->id + ".spool";
+    std::exception_ptr err;
+    try {
+      sim::writeSnapshotFile(path, victim->session->spoolSave());
+    } catch (...) {
+      err = std::current_exception();
+    }
+    bool kickIt = false;
+    std::string vid;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      vid = victim->id;
+      victim->running = false;
+      if (err == nullptr) {
+        victim->session.reset();
+        victim->spoolPath = path;
+        --resident_;
+        ++stats_.evictions;
+      }
+      if (victim->closing) {
+        finishClose(lk, *victim);
+      } else if (!victim->queue.empty() && !victim->parked) {
+        victim->running = true;
+        kickIt = true;
+      }
+    }
+    if (kickIt)
+      executor_.submit([this, vid] { runTurn(vid); });
+    if (err != nullptr) std::rethrow_exception(err);
+  }
+}
+
+void Service::ensureResident(Entry& e) {
+  if (e.session != nullptr) return;
+  reserveResidency();
+  try {
+    auto session = SimSession::spoolLoad(sim::readFileBytes(e.spoolPath));
+    const std::string spool = e.spoolPath;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      e.session = std::move(session);
+      e.spoolPath.clear();
+      ++stats_.restores;
+    }
+    std::remove(spool.c_str());
+  } catch (...) {
+    std::unique_lock<std::mutex> lk(m_);
+    --resident_;
+    throw;
+  }
+}
+
+void Service::runTurn(const std::string& sid) {
+  Entry* e = nullptr;
+  Op op;
+  bool isStep = false;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    const auto it = table_.find(sid);
+    if (it == table_.end()) return;
+    e = it->second.get();
+    if (e->closing) {
+      finishClose(lk, *e);
+      return;
+    }
+    if (e->parked || e->queue.empty()) {
+      e->running = false;
+      return;
+    }
+    isStep = e->queue.front().stepCycles > 0;
+    if (isStep) {
+      op = e->queue.front();  // stays queued until its last chunk completes
+    } else {
+      op = std::move(e->queue.front());
+      e->queue.pop_front();
+    }
+  }
+  try {
+    ensureResident(*e);
+    if (!isStep) {
+      std::string out = op.fn(*e->session);
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        e->watching = e->session->watching();
+        ++stats_.ops;
+      }
+      op.done->set_value(std::move(out));
+    } else {
+      std::uint64_t remaining = 0;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        remaining = e->queue.front().stepCycles;
+      }
+      const std::uint64_t chunk = std::min(remaining, config_.quantumCycles);
+      e->session->step(chunk);
+      std::string stream;
+      if (e->session->watching()) stream = e->session->drainStream();
+      bool opDone = false;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        e->queue.front().stepCycles -= chunk;
+        opDone = e->queue.front().stepCycles == 0;
+        if (!stream.empty()) {
+          e->outbox += stream;
+          if (e->outbox.size() >= config_.streamHighWater) e->parked = true;
+        }
+        if (opDone) {
+          e->queue.pop_front();
+          ++stats_.ops;
+        }
+      }
+      if (opDone) op.done->set_value(e->session->report());
+    }
+  } catch (...) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      // A failed step op is still at the front of the queue; drop it.
+      if (isStep && !e->queue.empty() && e->queue.front().done == op.done)
+        e->queue.pop_front();
+    }
+    op.done->set_exception(std::current_exception());
+  }
+  bool resubmit = false;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    e->lastUse = ++tick_;
+    if (e->closing) {
+      finishClose(lk, *e);
+      return;
+    }
+    if (!e->parked && !e->queue.empty())
+      resubmit = true;
+    else
+      e->running = false;
+  }
+  if (resubmit)
+    executor_.submit([this, sid] { runTurn(sid); });
+}
+
+}  // namespace esl::serve

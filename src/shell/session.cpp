@@ -138,6 +138,18 @@ std::string Session::runScript(const std::string& script) {
   return os.str();
 }
 
+std::string Session::loadSpec(NetlistSpec spec, const std::string& origin) {
+  netlist_ = std::make_unique<Netlist>(spec.build());
+  baseSpec_ = std::move(spec);
+  baseDesign_ = origin;
+  applied_.clear();
+  undone_.clear();
+  std::ostringstream os;
+  os << "loaded '" << origin << "': " << netlist_->nodeIds().size() << " nodes, "
+     << netlist_->channelIds().size() << " channels\n";
+  return os.str();
+}
+
 void Session::rebuildAndReplay() {
   netlist_ = buildBase();
   for (const std::string& cmd : applied_) dispatch(cmd, /*replaying=*/true);
@@ -166,15 +178,7 @@ std::string Session::dispatch(const std::string& line, bool replaying) {
   }
   if (verb == "load") {
     ESL_CHECK(t.size() == 2, "usage: load <file.esl>");
-    NetlistSpec spec = frontend::parseEslFile(t[1]);
-    netlist_ = std::make_unique<Netlist>(spec.build());
-    baseSpec_ = std::move(spec);
-    baseDesign_ = t[1];
-    applied_.clear();
-    undone_.clear();
-    os << "loaded '" << t[1] << "': " << netlist_->nodeIds().size() << " nodes, "
-       << netlist_->channelIds().size() << " channels\n";
-    return os.str();
+    return loadSpec(frontend::parseEslFile(t[1]), t[1]);
   }
 
   ESL_CHECK(netlist_ != nullptr, "no design loaded (use `build <design>`)");
@@ -276,12 +280,7 @@ std::string Session::dispatch(const std::string& line, bool replaying) {
     }
     sim::Simulator s(nl, opts);
     s.run(std::stoull(t[1]));
-    for (const NodeId id : nl.nodeIds()) {
-      if (const auto* sink = dynamic_cast<const TokenSink*>(&nl.node(id)))
-        os << "sink '" << sink->name() << "': " << sink->received() << " transfers\n";
-    }
-    os << "protocol violations: " << s.ctx().protocolViolations().size() << "\n";
-    return os.str();
+    return sim::runReport(nl, s.ctx());
   }
   if (verb == "tput") {
     ESL_CHECK(t.size() == 3, "usage: tput <cycles> <channel>");

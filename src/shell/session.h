@@ -36,6 +36,12 @@ class Session {
   /// concatenated output; each command is echoed with a "esl> " prompt.
   std::string runScript(const std::string& script);
 
+  /// Loads an already-parsed spec as the session's base design — the `load`
+  /// verb minus the filesystem (stdin designs via `esl -`, the serve daemon's
+  /// inline `.esl` bodies). `origin` labels the design in status output.
+  /// Returns the "loaded ..." status line; throws NetlistError on bad specs.
+  std::string loadSpec(NetlistSpec spec, const std::string& origin);
+
   /// Current design (nullptr before the first `build`).
   Netlist* netlist() { return netlist_.get(); }
 

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include "elastic/endpoints.h"
+
 namespace esl::sim {
 
 Simulator::Simulator(Netlist& netlist, SimOptions options)
@@ -64,6 +66,25 @@ double Simulator::throughput(ChannelId ch) const {
   const std::uint64_t c = ctx_.cycle();
   if (c == 0) return 0.0;
   return static_cast<double>(stats_.at(ch).fwdTransfers) / static_cast<double>(c);
+}
+
+std::string runReport(const Netlist& nl, const SimContext& ctx,
+                      const std::map<std::string, std::uint64_t>* sinkCarry,
+                      std::uint64_t violationCarry) {
+  std::string out;
+  for (const NodeId id : nl.nodeIds()) {
+    if (const auto* sink = dynamic_cast<const TokenSink*>(&nl.node(id))) {
+      std::uint64_t n = sink->received();
+      if (sinkCarry != nullptr) {
+        const auto it = sinkCarry->find(sink->name());
+        if (it != sinkCarry->end()) n += it->second;
+      }
+      out += "sink '" + sink->name() + "': " + std::to_string(n) + " transfers\n";
+    }
+  }
+  out += "protocol violations: " +
+         std::to_string(ctx.protocolViolations().size() + violationCarry) + "\n";
+  return out;
 }
 
 }  // namespace esl::sim

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "base/rng.h"
 #include "elastic/context.h"
@@ -64,6 +66,11 @@ class Simulator {
   void run(std::uint64_t cycles);
 
   const ChannelStats& channelStats(ChannelId ch) const { return stats_.at(ch); }
+  /// channelStats() for channels that may postdate the simulator (interactive
+  /// surgery): zero until the first event touches them.
+  ChannelStats channelStatsOrZero(ChannelId ch) const {
+    return ch < stats_.size() ? stats_[ch] : ChannelStats{};
+  }
   /// Forward transfers per cycle on `ch` since reset.
   double throughput(ChannelId ch) const;
 
@@ -73,5 +80,17 @@ class Simulator {
   std::vector<ChannelStats> stats_;
   TraceRecorder* trace_ = nullptr;
 };
+
+/// The canonical end-of-run report — one "sink '<name>': N transfers" line
+/// per TokenSink (netlist order) and the protocol-violation count. One
+/// renderer shared by the shell's `sim` verb, the CLI snapshot path and the
+/// serve daemon, so their outputs byte-diff clean against each other.
+/// `sinkCarry`/`violationCarry` add counts accumulated before a state-only
+/// restore (the serve daemon's evict/restore cycle: transfer logs are
+/// perf-side observations, deliberately outside packState()).
+std::string runReport(const Netlist& nl, const SimContext& ctx,
+                      const std::map<std::string, std::uint64_t>* sinkCarry =
+                          nullptr,
+                      std::uint64_t violationCarry = 0);
 
 }  // namespace esl::sim

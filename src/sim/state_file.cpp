@@ -1,0 +1,56 @@
+#include "sim/state_file.h"
+
+#include <fstream>
+
+#include "base/error.h"
+#include "elastic/context.h"
+
+namespace esl::sim {
+
+namespace {
+std::uint32_t leU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+}  // namespace
+
+void writeSnapshotFile(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  ESL_CHECK(static_cast<bool>(out), "cannot write snapshot '" + path + "'");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ESL_CHECK(static_cast<bool>(out.flush()),
+            "write to snapshot '" + path + "' failed");
+}
+
+void checkSnapshotHeader(const std::vector<std::uint8_t>& bytes,
+                         const std::string& origin) {
+  ESL_CHECK(bytes.size() >= 16,
+            origin + ": not an esl snapshot (file shorter than the header)");
+  const std::uint32_t magic = leU32(bytes.data());
+  ESL_CHECK(magic == SimContext::kSnapshotMagic,
+            origin + ": not an esl snapshot (bad magic)");
+  const std::uint32_t version = leU32(bytes.data() + 4);
+  ESL_CHECK(version == SimContext::kSnapshotVersion,
+            origin + ": unsupported snapshot version " + std::to_string(version) +
+                " (this build reads version " +
+                std::to_string(SimContext::kSnapshotVersion) + ")");
+}
+
+std::vector<std::uint8_t> readFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ESL_CHECK(static_cast<bool>(in), "cannot read snapshot '" + path + "'");
+  return std::vector<std::uint8_t>{std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()};
+}
+
+std::vector<std::uint8_t> readSnapshotFile(const std::string& path) {
+  std::vector<std::uint8_t> bytes = readFileBytes(path);
+  checkSnapshotHeader(bytes, path);
+  return bytes;
+}
+
+}  // namespace esl::sim

@@ -1,0 +1,32 @@
+// Snapshot files: packState() byte strings on disk.
+//
+// The CLI's --save-state/--load-state flags, the serve daemon's LRU
+// eviction spool and client-side snapshot round-trips all move SimContext
+// snapshots (16-byte versioned header + node state bytes) through files.
+// Reading validates the header up front and throws a clean EslError — never
+// an assert — on a foreign file or a version from a different build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esl::sim {
+
+/// Writes `bytes` to `path`; throws EslError when the file cannot be written.
+void writeSnapshotFile(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+
+/// Validates that `bytes` begins with the SimContext snapshot header (magic +
+/// supported version); throws EslError naming the mismatch otherwise.
+void checkSnapshotHeader(const std::vector<std::uint8_t>& bytes,
+                         const std::string& origin);
+
+/// Reads `path` whole with no validation (the serve spool, which has its own
+/// record header).
+std::vector<std::uint8_t> readFileBytes(const std::string& path);
+
+/// Reads `path` and validates the snapshot header.
+std::vector<std::uint8_t> readSnapshotFile(const std::string& path);
+
+}  // namespace esl::sim

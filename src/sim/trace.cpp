@@ -35,6 +35,7 @@ std::string TraceRecorder::letterFor(const BitVec& v) {
 }
 
 void TraceRecorder::capture(SimContext& ctx) {
+  if (cycles_ == 0) streamStart_ = ctx.cycle();
   for (Row& row : rows_) {
     std::string cell;
     if (row.isChannel) {
@@ -82,6 +83,24 @@ std::string TraceRecorder::render() const {
     os << '\n';
   }
   return os.str();
+}
+
+std::string TraceRecorder::drainStreamText() {
+  std::string out;
+  for (std::uint64_t c = 0; c < cycles_; ++c) {
+    out += "t=" + std::to_string(streamStart_ + c);
+    for (const Row& r : rows_) {
+      out += ' ';
+      out += r.label;
+      out += '=';
+      out += r.cells[c];
+    }
+    out += '\n';
+  }
+  for (Row& r : rows_) r.cells.clear();
+  streamStart_ += cycles_;
+  cycles_ = 0;
+  return out;
 }
 
 }  // namespace esl::sim

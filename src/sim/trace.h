@@ -35,6 +35,15 @@ class TraceRecorder {
   /// Fixed-width table like the paper's Table 1.
   std::string render() const;
 
+  /// Streaming drain (the serve daemon's trace feed): renders every cycle
+  /// captured since the last drain as one line per cycle —
+  ///   "t=<cycle> <label>=<cell> <label>=<cell>\n"
+  /// — then drops those cells, keeping memory O(rows), not O(cycles), over a
+  /// long watched run. The letter table persists across drains, so the
+  /// concatenated stream is byte-identical however the run is chunked.
+  /// cell()/render() afterwards see only the undrained suffix.
+  std::string drainStreamText();
+
  private:
   struct Row {
     std::string label;
@@ -46,6 +55,8 @@ class TraceRecorder {
 
   /// Letter for a data value, assigned on first appearance (A, B, C, ...).
   std::string letterFor(const BitVec& v);
+
+  std::uint64_t streamStart_ = 0;  ///< context cycle of the first buffered cell
 
   std::vector<Row> rows_;
   std::vector<BitVec> seenValues_;

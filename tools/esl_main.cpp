@@ -9,6 +9,13 @@
 //   esl fig1a --transform speculate:mux:F:rr --check
 //   esl design.esl --emit verilog --out design.v
 //   esl design.esl --roundtrip          # CI gate: print->parse->print fixpoint
+//   cat design.esl | esl - --sim 1000   # read the design from stdin
+//   esl fig1a --sim 500 --save-state a.snap
+//   esl fig1a --load-state a.snap --sim 500
+//
+// Two subcommand forms hand off to the serve subsystem before flag parsing:
+//   esl serve --socket /tmp/esl.sock    # long-running multi-session daemon
+//   esl client --socket /tmp/esl.sock   # scripted client for the daemon
 //
 // Exit codes: 0 ok, 1 usage, 2 command/load error, 3 check violations,
 // 4 round-trip drift.
@@ -16,19 +23,26 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "frontend/esl_format.h"
 #include "netlist/patterns.h"
+#include "serve/cli.h"
 #include "shell/session.h"
+#include "sim/simulator.h"
+#include "sim/state_file.h"
 #include "verify/checker.h"
 
 namespace {
 
 int usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " <design.esl | design-name> [options]\n"
+      << "usage: " << argv0 << " <design.esl | design-name | -> [options]\n"
+      << "       " << argv0 << " serve --socket PATH [options]\n"
+      << "       " << argv0 << " client --socket PATH [script]\n"
+      << "  -                  read the `.esl` design from stdin\n"
       << "  --transform LIST   comma-separated shell transform commands with\n"
       << "                     ':' between arguments, e.g.\n"
       << "                     --transform bubble:mux.out,speculate:mux:F:rr\n"
@@ -47,6 +61,8 @@ int usage(const char* argv0) {
       << "  --emit FORMAT      dot | blif | smv | verilog\n"
       << "  --out FILE         write --emit output to FILE instead of stdout\n"
       << "  --save FILE        write the (transformed) design back as .esl\n"
+      << "  --save-state FILE  after --sim N: write the simulator snapshot\n"
+      << "  --load-state FILE  before --sim N: resume from a snapshot\n"
       << "  --roundtrip        verify the print->parse->print fixpoint\n"
       << "  --designs          list builtin design names\n";
   return 1;
@@ -102,7 +118,13 @@ std::uint64_t parseNum(const std::string& flag, const std::string& value) {
 int main(int argc, char** argv) {
   using namespace esl;
 
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0)
+    return serve::serveMain(argc - 2, argv + 2);
+  if (argc >= 2 && std::strcmp(argv[1], "client") == 0)
+    return serve::clientMain(argc - 2, argv + 2);
+
   std::string input, transforms, emit, outFile, saveFile, tputChannel;
+  std::string saveState, loadState;
   std::string simBackend;
   std::uint64_t simCycles = 0;
   std::uint64_t simShards = 1;
@@ -156,9 +178,13 @@ int main(int argc, char** argv) {
       outFile = value();
     } else if (arg == "--save") {
       saveFile = value();
+    } else if (arg == "--save-state") {
+      saveState = value();
+    } else if (arg == "--load-state") {
+      loadState = value();
     } else if (arg == "--roundtrip") {
       doRoundtrip = true;
-    } else if (!arg.empty() && arg[0] == '-') {
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::cerr << "esl: unknown option " << arg << "\n";
       return usage(argv[0]);
     } else if (input.empty()) {
@@ -186,9 +212,21 @@ int main(int argc, char** argv) {
     std::cerr << "esl: --backend/--cross-check require --sim N\n";
     return 1;
   }
+  if ((!saveState.empty() || !loadState.empty()) && !doSim) {
+    std::cerr << "esl: --save-state/--load-state require --sim N\n";
+    return 1;
+  }
   try {
     shell::Session session;
-    if (!run(session, (fileExists(input) ? "load " : "build ") + input)) return 2;
+    if (input == "-") {
+      // Read the whole design from stdin; parse errors cite `<stdin>:line`.
+      std::ostringstream body;
+      body << std::cin.rdbuf();
+      std::cerr << session.loadSpec(frontend::parseEsl(body.str(), "<stdin>"),
+                                    "<stdin>");
+    } else if (!run(session, (fileExists(input) ? "load " : "build ") + input)) {
+      return 2;
+    }
 
     if (!transforms.empty()) {
       for (const std::string& item : splitOn(transforms, ',')) {
@@ -211,7 +249,36 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (doSim) {
+    if (doSim && (!saveState.empty() || !loadState.empty())) {
+      // Snapshot round-trips drive the simulator directly: the shell's `sim`
+      // verb owns a throwaway simulator and cannot adopt external state.
+      Netlist& nl = *session.netlist();
+      sim::SimOptions opts{.checkProtocol = true, .throwOnViolation = false};
+      opts.shards = static_cast<unsigned>(simShards);
+      if (simBackend == "compiled") opts.backend = SimContext::Backend::kCompiled;
+      opts.crossCheckKernels = doCrossCheck;
+      sim::Simulator s(nl, opts);
+      // readSnapshotFile rejects foreign magic / future versions cleanly.
+      if (!loadState.empty()) s.ctx().unpackState(sim::readSnapshotFile(loadState));
+      s.run(simCycles);
+      std::cout << sim::runReport(nl, s.ctx());
+      if (!tputChannel.empty()) {
+        const Channel* ch = nl.findChannel(tputChannel);
+        if (ch == nullptr) {
+          std::cerr << "esl: no channel named '" << tputChannel << "'\n";
+          return 2;
+        }
+        char line[128];
+        std::snprintf(line, sizeof line, "throughput(%s) = %.4f\n",
+                      tputChannel.c_str(), s.throughput(ch->id));
+        std::cout << line;
+      }
+      if (!saveState.empty()) {
+        sim::writeSnapshotFile(saveState, s.ctx().packState());
+        std::cerr << "state saved to '" << saveState << "' at cycle "
+                  << s.cycle() << "\n";
+      }
+    } else if (doSim) {
       std::string simCmd = "sim " + std::to_string(simCycles);
       if (simShards > 1) simCmd += " " + std::to_string(simShards);
       if (!simBackend.empty()) simCmd += " " + simBackend;
