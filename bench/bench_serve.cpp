@@ -16,9 +16,13 @@
 // JSON rows use the "/workers" name tier, so the regression gate reports
 // them without gating (multi-thread wall-clock is machine-dependent; the
 // determinism contract is gated by the `serve` test label instead).
+#include <dirent.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -136,7 +140,68 @@ TierResult runTier(std::size_t sessions, std::size_t maxResident,
   return res;
 }
 
-void writeJson(const std::string& path, const std::vector<TierResult>& rows) {
+// Restart-recovery tier: spool N stepped sessions to a persistent directory,
+// then measure (a) a fresh Service's startup scan — journal replay plus full
+// CRC validation of every record — and (b) the first-touch restores that
+// re-materialize each session. Reported as sessions/s re-attached; the crash
+// smoke gates correctness of the same path, this row tracks its cost.
+struct RecoveryResult {
+  std::string name;
+  std::size_t sessions = 0;
+  double attachPerSec = 0.0;   ///< startup scan (journal replay + CRC)
+  double restorePerSec = 0.0;  ///< first-touch spool restores
+  std::uint64_t recovered = 0;
+};
+
+RecoveryResult runRecoveryTier(std::size_t sessions) {
+  char tmpl[] = "/tmp/esl_bench_recover_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "cannot create recovery spool dir\n");
+    std::exit(1);
+  }
+  serve::Service::Config cfg;
+  cfg.spoolDir = dir;
+  cfg.maxResident = sessions + 8;  // isolate restore cost from re-eviction
+  cfg.warn = [](const std::string&) {};
+  const NetlistSpec spec = patterns::designSpec("fig1a");
+  const auto sidOf = [](std::size_t i) { return "s" + std::to_string(i); };
+  {
+    serve::Service svc(cfg);
+    for (std::size_t i = 0; i < sessions; ++i)
+      svc.open(sidOf(i), spec, "fig1a", {});
+    for (std::size_t i = 0; i < sessions; ++i) svc.step(sidOf(i), 20);
+    svc.drainAndSpool();
+  }
+
+  RecoveryResult res;
+  res.name = "serve/recover/sessions" + std::to_string(sessions) + "/workers1";
+  res.sessions = sessions;
+  const double t0 = now();
+  serve::Service svc(cfg);
+  const double scanSecs = now() - t0;
+  res.recovered = svc.stats().recovered;
+  const double t1 = now();
+  for (std::size_t i = 0; i < sessions; ++i) svc.step(sidOf(i), 1);
+  const double restoreSecs = now() - t1;
+  for (std::size_t i = 0; i < sessions; ++i) svc.close(sidOf(i));
+  res.attachPerSec = static_cast<double>(sessions) / scanSecs;
+  res.restorePerSec = static_cast<double>(sessions) / restoreSecs;
+
+  if (DIR* d = ::opendir(dir)) {
+    while (const dirent* ent = ::readdir(d)) {
+      const std::string name = ent->d_name;
+      if (name != "." && name != "..")
+        std::remove((std::string(dir) + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir);
+  return res;
+}
+
+void writeJson(const std::string& path, const std::vector<TierResult>& rows,
+               const std::vector<RecoveryResult>& recoveries) {
   std::ofstream os(path);
   os << "{\n  \"benchmarks\": [\n";
   bool first = true;
@@ -152,6 +217,17 @@ void writeJson(const std::string& path, const std::vector<TierResult>& rows) {
        << ", \"evictions\": " << r.stats.evictions
        << ", \"restores\": " << r.stats.restores
        << ", \"denied\": " << r.stats.denied << "}";
+  }
+  for (const RecoveryResult& r : recoveries) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"name\": \"" << r.name << "\", \"real_time\": "
+       << 1e9 * static_cast<double>(r.sessions) /
+              std::max(r.attachPerSec, 1e-9)
+       << ", \"attach_per_sec\": " << r.attachPerSec
+       << ", \"restore_per_sec\": " << r.restorePerSec
+       << ", \"sessions\": " << r.sessions
+       << ", \"recovered\": " << r.recovered << "}";
   }
   os << "\n  ]\n}\n";
 }
@@ -200,8 +276,27 @@ int main(int argc, char** argv) {
     }
     rows.push_back(r);
   }
+
+  std::printf("=== restart recovery (durable spool, fig1a) ===\n");
+  std::printf("%9s %13s %13s %9s\n", "sessions", "attach/s", "restore/s",
+              "recovered");
+  std::vector<RecoveryResult> recoveries;
+  std::vector<std::size_t> recoverTiers = {100, 1000};
+  if (quick) recoverTiers.pop_back();
+  for (const std::size_t sessions : recoverTiers) {
+    const RecoveryResult r = runRecoveryTier(sessions);
+    std::printf("%9zu %13.0f %13.0f %9llu\n", r.sessions, r.attachPerSec,
+                r.restorePerSec, static_cast<unsigned long long>(r.recovered));
+    if (r.recovered != r.sessions) {
+      std::printf("FAIL: recovered %llu of %zu spooled sessions\n",
+                  static_cast<unsigned long long>(r.recovered), r.sessions);
+      return 1;
+    }
+    recoveries.push_back(r);
+  }
+
   if (!outPath.empty()) {
-    writeJson(outPath, rows);
+    writeJson(outPath, rows, recoveries);
     std::printf("wrote %s\n", outPath.c_str());
   }
   return 0;

@@ -184,6 +184,7 @@ struct Executor::Impl {
   // External task queue (submit/waitIdle), guarded by m.
   std::deque<std::function<void()>> tasks;
   std::size_t tasksActive = 0;
+  bool inlineDraining = false;  ///< single-lane mode: a caller owns the queue
   std::exception_ptr taskError;
   std::condition_variable idleCv;
 };
@@ -196,15 +197,40 @@ Executor::~Executor() = default;
 void Executor::submit(std::function<void()> task) {
   ESL_CHECK(static_cast<bool>(task), "Executor::submit: task required");
   if (lanes_ == 1) {
-    // No worker threads: run inline on the caller so a single-lane pool stays
-    // a working (if serial) scheduling substrate.
-    try {
-      task();
-    } catch (...) {
+    // No worker threads: the caller drains the queue itself (a trampoline,
+    // not a recursive inline call) so a single-lane pool stays a working
+    // serial scheduling substrate with the same FIFO order, idle accounting
+    // and bounded stack as the threaded pool — a task that re-submits itself
+    // unboundedly (the serve scheduler's quantum chain) iterates instead of
+    // recursing, and waitIdle() cannot slip between a task and its re-submit.
+    {
       std::lock_guard<std::mutex> lock(impl_->m);
-      if (!impl_->taskError) impl_->taskError = std::current_exception();
+      impl_->tasks.push_back(std::move(task));
+      if (impl_->inlineDraining) return;  // the active drainer will run it
+      impl_->inlineDraining = true;
     }
-    return;
+    for (;;) {
+      std::function<void()> next;
+      {
+        std::lock_guard<std::mutex> lock(impl_->m);
+        if (impl_->tasks.empty()) {
+          impl_->inlineDraining = false;
+          impl_->idleCv.notify_all();
+          return;
+        }
+        next = std::move(impl_->tasks.front());
+        impl_->tasks.pop_front();
+        ++impl_->tasksActive;
+      }
+      try {
+        next();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(impl_->m);
+        if (!impl_->taskError) impl_->taskError = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(impl_->m);
+      --impl_->tasksActive;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(impl_->m);

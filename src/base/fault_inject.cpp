@@ -1,0 +1,143 @@
+#include "base/fault_inject.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "base/error.h"
+
+namespace esl::fault {
+
+namespace {
+
+struct Point {
+  bool armed = false;
+  Plan plan;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex m;
+  std::map<std::string, Point> points;
+};
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry();
+    // Child processes (the crash smoke's daemon, CLI-level tests) are armed
+    // through the environment; in-process tests use arm() directly.
+    if (const char* env = std::getenv("ESL_FAULT")) {
+      std::string spec(env);
+      std::size_t start = 0;
+      while (start < spec.size()) {
+        std::size_t end = spec.find(';', start);
+        if (end == std::string::npos) end = spec.size();
+        const std::string item = spec.substr(start, end - start);
+        start = end + 1;
+        const std::size_t eq = item.find('=');
+        const std::size_t at = item.find('@', eq == std::string::npos ? 0 : eq);
+        if (eq == std::string::npos || at == std::string::npos) continue;
+        Point p;
+        p.armed = true;
+        const std::string kind = item.substr(eq + 1, at - eq - 1);
+        if (kind == "fail")
+          p.plan.kind = Kind::kFail;
+        else if (kind == "exit")
+          p.plan.kind = Kind::kExit;
+        else if (kind == "truncate")
+          p.plan.kind = Kind::kTruncate;
+        else if (kind == "bitflip")
+          p.plan.kind = Kind::kBitFlip;
+        else
+          continue;
+        const std::string rest = item.substr(at + 1);
+        const std::size_t colon = rest.find(':');
+        p.plan.nth = std::strtoull(rest.substr(0, colon).c_str(), nullptr, 10);
+        if (colon != std::string::npos)
+          p.plan.arg = std::strtoull(rest.substr(colon + 1).c_str(), nullptr, 10);
+        if (p.plan.nth == 0) p.plan.nth = 1;
+        reg->points[item.substr(0, eq)] = p;
+      }
+    }
+    return reg;
+  }();
+  return *r;
+}
+
+/// Counts the hit; returns the plan when this hit is the armed one.
+bool triggered(const std::string& point, Plan& plan) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  Point& p = r.points[point];
+  ++p.hits;
+  if (!p.armed || p.hits != p.plan.nth) return false;
+  plan = p.plan;
+  return true;
+}
+
+[[noreturn]] void crash() {
+  // The in-process SIGKILL stand-in: no destructors, no atexit, no flush —
+  // whatever the fsync discipline made durable is all a restart will see.
+  std::_Exit(137);
+}
+
+}  // namespace
+
+void arm(const std::string& point, const Plan& plan) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  Point& p = r.points[point];
+  p.armed = true;
+  p.plan = plan;
+  p.hits = 0;
+}
+
+void disarmAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  r.points.clear();
+}
+
+std::uint64_t hits(const std::string& point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  const auto it = r.points.find(point);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+void hitPoint(const std::string& point) {
+  Plan plan;
+  if (!triggered(point, plan)) return;
+  switch (plan.kind) {
+    case Kind::kFail:
+      throw EslError("injected fault at '" + point + "'");
+    case Kind::kExit:
+      crash();
+    case Kind::kTruncate:
+    case Kind::kBitFlip:
+      break;  // data kinds are inert on control-flow points
+  }
+}
+
+void hitData(const std::string& point, std::vector<std::uint8_t>& bytes) {
+  Plan plan;
+  if (!triggered(point, plan)) return;
+  switch (plan.kind) {
+    case Kind::kFail:
+      throw EslError("injected fault at '" + point + "'");
+    case Kind::kExit:
+      crash();
+    case Kind::kTruncate:
+      if (bytes.size() > plan.arg) bytes.resize(static_cast<std::size_t>(plan.arg));
+      break;
+    case Kind::kBitFlip:
+      if (!bytes.empty()) {
+        const std::uint64_t bit = plan.arg % (bytes.size() * 8);
+        bytes[static_cast<std::size_t>(bit / 8)] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      break;
+  }
+}
+
+}  // namespace esl::fault

@@ -1,0 +1,59 @@
+// Deterministic fault injection for durability testing.
+//
+// Production I/O paths declare named fault points ("spool-write",
+// "state-file-write", "serve-quantum", ...). A test (or the ESL_FAULT
+// environment variable, for child processes the test cannot reach) arms a
+// plan against a point: fail the Nth hit, truncate the bytes about to be
+// written after K bytes, flip one bit, or exit the process without cleanup —
+// the in-process stand-in for SIGKILL at an exact, reproducible boundary.
+// Unarmed points cost one mutex acquisition on paths that already do file or
+// scheduler work; nothing in a simulation inner loop touches this.
+//
+// ESL_FAULT grammar (';'-separated, parsed once on first use):
+//   point=kind@nth[:arg]
+//   e.g. ESL_FAULT="spool-write=fail@2" or "serve-quantum=exit@5"
+// Kinds: fail (throw EslError), exit (std::_Exit(137), destructors skipped),
+// truncate (keep first arg bytes), bitflip (flip bit arg of the buffer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esl::fault {
+
+enum class Kind : std::uint8_t {
+  kFail,      ///< hitPoint/hitData throw EslError("injected fault ...")
+  kExit,      ///< hitPoint/hitData call std::_Exit(137) — crash, no cleanup
+  kTruncate,  ///< hitData truncates the buffer to `arg` bytes
+  kBitFlip,   ///< hitData flips bit `arg` (of the whole buffer, LSB-first)
+};
+
+struct Plan {
+  Kind kind = Kind::kFail;
+  std::uint64_t nth = 1;  ///< trigger on the nth hit of the point (1-based)
+  std::uint64_t arg = 0;  ///< truncate length / bit index
+};
+
+/// Arms `plan` on `point`, replacing any previous plan and resetting the
+/// point's hit counter. Thread-safe.
+void arm(const std::string& point, const Plan& plan);
+
+/// Disarms every point and clears all hit counters (test teardown).
+void disarmAll();
+
+/// Hits this point have occurred (armed or not — counting starts at arm()
+/// or at the first hit after disarmAll()).
+std::uint64_t hits(const std::string& point);
+
+/// Control-flow fault point: counts a hit; on the armed nth hit, kFail
+/// throws and kExit exits. Data kinds are ignored here.
+void hitPoint(const std::string& point);
+
+/// Data fault point for a buffer about to be written: counts a hit; on the
+/// armed nth hit, kTruncate/kBitFlip mutate `bytes` in place (the write
+/// proceeds, producing a torn or bit-rotted artifact), kFail throws,
+/// kExit exits.
+void hitData(const std::string& point, std::vector<std::uint8_t>& bytes);
+
+}  // namespace esl::fault

@@ -1,10 +1,14 @@
 #include "serve/cli.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/error.h"
@@ -24,13 +28,22 @@ int serveUsage() {
       << "  --max-resident N   resident session cap before LRU eviction\n"
       << "  --quantum N        max step cycles per scheduler turn\n"
       << "  --high-water N     stream outbox bytes before a session parks\n"
-      << "  --spool-dir PATH   eviction spool directory (default: temp dir)\n";
+      << "  --spool-dir PATH   eviction spool directory (default: temp dir);\n"
+      << "                     a persistent dir is recovered on startup and\n"
+      << "                     drained to on SIGTERM/SIGINT\n"
+      << "  --durable          checkpoint each session after every completed\n"
+      << "                     op (needs --spool-dir); crash loses at most\n"
+      << "                     the op in flight\n"
+      << "  --max-payload N    per-frame payload cap in bytes\n";
   return 1;
 }
 
 int clientUsage() {
   std::cerr
-      << "usage: esl client --socket PATH [script.txt]\n"
+      << "usage: esl client --socket PATH [options] [script.txt]\n"
+      << "  --timeout MS       per-reply receive deadline (default: none)\n"
+      << "  --retries N        extra connect attempts with backoff\n"
+      << "  --backoff MS       first retry delay, doubling (default: 100)\n"
       << "reads commands from script.txt (or stdin), one per line:\n"
       << "  open SID DESIGN [compiled] [shards N] [seed N] [no-check]\n"
       << "  open-esl SID FILE.esl [compiled] [shards N] [seed N] [no-check]\n"
@@ -39,7 +52,9 @@ int clientUsage() {
       << "  sinks SID | tput SID CHANNEL | cycle SID\n"
       << "  snapshot SID FILE | restore SID FILE\n"
       << "  watch SID [CHANNEL...] | drain SID\n"
-      << "  close SID | stats | shutdown\n";
+      << "  close SID | stats | shutdown\n"
+      << "exit codes: 0 ok, 1 usage, 2 server-reported error,\n"
+      << "            3 cannot connect, 4 reply timeout, 5 connection lost\n";
   return 1;
 }
 
@@ -144,7 +159,9 @@ bool clientLine(Client& client, const std::string& line) {
               << " peak-resident=" << s.find("peak-resident")->asU64()
               << " evictions=" << s.find("evictions")->asU64()
               << " restores=" << s.find("restores")->asU64()
-              << " denied=" << s.find("denied")->asU64() << "\n";
+              << " denied=" << s.find("denied")->asU64()
+              << " recovered=" << s.find("recovered")->asU64()
+              << " quarantined=" << s.find("quarantined")->asU64() << "\n";
   } else if (verb == "shutdown") {
     client.shutdownServer();
     return false;
@@ -152,6 +169,18 @@ bool clientLine(Client& client, const std::string& line) {
     throw EslError("unknown client command '" + verb + "'");
   }
   return true;
+}
+
+// Write end of the shutdown self-pipe; the only thing the signal handler
+// touches (write() is async-signal-safe, Server::requestDrainStop is not).
+int gSignalPipeWrite = -1;
+
+extern "C" void onTermSignal(int) {
+  const char byte = 's';
+  if (gSignalPipeWrite >= 0) {
+    const ssize_t r = ::write(gSignalPipeWrite, &byte, 1);
+    (void)r;
+  }
 }
 
 }  // namespace
@@ -182,6 +211,10 @@ int serveMain(int argc, char** argv) {
             static_cast<std::size_t>(parseNum(arg, value()));
       else if (arg == "--spool-dir")
         config.service.spoolDir = value();
+      else if (arg == "--durable")
+        config.service.durable = true;
+      else if (arg == "--max-payload")
+        config.maxPayloadBytes = parseNum(arg, value());
       else if (arg == "--help" || arg == "-h")
         return serveUsage(), 0;
       else
@@ -193,11 +226,46 @@ int serveMain(int argc, char** argv) {
     }
   }
   if (config.socketPath.empty()) return serveUsage();
+  const bool persistentSpool = !config.service.spoolDir.empty();
   try {
     Server server(std::move(config));
+
+    // SIGTERM/SIGINT ride a self-pipe: the handler writes one byte, a
+    // watcher thread turns it into a graceful drain-stop (spooling every
+    // resident session when the spool dir is persistent).
+    int pipeFds[2];
+    ESL_CHECK(::pipe(pipeFds) == 0, "cannot create the signal pipe");
+    gSignalPipeWrite = pipeFds[1];
+    struct sigaction sa {};
+    sa.sa_handler = onTermSignal;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    std::thread watcher([&server, persistentSpool, readFd = pipeFds[0]] {
+      char byte = 0;
+      while (::read(readFd, &byte, 1) == 1) {
+        if (byte != 's') return;  // 'q' from main: run() already returned
+        std::cerr << "esl serve: signal received, "
+                  << (persistentSpool ? "draining sessions to spool\n"
+                                      : "shutting down\n");
+        if (persistentSpool)
+          server.requestDrainStop();
+        else
+          server.requestStop();
+      }
+    });
+
     // The smoke/bench harnesses wait for this line before connecting.
     std::cout << "esl serve: listening on " << server.socketPath() << std::endl;
     server.run();
+
+    const char quit = 'q';
+    const ssize_t r = ::write(pipeFds[1], &quit, 1);
+    (void)r;
+    watcher.join();
+    gSignalPipeWrite = -1;
+    ::close(pipeFds[0]);
+    ::close(pipeFds[1]);
   } catch (const std::exception& e) {
     std::cerr << "esl serve: " << e.what() << "\n";
     return 2;
@@ -207,24 +275,39 @@ int serveMain(int argc, char** argv) {
 
 int clientMain(int argc, char** argv) {
   std::string socketPath, scriptPath;
+  Client::Options options;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--socket") {
+    const auto value = [&]() -> std::string {
       if (i + 1 >= argc) {
-        std::cerr << "esl client: --socket needs a value\n";
-        return 1;
+        std::cerr << "esl client: " << arg << " needs a value\n";
+        std::exit(1);
       }
-      socketPath = argv[++i];
-    } else if (arg == "--help" || arg == "-h") {
-      return clientUsage(), 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "esl client: unknown option " << arg << "\n";
-      return clientUsage();
-    } else if (scriptPath.empty()) {
-      scriptPath = arg;
-    } else {
-      std::cerr << "esl client: more than one script\n";
-      return clientUsage();
+      return argv[++i];
+    };
+    try {
+      if (arg == "--socket") {
+        socketPath = value();
+      } else if (arg == "--timeout") {
+        options.timeoutMs = parseNum(arg, value());
+      } else if (arg == "--retries") {
+        options.retries = static_cast<unsigned>(parseNum(arg, value()));
+      } else if (arg == "--backoff") {
+        options.backoffMs = parseNum(arg, value());
+      } else if (arg == "--help" || arg == "-h") {
+        return clientUsage(), 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "esl client: unknown option " << arg << "\n";
+        return clientUsage();
+      } else if (scriptPath.empty()) {
+        scriptPath = arg;
+      } else {
+        std::cerr << "esl client: more than one script\n";
+        return clientUsage();
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "esl client: " << e.what() << "\n";
+      return 1;
     }
   }
   if (socketPath.empty()) return clientUsage();
@@ -238,15 +321,27 @@ int clientMain(int argc, char** argv) {
   }
   std::istream& script = scriptPath.empty() ? std::cin : file;
   std::string line;
+  const auto fail = [&line](const std::exception& e, int code) {
+    std::cerr << "esl client: " << (line.empty() ? "" : line + ": ") << e.what()
+              << "\n";
+    return code;
+  };
+  // Exit codes are part of the contract (see --help): scripts driving the
+  // daemon distinguish "it told me no" from "it is not there" from "it died
+  // under me" without parsing stderr.
   try {
-    Client client(socketPath);
+    Client client(socketPath, options);
     while (std::getline(script, line)) {
       if (!clientLine(client, line)) break;
     }
+  } catch (const ConnectError& e) {
+    return fail(e, 3);
+  } catch (const TimeoutError& e) {
+    return fail(e, 4);
+  } catch (const ConnectionLostError& e) {
+    return fail(e, 5);
   } catch (const std::exception& e) {
-    std::cerr << "esl client: " << (line.empty() ? "" : line + ": ") << e.what()
-              << "\n";
-    return 2;
+    return fail(e, 2);
   }
   return 0;
 }

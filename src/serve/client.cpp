@@ -1,11 +1,15 @@
 #include "serve/client.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "base/error.h"
 
@@ -13,20 +17,43 @@ namespace esl::serve {
 
 namespace {
 
-int connectTo(const std::string& socketPath) {
-  ESL_CHECK(socketPath.size() < sizeof(sockaddr_un{}.sun_path),
-            "socket path too long: '" + socketPath + "'");
+int connectOnce(const std::string& socketPath, std::string& why) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   ESL_CHECK(fd >= 0, std::string("cannot create socket: ") + std::strerror(errno));
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, socketPath.c_str(), sizeof(addr.sun_path) - 1);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    const std::string why = std::strerror(errno);
+    why = std::strerror(errno);
     ::close(fd);
-    throw EslError("cannot connect to '" + socketPath + "': " + why);
+    return -1;
   }
   return fd;
+}
+
+int connectTo(const std::string& socketPath, const Client::Options& options) {
+  ESL_CHECK(socketPath.size() < sizeof(sockaddr_un{}.sun_path),
+            "socket path too long: '" + socketPath + "'");
+  std::string why;
+  std::uint64_t delayMs = options.backoffMs == 0 ? 1 : options.backoffMs;
+  for (unsigned attempt = 0;; ++attempt) {
+    const int fd = connectOnce(socketPath, why);
+    if (fd >= 0) {
+      if (options.timeoutMs > 0) {
+        timeval tv{};
+        tv.tv_sec = static_cast<time_t>(options.timeoutMs / 1000);
+        tv.tv_usec = static_cast<suseconds_t>((options.timeoutMs % 1000) * 1000);
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+      }
+      return fd;
+    }
+    if (attempt >= options.retries)
+      throw ConnectError("cannot connect to '" + socketPath + "' after " +
+                         std::to_string(attempt + 1) + " attempt(s): " + why);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+    delayMs = std::min<std::uint64_t>(delayMs * 2, 10'000);  // bounded backoff
+  }
 }
 
 void setOptionFields(json::Value& head, const SimSession::Options& options) {
@@ -50,11 +77,12 @@ std::string textOf(const json::Value& reply) {
 
 }  // namespace
 
-Client::Client(const std::string& socketPath)
-    : fd_(connectTo(socketPath)), reader_(fd_) {
+Client::Client(const std::string& socketPath, const Options& options)
+    : fd_(connectTo(socketPath, options)), reader_(fd_) {
   try {
     Frame greeting;
-    ESL_CHECK(reader_.read(greeting), "server hung up before greeting");
+    if (!reader_.read(greeting))
+      throw ConnectionLostError("server hung up before greeting");
     const json::Value* proto = greeting.head.find("proto");
     ESL_CHECK(proto != nullptr, "malformed server greeting");
     json::Value hello = json::Value::object();
@@ -75,9 +103,21 @@ json::Value Client::request(json::Value head, const std::string& payload,
                             std::string* payloadOut) {
   const std::uint64_t id = nextId_++;
   head.set("id", json::Value::number(id));
-  writeFrame(fd_, std::move(head), payload);
   Frame reply;
-  ESL_CHECK(reader_.read(reply), "server hung up mid-request");
+  // Transport damage (EPIPE on the send, a torn or missing reply) means the
+  // daemon died mid-command: surface it as ConnectionLostError so callers
+  // can retry against a restarted daemon. A reply deadline (TimeoutError)
+  // passes through untouched.
+  try {
+    writeFrame(fd_, std::move(head), payload);
+    if (!reader_.read(reply))
+      throw ConnectionLostError("server hung up mid-request");
+  } catch (const TimeoutError&) {
+    throw;
+  } catch (const ProtocolError& e) {
+    throw ConnectionLostError(std::string("connection lost mid-request: ") +
+                              e.what());
+  }
   const json::Value* rid = reply.head.find("id");
   ESL_CHECK(rid != nullptr && rid->asU64() == id,
             "response id does not match the request");
@@ -90,7 +130,7 @@ json::Value Client::request(json::Value head, const std::string& payload,
       if (const json::Value* k = err->find("kind")) kind = k->asString();
       if (const json::Value* m = err->find("message")) message = m->asString();
     }
-    throw EslError(kind + ": " + message);
+    throw ServerError(kind, message);
   }
   if (payloadOut != nullptr) *payloadOut = std::move(reply.payload);
   return std::move(reply.head);

@@ -2,23 +2,67 @@
 // counterpart of the Server (used by `esl client`, the serve tests and the
 // CI smoke). Connects, validates the greeting, performs the hello handshake,
 // then exposes one method per protocol op. Server-side failures come back as
-// thrown EslError carrying "<kind>: <message>".
+// thrown ServerError carrying the stable error kind and message.
+//
+// Resilience: Options::retries reconnects with bounded exponential backoff
+// when the daemon is not (yet) listening; Options::timeoutMs puts a receive
+// deadline on every reply. The failure modes stay distinct exception types —
+// ConnectError (never reached the daemon), TimeoutError (reply deadline),
+// ConnectionLostError (daemon died mid-command) — so `esl client` can exit
+// with a distinct documented code for each.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "base/error.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
 #include "serve/session.h"
 
 namespace esl::serve {
 
+/// Could not reach the daemon (after all configured retries).
+class ConnectError : public EslError {
+ public:
+  using EslError::EslError;
+};
+
+/// The connection died mid-command: torn reply, hangup, EPIPE. The daemon
+/// crashed or was killed while the request was in flight.
+class ConnectionLostError : public EslError {
+ public:
+  using EslError::EslError;
+};
+
+/// The daemon answered with a structured error frame.
+class ServerError : public EslError {
+ public:
+  ServerError(std::string kind, const std::string& message)
+      : EslError(kind + ": " + message), kind_(std::move(kind)) {}
+  const std::string& kind() const { return kind_; }
+
+ private:
+  std::string kind_;
+};
+
+/// Connection resilience knobs (namespace-scope so it can default-construct
+/// in Client's own default arguments).
+struct ClientOptions {
+  std::uint64_t timeoutMs = 0;  ///< per-reply receive deadline (0 = none)
+  unsigned retries = 0;         ///< extra connect attempts
+  std::uint64_t backoffMs = 100;  ///< first retry delay; doubles, capped 10s
+};
+
 class Client {
  public:
-  /// Connects to the daemon at `socketPath` and completes the handshake.
-  explicit Client(const std::string& socketPath);
+  using Options = ClientOptions;
+
+  /// Connects to the daemon at `socketPath` (retrying per `options`) and
+  /// completes the handshake. Throws ConnectError when every attempt fails.
+  explicit Client(const std::string& socketPath,
+                  const Options& options = Options());
   ~Client();
 
   Client(const Client&) = delete;
@@ -51,7 +95,9 @@ class Client {
   void shutdownServer();
 
   /// Low-level escape hatch: sends `head` (+payload), returns the reply head
-  /// (payload in *payloadOut when non-null); throws on ok=false replies.
+  /// (payload in *payloadOut when non-null). Throws ServerError on ok=false
+  /// replies, TimeoutError on a reply deadline, ConnectionLostError when the
+  /// connection dies mid-command.
   json::Value request(json::Value head, const std::string& payload = {},
                       std::string* payloadOut = nullptr);
 

@@ -21,6 +21,8 @@ bool FrameReader::fillSome() {
     }
     if (n == 0) return false;
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw TimeoutError("timed out waiting for a reply");
     throw ProtocolError(std::string("socket read failed: ") + std::strerror(errno));
   }
 }
@@ -29,7 +31,7 @@ bool FrameReader::read(Frame& out) {
   // Head line.
   std::size_t nl;
   while ((nl = buf_.find('\n', pos_)) == std::string::npos) {
-    if (buf_.size() - pos_ > kMaxPayloadBytes)
+    if (buf_.size() - pos_ > maxPayload_)
       throw ProtocolError("frame head exceeds the payload cap without a newline");
     if (!fillSome()) {
       if (pos_ == buf_.size()) return false;  // clean EOF at a boundary
@@ -44,8 +46,12 @@ bool FrameReader::read(Frame& out) {
   // Optional payload block: "bytes": N raw bytes, then one '\n'.
   if (const json::Value* bytes = out.head.find("bytes")) {
     const std::uint64_t n = bytes->asU64();
-    ESL_CHECK(n <= kMaxPayloadBytes,
-              "payload of " + std::to_string(n) + " bytes exceeds the cap");
+    // Reject before any buffer grows: an absurd declared length (garbage or
+    // hostile) must cost nothing and hang nothing.
+    if (n > maxPayload_)
+      throw ProtocolError("payload of " + std::to_string(n) +
+                          " bytes exceeds the cap of " +
+                          std::to_string(maxPayload_));
     while (buf_.size() - pos_ < n + 1) {
       if (!fillSome()) throw ProtocolError("connection closed mid-payload");
     }
@@ -109,6 +115,8 @@ std::string errorKind(const std::exception& e) {
   // Most-derived first: the serve kinds, then the frontend/base hierarchy.
   if (dynamic_cast<const NotFoundError*>(&e) != nullptr) return "not-found";
   if (dynamic_cast<const AdmissionError*>(&e) != nullptr) return "admission";
+  if (dynamic_cast<const DrainingError*>(&e) != nullptr) return "draining";
+  if (dynamic_cast<const TimeoutError*>(&e) != nullptr) return "timeout";
   if (dynamic_cast<const ParseError*>(&e) != nullptr) return "parse";
   if (dynamic_cast<const ProtocolError*>(&e) != nullptr) return "protocol";
   if (dynamic_cast<const TransformError*>(&e) != nullptr) return "transform";

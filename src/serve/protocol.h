@@ -19,13 +19,23 @@
 
 #include <string>
 
+#include "base/error.h"
 #include "serve/json.h"
 
 namespace esl::serve {
 
 inline constexpr std::uint64_t kProtocolVersion = 1;
-/// Payload frames are capped (a corrupt length must not allocate the moon).
+/// Default payload cap (a corrupt length must not allocate the moon). Frames
+/// declaring more bytes than the reader's cap are rejected before any
+/// allocation happens.
 inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
+
+/// A read deadline expired (SO_RCVTIMEO on the client socket). Distinct from
+/// ProtocolError so callers can map it to its own exit code.
+class TimeoutError : public EslError {
+ public:
+  using EslError::EslError;
+};
 
 /// One frame: the JSON head plus the optional raw payload block.
 struct Frame {
@@ -36,17 +46,20 @@ struct Frame {
 /// Buffered frame reader over a socket/pipe fd (fd stays owned by the caller).
 class FrameReader {
  public:
-  explicit FrameReader(int fd) : fd_(fd) {}
+  explicit FrameReader(int fd, std::uint64_t maxPayload = kMaxPayloadBytes)
+      : fd_(fd), maxPayload_(maxPayload) {}
 
   /// Reads one frame. Returns false on clean EOF at a frame boundary; throws
   /// ProtocolError on mid-frame EOF, oversized payloads or framing damage,
-  /// ParseError on malformed head JSON.
+  /// ParseError on malformed head JSON, TimeoutError when the fd's receive
+  /// deadline expires.
   bool read(Frame& out);
 
  private:
   bool fillSome();  ///< false on EOF
 
   int fd_;
+  std::uint64_t maxPayload_;
   std::string buf_;
   std::size_t pos_ = 0;
 };

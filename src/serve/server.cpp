@@ -96,6 +96,14 @@ void Server::requestStop() {
   if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
 }
 
+void Server::requestDrainStop() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    drainOnStop_ = true;
+  }
+  requestStop();
+}
+
 void Server::run() {
   while (true) {
     const int fd = ::accept(listenFd_, nullptr, nullptr);
@@ -111,13 +119,32 @@ void Server::run() {
     connFds_.push_back(fd);
     threads_.emplace_back([this, fd] { handleConnection(fd); });
   }
-  // Closing every session aborts in-flight steps at quantum boundaries and
-  // fails queued ops, so no handler thread stays blocked inside the service.
-  for (const std::string& sid : service_.sessionIds()) {
+  bool drain = false;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    drain = drainOnStop_;
+  }
+  if (drain) {
+    // SIGTERM path: abort in-flight steps at quantum boundaries (handlers
+    // get structured "draining" errors) and spool every resident session so
+    // a restart on the same spool directory re-attaches them all.
     try {
-      service_.close(sid);
-    } catch (const NotFoundError&) {
-      // a client closed it concurrently
+      const std::size_t n = service_.drainAndSpool();
+      std::fprintf(stderr, "esl serve: drained %zu session(s) to spool\n", n);
+      std::fflush(stderr);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "esl serve: drain failed: %s\n", e.what());
+      std::fflush(stderr);
+    }
+  } else {
+    // Closing every session aborts in-flight steps at quantum boundaries and
+    // fails queued ops, so no handler thread stays blocked inside the service.
+    for (const std::string& sid : service_.sessionIds()) {
+      try {
+        service_.close(sid);
+      } catch (const NotFoundError&) {
+        // a client closed it concurrently
+      }
     }
   }
   {
@@ -163,6 +190,8 @@ Frame Server::dispatch(const Frame& request, bool& helloDone,
       reply.head.set("restores", json::Value::number(s.restores));
       reply.head.set("denied", json::Value::number(s.denied));
       reply.head.set("ops", json::Value::number(s.ops));
+      reply.head.set("recovered", json::Value::number(s.recovered));
+      reply.head.set("quarantined", json::Value::number(s.quarantined));
       return reply;
     }
     if (op == "shutdown") {
@@ -261,7 +290,7 @@ Frame Server::dispatch(const Frame& request, bool& helloDone,
 void Server::handleConnection(int fd) {
   try {
     writeFrame(fd, greetingHead());
-    FrameReader reader(fd);
+    FrameReader reader(fd, config_.maxPayloadBytes);
     Frame request;
     bool helloDone = false;
     bool wantShutdown = false;

@@ -12,6 +12,12 @@
 // session (aborting in-flight steps at their next quantum boundary), then
 // shut down the remaining connection sockets and join their threads. run()
 // returns once the service is idle and empty.
+//
+// Graceful drain (requestDrainStop(), the SIGTERM path): instead of closing
+// sessions, the service drains — in-flight steps abort at their next quantum
+// boundary with a structured "draining" error, every resident session is
+// spooled to the persistent spool directory — so a restarted daemon on the
+// same --spool-dir re-attaches them all.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +35,9 @@ class Server {
  public:
   struct Config {
     std::string socketPath;
+    /// Per-connection frame payload cap; inbound frames declaring more bytes
+    /// are rejected with a structured protocol error before any allocation.
+    std::uint64_t maxPayloadBytes = kMaxPayloadBytes;
     Service::Config service;
   };
 
@@ -44,6 +53,12 @@ class Server {
   void run();
   /// Asks run() to return (safe from any thread, including handlers).
   void requestStop();
+  /// Asks run() to return after draining: aborts in-flight steps at quantum
+  /// boundaries and spools every resident session (requires a persistent
+  /// spool directory). Safe from any thread — but not from a signal handler;
+  /// signal handlers should poke a self-pipe watched by a thread that calls
+  /// this.
+  void requestDrainStop();
 
   Service& service() { return service_; }
   const std::string& socketPath() const { return config_.socketPath; }
@@ -62,6 +77,7 @@ class Server {
 
   std::mutex m_;
   bool stopping_ = false;
+  bool drainOnStop_ = false;
   std::vector<int> connFds_;
   std::vector<std::thread> threads_;
 };

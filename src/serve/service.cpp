@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "base/fault_inject.h"
 #include "sim/state_file.h"
 
 namespace esl::serve {
@@ -33,8 +34,33 @@ Service::Service(Config config)
     ESL_CHECK(::mkdtemp(tmpl) != nullptr, "cannot create a spool directory");
     config_.spoolDir = tmpl;
     ownsSpoolDir_ = true;
-  } else {
-    ::mkdir(config_.spoolDir.c_str(), 0700);  // EEXIST is fine; writes check
+  }
+  ESL_CHECK(!config_.durable || !ownsSpoolDir_,
+            "durable mode needs a persistent spool directory (set spoolDir)");
+  spool_.open(config_.spoolDir, /*persistent=*/!ownsSpoolDir_);
+  if (spool_.persistent()) {
+    // Restart recovery: re-attach every session whose record verifies.
+    // Re-attachment is lazy — entries start evicted and restore on first
+    // touch, so a spool of thousands costs startup only a scan.
+    std::vector<std::string> warnings;
+    std::uint64_t quarantined = 0;
+    const std::vector<SpoolDir::Recovered> found =
+        spool_.recover(warnings, &quarantined);
+    for (const std::string& w : warnings) emitWarning("recovery: " + w);
+    stats_.quarantined = quarantined;
+    for (const SpoolDir::Recovered& r : found) {
+      if (!validSessionId(r.sid)) {
+        emitWarning("recovery: ignoring record with invalid session id '" +
+                    r.sid + "'");
+        continue;
+      }
+      auto e = std::make_unique<Entry>();
+      e->id = r.sid;
+      e->spoolPath = r.path;
+      e->lastUse = ++tick_;
+      table_.emplace(r.sid, std::move(e));
+      ++stats_.recovered;
+    }
   }
 }
 
@@ -48,9 +74,34 @@ Service::~Service() {
   } catch (...) {
     // Turns catch their own exceptions into op promises; nothing expected.
   }
-  for (const auto& [id, e] : table_)
-    if (!e->spoolPath.empty()) std::remove(e->spoolPath.c_str());
-  if (ownsSpoolDir_) ::rmdir(config_.spoolDir.c_str());
+  if (ownsSpoolDir_) {
+    // Private temp dir dies with the service. A persistent dir keeps its
+    // records and journal: that is the restart story.
+    for (const auto& [id, e] : table_)
+      if (!e->spoolPath.empty()) std::remove(e->spoolPath.c_str());
+    ::rmdir(config_.spoolDir.c_str());
+  }
+}
+
+void Service::emitWarning(const std::string& message) {
+  if (config_.warn) {
+    config_.warn(message);
+    return;
+  }
+  std::fprintf(stderr, "esl serve: %s\n", message.c_str());
+  std::fflush(stderr);
+}
+
+void Service::checkpoint(Entry& e) {
+  if (!config_.durable || e.session == nullptr || e.session->watching()) return;
+  try {
+    spool_.writeRecord(e.id, e.session->spoolSave());
+  } catch (const EslError& ex) {
+    // The operation already succeeded in memory; losing one checkpoint
+    // degrades crash coverage, not correctness.
+    emitWarning("session '" + e.id +
+                "': durable checkpoint failed: " + ex.what());
+  }
 }
 
 Service::Entry* Service::findLocked(const std::string& sid) {
@@ -67,6 +118,8 @@ std::string Service::open(const std::string& sid, NetlistSpec spec,
             "session id must be 1-64 chars of [A-Za-z0-9._-], got '" + sid + "'");
   {
     std::unique_lock<std::mutex> lk(m_);
+    if (draining_)
+      throw DrainingError("service is draining for shutdown; retry after restart");
     ESL_CHECK(table_.find(sid) == table_.end(),
               "session '" + sid + "' already exists");
     // Placeholder claims the name; `running` parks arriving ops in its queue
@@ -85,10 +138,14 @@ std::string Service::open(const std::string& sid, NetlistSpec spec,
       Netlist& nl = session->netlist();
       status = "session '" + sid + "': " + std::to_string(nl.nodeIds().size()) +
                " nodes, " + std::to_string(nl.channelIds().size()) + " channels\n";
-      std::unique_lock<std::mutex> lk(m_);
-      Entry* e = table_.at(sid).get();
-      e->session = std::move(session);
-      ++stats_.opened;
+      Entry* installed = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        installed = table_.at(sid).get();
+        installed->session = std::move(session);
+        ++stats_.opened;
+      }
+      checkpoint(*installed);  // `running` still claims the entry
     } catch (...) {
       std::unique_lock<std::mutex> lk(m_);
       --resident_;
@@ -130,6 +187,8 @@ std::string Service::enqueue(const std::string& sid,
   bool kickIt = false;
   {
     std::unique_lock<std::mutex> lk(m_);
+    if (draining_)
+      throw DrainingError("service is draining for shutdown; retry after restart");
     Entry* e = findLocked(sid);
     e->queue.push_back(Op{std::move(fn), stepCycles, done});
     e->lastUse = ++tick_;
@@ -229,6 +288,76 @@ void Service::close(const std::string& sid) {
   fut.get();
 }
 
+void Service::failQueueDraining(Entry& e, std::vector<Op>& failed) {
+  for (Op& op : e.queue) failed.push_back(std::move(op));
+  e.queue.clear();
+}
+
+std::size_t Service::drainAndSpool() {
+  ESL_CHECK(spool_.persistent(),
+            "drainAndSpool needs a persistent spool directory");
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    draining_ = true;
+  }
+  // In-flight turns observe draining_ at their next quantum boundary and
+  // abort; no new turns start. After the executor empties, parked or idle
+  // sessions may still hold queued ops — fail those here.
+  try {
+    executor_.waitIdle();
+  } catch (...) {
+  }
+  std::vector<Op> failed;
+  std::vector<Entry*> toSpool;
+  std::size_t spooled = 0;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    for (const auto& [id, e] : table_) {
+      failQueueDraining(*e, failed);
+      if (e->closing) continue;
+      if (e->session == nullptr) {
+        // Already evicted: its durable record is the spooled state.
+        if (!e->spoolPath.empty()) ++spooled;
+        continue;
+      }
+      if (e->running) continue;  // an open() still installing; state not ours
+      e->running = true;  // claims `session`; close() will wait for us
+      toSpool.push_back(e.get());
+    }
+  }
+  for (const Op& op : failed)
+    op.done->set_exception(std::make_exception_ptr(DrainingError(
+        "step aborted at quantum boundary: service is draining for shutdown")));
+  for (Entry* e : toSpool) {
+    if (e->session->watching())
+      emitWarning("session '" + e->id +
+                  "': watch state is stream-local and will not survive the "
+                  "restart");
+    std::string spoolError;
+    try {
+      spool_.writeRecord(e->id, e->session->spoolSave());
+    } catch (const EslError& ex) {
+      spoolError = ex.what();
+    }
+    std::unique_lock<std::mutex> lk(m_);
+    e->running = false;
+    if (spoolError.empty()) {
+      e->session.reset();
+      e->spoolPath = spool_.recordPath(e->id);
+      --resident_;
+      ++stats_.evictions;
+      ++spooled;
+    } else {
+      lk.unlock();
+      emitWarning("session '" + e->id +
+                  "': drain spool failed, state lost: " + spoolError);
+      lk.lock();
+    }
+    if (e->closing) finishClose(lk, *e);
+  }
+  return spooled;
+}
+
 std::vector<std::string> Service::sessionIds() {
   std::unique_lock<std::mutex> lk(m_);
   std::vector<std::string> ids;
@@ -249,12 +378,13 @@ Service::Stats Service::stats() {
 void Service::finishClose(std::unique_lock<std::mutex>& lk, Entry& e) {
   std::deque<Op> dropped = std::move(e.queue);
   auto waiters = std::move(e.closeWaiters);
-  const std::string spool = e.spoolPath;
   const std::string sid = e.id;
   if (e.session != nullptr) --resident_;
   table_.erase(sid);  // destroys e
   lk.unlock();
-  if (!spool.empty()) std::remove(spool.c_str());
+  // Remove the durable record too: a closed session must not resurrect on
+  // restart. Covers both evicted records and durable-mode checkpoints.
+  spool_.removeRecord(sid);
   for (const Op& op : dropped)
     op.done->set_exception(
         std::make_exception_ptr(NotFoundError("session '" + sid + "' closed")));
@@ -290,12 +420,11 @@ void Service::reserveResidency() {
       }
       victim->running = true;  // claims `session` for the spool write
     }
-    const std::string path = config_.spoolDir + "/" + victim->id + ".spool";
-    std::exception_ptr err;
+    std::string spoolError;
     try {
-      sim::writeSnapshotFile(path, victim->session->spoolSave());
-    } catch (...) {
-      err = std::current_exception();
+      spool_.writeRecord(victim->id, victim->session->spoolSave());
+    } catch (const EslError& ex) {
+      spoolError = ex.what();
     }
     bool kickIt = false;
     std::string vid;
@@ -303,9 +432,9 @@ void Service::reserveResidency() {
       std::unique_lock<std::mutex> lk(m_);
       vid = victim->id;
       victim->running = false;
-      if (err == nullptr) {
+      if (spoolError.empty()) {
         victim->session.reset();
-        victim->spoolPath = path;
+        victim->spoolPath = spool_.recordPath(vid);
         --resident_;
         ++stats_.evictions;
       }
@@ -318,7 +447,17 @@ void Service::reserveResidency() {
     }
     if (kickIt)
       executor_.submit([this, vid] { runTurn(vid); });
-    if (err != nullptr) std::rethrow_exception(err);
+    if (!spoolError.empty()) {
+      // Graceful degradation: an unwritable spool (disk full, injected
+      // fault) refuses the admission instead of crashing the daemon. The
+      // victim stays resident and intact.
+      std::unique_lock<std::mutex> lk(m_);
+      ++stats_.denied;
+      lk.unlock();
+      throw AdmissionError("cannot spool session '" + vid +
+                           "' to make room: " + spoolError +
+                           "; admission refused");
+    }
   }
 }
 
@@ -326,15 +465,18 @@ void Service::ensureResident(Entry& e) {
   if (e.session != nullptr) return;
   reserveResidency();
   try {
-    auto session = SimSession::spoolLoad(sim::readFileBytes(e.spoolPath));
-    const std::string spool = e.spoolPath;
+    auto session = SimSession::spoolLoad(spool_.readRecord(e.id));
     {
       std::unique_lock<std::mutex> lk(m_);
       e.session = std::move(session);
       e.spoolPath.clear();
       ++stats_.restores;
     }
-    std::remove(spool.c_str());
+    // Durable mode keeps the on-disk record: it still matches the restored
+    // state exactly, and the next completed op rewrites it. Otherwise the
+    // record would go stale the moment the session steps — remove it so a
+    // crash can never resurrect an outdated state.
+    if (!config_.durable) spool_.removeRecord(e.id);
   } catch (...) {
     std::unique_lock<std::mutex> lk(m_);
     --resident_;
@@ -353,6 +495,20 @@ void Service::runTurn(const std::string& sid) {
     e = it->second.get();
     if (e->closing) {
       finishClose(lk, *e);
+      return;
+    }
+    if (draining_) {
+      // Abort at the quantum boundary: fail everything queued (including a
+      // mid-flight step op still at the front) and stop. drainAndSpool()
+      // spools the session's current state once the executor empties.
+      std::vector<Op> failed;
+      failQueueDraining(*e, failed);
+      e->running = false;
+      lk.unlock();
+      for (const Op& f : failed)
+        f.done->set_exception(std::make_exception_ptr(DrainingError(
+            "step aborted at quantum boundary: service is draining for "
+            "shutdown")));
       return;
     }
     if (e->parked || e->queue.empty()) {
@@ -376,6 +532,7 @@ void Service::runTurn(const std::string& sid) {
         e->watching = e->session->watching();
         ++stats_.ops;
       }
+      checkpoint(*e);
       op.done->set_value(std::move(out));
     } else {
       std::uint64_t remaining = 0;
@@ -385,6 +542,9 @@ void Service::runTurn(const std::string& sid) {
       }
       const std::uint64_t chunk = std::min(remaining, config_.quantumCycles);
       e->session->step(chunk);
+      // The scheduler's kill-at-quantum-boundary hook: a kExit plan here is
+      // the deterministic SIGKILL the crash tests recover from.
+      fault::hitPoint("serve-quantum");
       std::string stream;
       if (e->session->watching()) stream = e->session->drainStream();
       bool opDone = false;
@@ -401,7 +561,10 @@ void Service::runTurn(const std::string& sid) {
           ++stats_.ops;
         }
       }
-      if (opDone) op.done->set_value(e->session->report());
+      if (opDone) {
+        checkpoint(*e);
+        op.done->set_value(e->session->report());
+      }
     }
   } catch (...) {
     {

@@ -16,9 +16,22 @@
 //
 // Residency: an admission-control cap bounds in-memory sessions. Opening (or
 // restoring) past the cap evicts the least-recently-used idle session to a
-// spool file (SimSession::spoolSave — design text + snapshot + perf carries);
-// its next operation restores it transparently, reports intact. When nothing
-// is evictable the open is refused with AdmissionError, never OOM.
+// spool record (SimSession::spoolSave — design text + snapshot + perf
+// carries, wrapped in the checksummed state_file container); its next
+// operation restores it transparently, reports intact. When nothing is
+// evictable — or the spool disk refuses the write — the open is refused with
+// AdmissionError, never OOM and never a crash.
+//
+// Durability: with a persistent Config::spoolDir the service recovers on
+// construction — replaying the spool journal, re-attaching every session
+// whose record verifies, quarantining damaged records (renamed `.corrupt`,
+// warning emitted, startup continues). Re-attachment is lazy: recovered
+// sessions sit evicted until first touched. Config::durable additionally
+// checkpoints a session's record after every completed operation, so a
+// SIGKILL at any instant loses at most the operation in flight; without it
+// only evicted/drained sessions survive a crash. drainAndSpool() is the
+// graceful-shutdown half: in-flight steps abort at their next quantum
+// boundary with DrainingError and every resident session is spooled.
 //
 // Back-pressure: a watching session appends trace text to its outbox each
 // quantum; past `streamHighWater` the session parks — no further quanta run —
@@ -42,6 +55,7 @@
 #include "base/error.h"
 #include "base/executor.h"
 #include "serve/session.h"
+#include "serve/spool.h"
 
 namespace esl::serve {
 
@@ -51,8 +65,17 @@ class NotFoundError : public EslError {
   using EslError::EslError;
 };
 
-/// Open refused: resident cap reached and no session is evictable.
+/// Open refused: resident cap reached and no session is evictable, or the
+/// spool disk refused the eviction write.
 class AdmissionError : public EslError {
+ public:
+  using EslError::EslError;
+};
+
+/// Operation refused or aborted because the service is draining for
+/// shutdown. In-flight steps abort at their next quantum boundary; the
+/// session's state is spooled, so a restarted daemon resumes it intact.
+class DrainingError : public EslError {
  public:
   using EslError::EslError;
 };
@@ -65,6 +88,14 @@ class Service {
     std::uint64_t quantumCycles = 100'000;  ///< max step cycles per turn
     std::size_t streamHighWater = 1 << 20;  ///< outbox bytes before parking
     std::string spoolDir;  ///< eviction spool; empty = private temp dir
+    /// Checkpoint each session's spool record after every completed
+    /// operation (requires a persistent spoolDir). Crash loses at most the
+    /// operation in flight. Watching sessions are not checkpointed — the
+    /// trace letter table is stream state the spool does not carry.
+    bool durable = false;
+    /// Structured warning sink (recovery reports, checkpoint failures);
+    /// defaults to one "esl serve: <message>" line on stderr.
+    std::function<void(const std::string&)> warn;
   };
 
   struct Stats {
@@ -76,10 +107,13 @@ class Service {
     std::uint64_t restores = 0;
     std::uint64_t denied = 0;
     std::uint64_t ops = 0;  ///< operations completed across all sessions
+    std::uint64_t recovered = 0;    ///< sessions re-attached at startup
+    std::uint64_t quarantined = 0;  ///< damaged records renamed .corrupt
   };
 
   explicit Service(Config config);
-  /// Waits for in-flight turns, then drops all sessions and a temp spool dir.
+  /// Waits for in-flight turns, then drops all sessions; a private temp
+  /// spool dir is deleted, a persistent one keeps its records for restart.
   ~Service();
 
   Service(const Service&) = delete;
@@ -115,6 +149,13 @@ class Service {
   /// queued operations fail with "session closed". Blocks until removed.
   void close(const std::string& sid);
 
+  /// Graceful-shutdown drain: refuses new operations, aborts in-flight steps
+  /// at their next quantum boundary (DrainingError), fails queued operations,
+  /// then spools every resident session to the persistent spool directory.
+  /// Returns the number of sessions now on disk. Requires a persistent
+  /// spoolDir; spool failures are warned and skipped, never fatal.
+  std::size_t drainAndSpool();
+
   std::vector<std::string> sessionIds();
   Stats stats();
 
@@ -146,25 +187,35 @@ class Service {
   /// One scheduler turn for `sid`; runs on an executor lane.
   void runTurn(const std::string& sid);
   /// Claims a residency slot, evicting the LRU idle session if needed.
-  /// Throws AdmissionError when over cap with nothing evictable.
+  /// Throws AdmissionError when over cap with nothing evictable or the
+  /// eviction spool write fails.
   void reserveResidency();
-  /// Restores an evicted session from its spool file (caller owns the entry).
+  /// Restores an evicted session from its spool record (caller owns the
+  /// entry). Validates the record's checksum; damage surfaces as EslError.
   void ensureResident(Entry& e);
   /// Finishes a close: fails queued ops, erases the entry, signals waiters.
   /// Called with the lock held; completes promises after unlocking.
   void finishClose(std::unique_lock<std::mutex>& lk, Entry& e);
+  /// Durable-mode checkpoint of a resident session's record (caller owns the
+  /// entry via `running`). Failures warn — the operation already succeeded.
+  void checkpoint(Entry& e);
+  /// Fails every queued op of `e` with DrainingError (lock held; promises
+  /// completed after unlocking by the caller-provided sink).
+  void failQueueDraining(Entry& e, std::vector<Op>& failed);
+  void emitWarning(const std::string& message);
 
   Entry* findLocked(const std::string& sid);
-  void kick(Entry& e, std::unique_lock<std::mutex>& lk);
 
   Config config_;
   Executor executor_;
+  SpoolDir spool_;
   bool ownsSpoolDir_ = false;
 
   std::mutex m_;
   std::map<std::string, std::unique_ptr<Entry>> table_;
   std::uint64_t tick_ = 0;
   std::size_t resident_ = 0;
+  bool draining_ = false;
   Stats stats_{};
 };
 

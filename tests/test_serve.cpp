@@ -132,6 +132,71 @@ TEST(ServeProtocol, PayloadMustBeNewlineTerminated) {
   ::close(p[0]);
 }
 
+TEST(ServeProtocol, AbsurdDeclaredPayloadIsRejectedBeforeAllocation) {
+  int p[2];
+  ASSERT_EQ(::pipe(p), 0);
+  // Declares ~9 PB. The reader must reject on the declared length alone —
+  // nothing is buffered, allocated or waited for.
+  const char huge[] = "{\"id\":1,\"bytes\":9007199254740991}\n";
+  ASSERT_GT(::write(p[1], huge, sizeof huge - 1), 0);
+  FrameReader reader(p[0]);
+  Frame f;
+  EXPECT_THROW(reader.read(f), ProtocolError);
+  ::close(p[1]);
+  ::close(p[0]);
+}
+
+TEST(ServeProtocol, PayloadCapIsConfigurable) {
+  int p[2];
+  ASSERT_EQ(::pipe(p), 0);
+  const char over[] = "{\"id\":1,\"bytes\":17}\n";
+  ASSERT_GT(::write(p[1], over, sizeof over - 1), 0);
+  FrameReader reader(p[0], /*maxPayload=*/16);
+  Frame f;
+  EXPECT_THROW(reader.read(f), ProtocolError);
+  ::close(p[1]);
+  ::close(p[0]);
+}
+
+TEST(ServeProtocol, RunawayHeadLineIsBoundedByTheCap) {
+  int p[2];
+  ASSERT_EQ(::pipe(p), 0);
+  // A "head" that never ends: the reader must give up once the buffered
+  // line exceeds the cap, not accumulate it forever.
+  const std::string junk(64, 'x');
+  ASSERT_GT(::write(p[1], junk.data(), junk.size()), 0);
+  FrameReader reader(p[0], /*maxPayload=*/16);
+  Frame f;
+  EXPECT_THROW(reader.read(f), ProtocolError);
+  ::close(p[1]);
+  ::close(p[0]);
+}
+
+TEST(ServeProtocol, GarbageAndNulFramesAreStructuredParseErrors) {
+  int p[2];
+  ASSERT_EQ(::pipe(p), 0);
+  std::string junk("\x00\x01\xff{]garbage", 12);
+  junk += '\n';
+  ASSERT_GT(::write(p[1], junk.data(), junk.size()), 0);
+  ::close(p[1]);
+  FrameReader reader(p[0]);
+  Frame f;
+  EXPECT_THROW(reader.read(f), ParseError);
+  ::close(p[0]);
+}
+
+TEST(ServeProtocol, MidPayloadEofIsAProtocolError) {
+  int p[2];
+  ASSERT_EQ(::pipe(p), 0);
+  const char bad[] = "{\"id\":1,\"bytes\":100}\nabc";  // 3 of 100 bytes, EOF
+  ASSERT_GT(::write(p[1], bad, sizeof bad - 1), 0);
+  ::close(p[1]);
+  FrameReader reader(p[0]);
+  Frame f;
+  EXPECT_THROW(reader.read(f), ProtocolError);
+  ::close(p[0]);
+}
+
 TEST(ServeProtocol, ErrorKindsFollowTheExceptionHierarchy) {
   EXPECT_EQ(errorKind(NotFoundError("x")), "not-found");
   EXPECT_EQ(errorKind(AdmissionError("x")), "admission");
@@ -478,9 +543,11 @@ std::string testSocketPath(const std::string& tag) {
 }
 
 struct ServerFixture {
-  explicit ServerFixture(const std::string& tag) {
+  explicit ServerFixture(const std::string& tag,
+                         std::uint64_t maxPayload = kMaxPayloadBytes) {
     Server::Config cfg;
     cfg.socketPath = testSocketPath(tag);
+    cfg.maxPayloadBytes = maxPayload;
     cfg.service.workers = 2;
     server = std::make_unique<Server>(std::move(cfg));
     thread = std::thread([this] { server->run(); });
@@ -628,6 +695,59 @@ TEST(ServeWire, ShutdownClosesEverySession) {
   fx.thread.join();  // run() returns only once the service is empty
   EXPECT_TRUE(fx.server->service().sessionIds().empty());
   EXPECT_EQ(fx.server->service().stats().resident, 0u);
+}
+
+TEST(ServeWire, OversizedDeclaredPayloadGetsAStructuredError) {
+  // Server configured with a 1 KiB frame cap: a request declaring a bigger
+  // payload is answered with a structured protocol error — no hang while
+  // "waiting" for bytes that will never come, no allocation of the claim.
+  ServerFixture fx("cap", /*maxPayload=*/1024);
+  const int fd = rawConnect(fx.server->socketPath());
+  FrameReader reader(fd);
+  Frame f;
+  ASSERT_TRUE(reader.read(f));  // greeting
+  json::Value hello = json::Value::object();
+  hello.set("id", json::Value::number(std::uint64_t{1}));
+  hello.set("op", json::Value::str("hello"));
+  hello.set("proto", json::Value::number(kProtocolVersion));
+  writeFrame(fd, hello);
+  ASSERT_TRUE(reader.read(f));
+  ASSERT_TRUE(f.head.find("ok")->asBool());
+  const char big[] =
+      "{\"id\":2,\"op\":\"restore\",\"session\":\"s\",\"bytes\":999999999}\n";
+  ASSERT_GT(::write(fd, big, sizeof big - 1), 0);
+  ASSERT_TRUE(reader.read(f));
+  EXPECT_FALSE(f.head.find("ok")->asBool());
+  EXPECT_EQ(f.head.find("error")->find("kind")->asString(), "protocol");
+  EXPECT_FALSE(reader.read(f));  // connection dropped after the error
+  ::close(fd);
+}
+
+TEST(ServeWire, ClientDistinguishesConnectFailureFromServerDeath) {
+  // No daemon at all: ConnectError, after the configured retries.
+  Client::Options quick;
+  quick.retries = 1;
+  quick.backoffMs = 1;
+  EXPECT_THROW(Client(testSocketPath("nobody-home"), quick), ConnectError);
+
+  // Daemon dies under a connected client: ConnectionLostError, not a hang.
+  ServerFixture fx("dies");
+  Client client(fx.server->socketPath());
+  client.openDesign("s", "fig1a");
+  fx.server->requestStop();
+  fx.thread.join();  // sessions closed, connection fds shut down
+  EXPECT_THROW(client.step("s", 10), ConnectionLostError);
+}
+
+TEST(ServeWire, ReplyDeadlineSurfacesAsTimeout) {
+  ServerFixture fx("slow");
+  Client::Options opts;
+  opts.timeoutMs = 60;
+  Client client(fx.server->socketPath(), opts);
+  client.openDesign("s", "fig1a");
+  // A step far larger than 60 ms of simulation: the reply deadline fires as
+  // TimeoutError (exit code 4 in `esl client`), not a silent forever-wait.
+  EXPECT_THROW(client.step("s", 200'000'000), TimeoutError);
 }
 
 }  // namespace

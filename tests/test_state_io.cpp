@@ -12,11 +12,15 @@
 //     continues bit-identically to the original under identical choices.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <functional>
 
+#include "base/fault_inject.h"
 #include "base/rng.h"
 #include "netlist/patterns.h"
 #include "netlist/synth.h"
+#include "sim/state_file.h"
 #include "test_util.h"
 
 namespace esl {
@@ -318,6 +322,135 @@ TEST(StateIo, UnpackRejectsForeignNetlistState) {
   SimContext ca(a);
   SimContext cb(b);
   EXPECT_THROW(cb.unpackState(ca.packState()), EslError);
+}
+
+// ---------------------------------------------------------------------------
+// Durable state files (src/sim/state_file.h): the checksummed container
+// around --save-state snapshots and serve spool records. Damage of every
+// flavor must come back as a clean EslError naming the file — never a crash,
+// never silently-wrong bytes handed to a deserializer.
+// ---------------------------------------------------------------------------
+
+/// A real mid-run snapshot payload (proper SimContext header + node state).
+std::vector<std::uint8_t> sampleSnapshot() {
+  Netlist nl;
+  auto& src = nl.make<TokenSource>("src", 8, TokenSource::counting(8));
+  auto& eb = nl.make<ElasticBuffer>("eb", 8, 2u);
+  auto& sink = nl.make<TokenSink>(
+      "sink", 8, [](std::uint64_t c) { return hashChancePermille(c, 600, 5); });
+  nl.connect(src, 0, eb, 0);
+  nl.connect(eb, 0, sink, 0);
+  SimContext ctx(nl);
+  Rng rng(0xf11e5);
+  for (int i = 0; i < 23; ++i) {
+    std::vector<bool> bits(ctx.totalChoices());
+    for (std::size_t j = 0; j < bits.size(); ++j) bits[j] = rng.next() & 1;
+    ctx.setChoicesFrom(bits);
+    ctx.settle();
+    ctx.edge();
+  }
+  return ctx.packState();
+}
+
+std::string tempStatePath(const std::string& name) {
+  return testing::TempDir() + "esl_state_file_" + name;
+}
+
+void writeRawBytes(const std::string& path,
+                   const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(StateFile, SnapshotRoundTripsThroughChecksummedContainer) {
+  const auto snap = sampleSnapshot();
+  const std::string path = tempStatePath("roundtrip.state");
+  sim::writeSnapshotFile(path, snap);
+  // On disk it is a container (record magic first), not raw snapshot bytes.
+  const auto onDisk = sim::readFileBytes(path);
+  ASSERT_GE(onDisk.size(), sim::kRecordHeaderBytes + snap.size());
+  EXPECT_EQ(onDisk[0], static_cast<std::uint8_t>(sim::kRecordMagic & 0xff));
+  EXPECT_EQ(sim::readSnapshotFile(path), snap);
+  std::remove(path.c_str());
+}
+
+TEST(StateFile, LegacyRawSnapshotStillLoads) {
+  // Pre-container --save-state output: the bare packState bytes. Sniffing by
+  // the snapshot magic must keep these loading, un-checksummed.
+  const auto snap = sampleSnapshot();
+  const std::string path = tempStatePath("legacy.state");
+  writeRawBytes(path, snap);
+  EXPECT_EQ(sim::readSnapshotFile(path), snap);
+  std::remove(path.c_str());
+}
+
+TEST(StateFile, TruncatedRecordsAreRejected) {
+  const auto snap = sampleSnapshot();
+  const std::string path = tempStatePath("truncated.state");
+  sim::writeSnapshotFile(path, snap);
+  auto bytes = sim::readFileBytes(path);
+  // Torn mid-payload: header intact, payload short.
+  auto torn = bytes;
+  torn.resize(bytes.size() - 7);
+  writeRawBytes(path, torn);
+  EXPECT_THROW(sim::readSnapshotFile(path), EslError);
+  EXPECT_THROW(sim::readRecordFile(path), EslError);
+  // Torn inside the header itself.
+  torn.resize(sim::kRecordHeaderBytes / 2);
+  writeRawBytes(path, torn);
+  EXPECT_THROW(sim::readSnapshotFile(path), EslError);
+  std::remove(path.c_str());
+}
+
+TEST(StateFile, BitFlippedRecordsAreRejected) {
+  const auto snap = sampleSnapshot();
+  const std::string path = tempStatePath("bitflip.state");
+  sim::writeSnapshotFile(path, snap);
+  auto bytes = sim::readFileBytes(path);
+  bytes[sim::kRecordHeaderBytes + bytes.size() / 2] ^= 0x10;  // payload rot
+  writeRawBytes(path, bytes);
+  EXPECT_THROW(sim::readRecordFile(path), EslError);
+  EXPECT_THROW(sim::readSnapshotFile(path), EslError);
+  std::remove(path.c_str());
+}
+
+TEST(StateFile, ForeignFilesAreRejected) {
+  const std::string path = tempStatePath("foreign.state");
+  const std::string text = "this is not an esl state file\n";
+  writeRawBytes(path, std::vector<std::uint8_t>(text.begin(), text.end()));
+  EXPECT_THROW(sim::readSnapshotFile(path), EslError);
+  EXPECT_THROW(sim::readRecordFile(path), EslError);
+  std::remove(path.c_str());
+}
+
+TEST(StateFile, MissingFileIsACleanError) {
+  EXPECT_THROW(sim::readSnapshotFile(tempStatePath("never-written.state")),
+               EslError);
+}
+
+TEST(StateFile, InjectedWriteFaultsProduceCleanFailures) {
+  const auto snap = sampleSnapshot();
+  const std::string path = tempStatePath("faulted.state");
+  // fail: the write throws; no file appears under the real name.
+  fault::arm("state-file-write", {fault::Kind::kFail, 1, 0});
+  EXPECT_THROW(sim::writeSnapshotFile(path, snap), EslError);
+  EXPECT_THROW(sim::readFileBytes(path), EslError);  // nothing was renamed in
+  // truncate: the write "succeeds" but the artifact is torn — the reader
+  // must catch it by declared-length mismatch.
+  fault::arm("state-file-write", {fault::Kind::kTruncate, 1, 40});
+  sim::writeSnapshotFile(path, snap);
+  EXPECT_THROW(sim::readSnapshotFile(path), EslError);
+  // bitflip: full-length artifact, one bit of rot — caught by the CRC.
+  fault::arm("state-file-write",
+             {fault::Kind::kBitFlip, 1, (sim::kRecordHeaderBytes + 9) * 8});
+  sim::writeSnapshotFile(path, snap);
+  EXPECT_THROW(sim::readSnapshotFile(path), EslError);
+  fault::disarmAll();
+  // Disarmed, the same path round-trips again.
+  sim::writeSnapshotFile(path, snap);
+  EXPECT_EQ(sim::readSnapshotFile(path), snap);
+  std::remove(path.c_str());
 }
 
 }  // namespace
